@@ -1,0 +1,59 @@
+//! Criterion bench: the extension/baseline machinery — dynamic
+//! master/worker, multi-installment simulation, source rewriting.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gs_gridsim::installments::{simulate_installments, split_installments};
+use gs_gridsim::masterworker::{simulate_master_worker, MasterWorkerConfig};
+use gs_scatter::ordering::{scatter_order, OrderPolicy};
+use gs_scatter::paper::table1_platform;
+use gs_scatter::planner::{Planner, Strategy};
+use gs_transform::transform_source;
+
+fn bench_baselines(c: &mut Criterion) {
+    let platform = table1_platform();
+    let order = scatter_order(&platform, OrderPolicy::DescendingBandwidth);
+    let view = platform.ordered(&order);
+    let workers: Vec<_> = view[..15].to_vec();
+
+    let mut group = c.benchmark_group("baselines");
+    for chunk in [1_000usize, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::new("master_worker_817k", chunk),
+            &chunk,
+            |b, &chunk| {
+                b.iter(|| {
+                    simulate_master_worker(
+                        &workers,
+                        817_101,
+                        &MasterWorkerConfig {
+                            chunk_size: chunk,
+                            request_latency: 0.1,
+                            loads: vec![],
+                        },
+                    )
+                })
+            },
+        );
+    }
+
+    let plan = Planner::new(platform.clone())
+        .strategy(Strategy::Heuristic)
+        .plan(817_101)
+        .unwrap();
+    let counts = plan.counts_in_order();
+    for k in [4usize, 32] {
+        let rounds = split_installments(&counts, k);
+        group.bench_with_input(BenchmarkId::new("installments", k), &rounds, |b, rounds| {
+            b.iter(|| simulate_installments(&view, rounds))
+        });
+    }
+
+    let source = include_str!("../src/bin/run_all.rs")
+        .replace("run_all", "MPI_Scatter(a, 1, T, b, 1, T, 0, C)");
+    group.bench_function("transform_source_4kB", |b| {
+        b.iter(|| transform_source(&source))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench: Algorithm 1 vs Algorithm 2 across problem sizes —
+//! the §5.2 "two days vs six minutes" comparison in miniature.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gs_scatter::dp_basic::optimal_distribution_basic;
+use gs_scatter::dp_optimized::optimal_distribution;
+use gs_scatter::ordering::{scatter_order, OrderPolicy};
+use gs_scatter::paper::table1_platform;
+
+fn bench_dp(c: &mut Criterion) {
+    let platform = table1_platform();
+    let order = scatter_order(&platform, OrderPolicy::DescendingBandwidth);
+    let view = platform.ordered(&order);
+    let mut group = c.benchmark_group("dp");
+    group.sample_size(10);
+    for n in [200usize, 1_000, 4_000] {
+        group.bench_with_input(BenchmarkId::new("algorithm1", n), &n, |b, &n| {
+            b.iter(|| optimal_distribution_basic(&view, n).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("algorithm2", n), &n, |b, &n| {
+            b.iter(|| optimal_distribution(&view, n).unwrap())
+        });
+    }
+    // Algorithm 2 alone scales much further.
+    for n in [20_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::new("algorithm2", n), &n, |b, &n| {
+            b.iter(|| optimal_distribution(&view, n).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp);
+criterion_main!(benches);

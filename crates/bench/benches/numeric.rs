@@ -1,0 +1,20 @@
+//! Criterion bench: the exact-arithmetic substrate.
+use criterion::{criterion_group, criterion_main, Criterion};
+use gs_numeric::{BigUint, Rational};
+use std::str::FromStr;
+
+fn bench_numeric(c: &mut Criterion) {
+    let a = BigUint::from_str(&"123456789".repeat(12)).unwrap();
+    let b = BigUint::from_str(&"987654321".repeat(8)).unwrap();
+    c.bench_function("biguint_mul_108x72_digits", |bch| bch.iter(|| &a * &b));
+    c.bench_function("biguint_divrem", |bch| bch.iter(|| a.divrem(&b)));
+    c.bench_function("biguint_gcd", |bch| bch.iter(|| a.gcd(&b)));
+
+    let x = Rational::from_f64(0.009288).unwrap();
+    let y = Rational::from_f64(1.12e-5).unwrap();
+    c.bench_function("rational_add_f64_coeffs", |bch| bch.iter(|| &x + &y));
+    c.bench_function("rational_mul_f64_coeffs", |bch| bch.iter(|| &x * &y));
+}
+
+criterion_group!(benches, bench_numeric);
+criterion_main!(benches);

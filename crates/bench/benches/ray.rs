@@ -1,0 +1,29 @@
+//! Criterion bench: per-ray tracing cost (the α being load-balanced).
+use criterion::{criterion_group, criterion_main, Criterion};
+use gs_seismic::{generate_catalog, EarthModel, WaveType};
+
+fn bench_ray(c: &mut Criterion) {
+    let model = EarthModel::default();
+    let events = generate_catalog(64, 7);
+    c.bench_function("trace_ray_p60deg", |b| {
+        b.iter(|| gs_seismic::trace_ray(&model, true, 33.0, 60f64.to_radians()))
+    });
+    c.bench_function("trace_catalog_64", |b| {
+        b.iter(|| {
+            let mut sum = 0.0;
+            for ev in &events {
+                let ray = gs_seismic::trace_ray(
+                    &model,
+                    ev.wave == WaveType::P,
+                    ev.source.depth_km,
+                    ev.delta().max(0.01),
+                );
+                sum += ray.travel_time;
+            }
+            sum
+        })
+    });
+}
+
+criterion_group!(benches, bench_ray);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench: the discrete-event simulator on the Table-1 grid.
+use criterion::{criterion_group, criterion_main, Criterion};
+use gs_gridsim::sim::{simulate_scatter, SimConfig};
+use gs_scatter::distribution::uniform_distribution;
+use gs_scatter::ordering::{scatter_order, OrderPolicy};
+use gs_scatter::paper::{table1_platform, N_RAYS_1999};
+
+fn bench_sim(c: &mut Criterion) {
+    let platform = table1_platform();
+    let order = scatter_order(&platform, OrderPolicy::DescendingBandwidth);
+    let view = platform.ordered(&order);
+    let counts = uniform_distribution(16, N_RAYS_1999);
+    c.bench_function("simulate_scatter_p16", |b| {
+        b.iter(|| simulate_scatter(&view, &counts, &SimConfig::ideal()))
+    });
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

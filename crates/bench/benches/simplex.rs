@@ -1,0 +1,35 @@
+//! Criterion bench: exact rational simplex on scatter-shaped LPs.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gs_lp::{LpProblem, Sense};
+use gs_numeric::Rational;
+
+/// Builds the Eq. (3) LP for p synthetic processors and n items.
+fn scatter_lp(p: usize, n: u64) -> LpProblem {
+    let mut lp = LpProblem::new(Sense::Minimize);
+    let t = lp.add_var("T");
+    let vars: Vec<_> = (0..p).map(|i| lp.add_var(format!("n{i}"))).collect();
+    lp.set_objective([(t, Rational::one())]);
+    lp.add_eq(vars.iter().map(|&v| (v, Rational::one())), Rational::from(n));
+    for i in 0..p {
+        let mut terms: Vec<_> = (0..=i)
+            .map(|j| (vars[j], Rational::from_ratio(1 + j as i64, 100_000)))
+            .collect();
+        terms.push((t, -Rational::one()));
+        lp.add_le(terms, Rational::zero());
+    }
+    lp
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex");
+    for p in [4usize, 8, 16, 32] {
+        let lp = scatter_lp(p, 817_101);
+        group.bench_with_input(BenchmarkId::new("scatter_lp", p), &lp, |b, lp| {
+            b.iter(|| lp.solve().unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simplex);
+criterion_main!(benches);

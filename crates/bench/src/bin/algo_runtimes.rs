@@ -1,0 +1,30 @@
+//! §5.2 solver-runtime comparison (Algorithm 1 vs 2 vs heuristic).
+use gs_bench::experiments::runtimes::{algo_runtimes, extrapolate_quadratic};
+use gs_bench::util::{arg_usize, fmt_secs};
+use gs_scatter::paper::N_RAYS_1999;
+fn main() {
+    let cap = arg_usize("--basic-cap", 20_000);
+    let max_n = arg_usize("--max-n", 100_000);
+    let mut ns = vec![1_000usize, 5_000, 20_000, 50_000, 100_000];
+    ns.retain(|&n| n <= max_n);
+    println!("solver runtimes on the Table-1 platform (p = 16), release-build recommended");
+    println!("{:>9} {:>14} {:>14} {:>14} {:>14}", "n", "Algorithm 1", "Algorithm 2", "heuristic", "closed form");
+    let rows = algo_runtimes(&ns, cap);
+    for r in &rows {
+        println!(
+            "{:>9} {:>14} {:>14} {:>14} {:>14}",
+            r.n,
+            r.basic.map_or("(skipped)".into(), fmt_secs),
+            fmt_secs(r.optimized),
+            fmt_secs(r.heuristic),
+            fmt_secs(r.closed_form),
+        );
+    }
+    if let Some(est) = extrapolate_quadratic(&rows, N_RAYS_1999) {
+        println!(
+            "\nAlgorithm 1 extrapolated to n = {N_RAYS_1999}: ~{} (paper: interrupted after 2 days)",
+            fmt_secs(est)
+        );
+    }
+    println!("paper reported at n = {N_RAYS_1999}: Alg. 1 > 2 days, Alg. 2 = 6 min (PIII/933), heuristic instantaneous");
+}

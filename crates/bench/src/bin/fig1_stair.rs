@@ -1,0 +1,6 @@
+//! Renders Figure 1: the stair effect of a single-port scatter.
+use gs_bench::util::arg_usize;
+fn main() {
+    let width = arg_usize("--width", 64);
+    print!("{}", gs_bench::experiments::figures::fig1(width));
+}

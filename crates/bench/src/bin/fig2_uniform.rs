@@ -1,0 +1,14 @@
+//! Reproduces Figure 2: the original program (uniform distribution).
+use gs_bench::util::arg_usize;
+use gs_scatter::paper::N_RAYS_1999;
+fn main() {
+    let n = arg_usize("--rays", N_RAYS_1999);
+    let s = gs_bench::experiments::figures::fig2(n);
+    print!("{}", s.rendering);
+    println!(
+        "measured here: earliest {:.0} s, latest {:.0} s, imbalance {:.0}%",
+        s.min_finish,
+        s.max_finish,
+        s.imbalance * 100.0
+    );
+}

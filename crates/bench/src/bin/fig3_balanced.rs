@@ -1,0 +1,19 @@
+//! Reproduces Figure 3: load-balanced run, descending bandwidth.
+use gs_bench::util::arg_usize;
+use gs_scatter::paper::N_RAYS_1999;
+fn main() {
+    let n = arg_usize("--rays", N_RAYS_1999);
+    let uniform = gs_bench::experiments::figures::fig2(n);
+    let s = gs_bench::experiments::figures::fig3(n);
+    print!("{}", s.rendering);
+    println!(
+        "measured here: earliest {:.0} s, latest {:.0} s, imbalance {:.1}%",
+        s.min_finish,
+        s.max_finish,
+        s.imbalance * 100.0
+    );
+    println!(
+        "speedup over the uniform run (Fig. 2): {:.2}x (paper: ~2x)",
+        uniform.max_finish / s.max_finish
+    );
+}

@@ -1,0 +1,22 @@
+//! Reproduces Figure 4: load-balanced run, ascending bandwidth order.
+use gs_bench::util::arg_usize;
+use gs_scatter::paper::N_RAYS_1999;
+fn main() {
+    let n = arg_usize("--rays", N_RAYS_1999);
+    let desc = gs_bench::experiments::figures::fig3(n);
+    let clean = gs_bench::experiments::figures::fig4(n, false);
+    let spiked = gs_bench::experiments::figures::fig4(n, true);
+    print!("{}", spiked.rendering);
+    println!(
+        "measured here (with the sekhmet load peak §5.2 mentions): earliest {:.0} s, latest {:.0} s, imbalance {:.1}%",
+        spiked.min_finish, spiked.max_finish, spiked.imbalance * 100.0
+    );
+    println!(
+        "without the peak: latest {:.0} s; descending order (Fig. 3): {:.0} s",
+        clean.max_finish, desc.max_finish
+    );
+    println!(
+        "ascending-order penalty: +{:.0} s (paper: +56 s)",
+        clean.max_finish - desc.max_finish
+    );
+}

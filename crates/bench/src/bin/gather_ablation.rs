@@ -1,0 +1,15 @@
+//! Extension ablation: forward-only (paper) vs gather-aware planning.
+use gs_bench::experiments::gatherexp::gather_ablation;
+use gs_bench::util::arg_usize;
+fn main() {
+    let n = arg_usize("--rays", 100_000);
+    println!("gather-aware planning vs the paper's forward-only model (n = {n})");
+    println!("return cost = ratio x forward link cost per item");
+    println!("{:>8} {:>16} {:>16} {:>12}", "ratio", "forward-only (s)", "gather-aware (s)", "improvement");
+    for r in gather_ablation(n, &[0.0, 0.5, 1.0, 5.0, 20.0, 100.0]) {
+        println!(
+            "{:>8.1} {:>16.2} {:>16.2} {:>11.3}x",
+            r.ratio, r.forward_only, r.gather_aware, r.improvement
+        );
+    }
+}

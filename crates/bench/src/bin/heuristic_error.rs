@@ -1,0 +1,16 @@
+//! §5.2 heuristic quality: relative error vs the exact optimum.
+use gs_bench::experiments::runtimes::heuristic_error;
+use gs_bench::util::arg_usize;
+fn main() {
+    let max_n = arg_usize("--max-n", 200_000);
+    let mut ns = vec![1_000usize, 10_000, 50_000, 200_000];
+    ns.retain(|&n| n <= max_n);
+    println!("heuristic vs exact optimum on the Table-1 platform (paper: rel. error < 6e-6 at n = 817,101)");
+    println!("{:>9} {:>14} {:>14} {:>12} {:>14} {:>7}", "n", "optimal (s)", "heuristic (s)", "rel. error", "Eq.(4) bound", "ok");
+    for r in heuristic_error(&ns) {
+        println!(
+            "{:>9} {:>14.4} {:>14.4} {:>12.2e} {:>14.4} {:>7}",
+            r.n, r.optimal, r.heuristic, r.rel_error, r.bound, r.within_bound
+        );
+    }
+}

@@ -1,0 +1,6 @@
+//! One-off: heuristic error at the paper's exact n.
+fn main() {
+    let rows = gs_bench::experiments::runtimes::heuristic_error(&[817_101]);
+    let r = &rows[0];
+    println!("n={} optimal={:.4} heuristic={:.4} rel={:.2e} bound_ok={}", r.n, r.optimal, r.heuristic, r.rel_error, r.within_bound);
+}

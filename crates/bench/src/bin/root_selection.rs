@@ -1,0 +1,22 @@
+//! §3.4 root selection on the Table-1 grid (data on dinadan).
+use gs_bench::experiments::roots::root_selection;
+use gs_bench::util::arg_usize;
+use gs_scatter::paper::table1_rows;
+fn main() {
+    let n = arg_usize("--rays", 817_101);
+    let choice = root_selection(n);
+    let rows = table1_rows();
+    println!("root selection for n = {n} rays, data initially on dinadan");
+    println!("{:<4} {:<10} {:>12} {:>12} {:>12}", "#", "machine", "transfer(s)", "makespan(s)", "total(s)");
+    for c in &choice.candidates {
+        println!(
+            "{:<4} {:<10} {:>12.1} {:>12.1} {:>12.1}{}",
+            c.root + 1,
+            rows[c.root].machine,
+            c.transfer,
+            c.makespan,
+            c.total,
+            if c.root == choice.root { "  <= chosen" } else { "" }
+        );
+    }
+}

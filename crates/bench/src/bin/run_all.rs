@@ -1,0 +1,86 @@
+//! Runs every experiment at scaled-down defaults (fast enough for a
+//! laptop in a debug build; pass --full for the paper-scale n).
+use gs_bench::experiments::*;
+use gs_bench::util::fmt_secs;
+use gs_scatter::paper::N_RAYS_1999;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let n = if full { N_RAYS_1999 } else { 100_000 };
+
+    gs_bench::util::header("Table 1");
+    print!("{}", figures::table1());
+
+    gs_bench::util::header("Figure 1 (stair effect)");
+    print!("{}", figures::fig1(64));
+
+    gs_bench::util::header("Figure 2 (uniform)");
+    let f2 = figures::fig2(n);
+    print!("{}", f2.rendering);
+
+    gs_bench::util::header("Figure 3 (balanced, descending bandwidth)");
+    let f3 = figures::fig3(n);
+    print!("{}", f3.rendering);
+    println!("speedup over uniform: {:.2}x (paper: ~2x)", f2.max_finish / f3.max_finish);
+
+    gs_bench::util::header("Figure 4 (balanced, ascending bandwidth)");
+    let f4 = figures::fig4(n, true);
+    print!("{}", f4.rendering);
+    println!("ascending-order penalty vs Fig. 3: +{:.0} s", figures::fig4(n, false).max_finish - f3.max_finish);
+
+    gs_bench::util::header("Solver runtimes (§5.2)");
+    let ns = if full { vec![1_000, 10_000, 100_000] } else { vec![1_000, 5_000, 20_000] };
+    let rows = runtimes::algo_runtimes(&ns, if full { 20_000 } else { 5_000 });
+    for r in &rows {
+        println!(
+            "n = {:>7}: Alg.1 {:>12}  Alg.2 {:>12}  heuristic {:>12}  closed-form {:>12}",
+            r.n,
+            r.basic.map_or("(skipped)".into(), fmt_secs),
+            fmt_secs(r.optimized),
+            fmt_secs(r.heuristic),
+            fmt_secs(r.closed_form)
+        );
+    }
+    if let Some(est) = runtimes::extrapolate_quadratic(&rows, N_RAYS_1999) {
+        println!("Alg.1 extrapolated to n = {N_RAYS_1999}: ~{}", fmt_secs(est));
+    }
+
+    gs_bench::util::header("Heuristic error (§5.2)");
+    for r in runtimes::heuristic_error(&[1_000, 10_000, 50_000]) {
+        println!(
+            "n = {:>6}: optimal {:>10.4} s  heuristic {:>10.4} s  rel.err {:>9.2e}  within Eq.(4) bound: {}",
+            r.n, r.optimal, r.heuristic, r.rel_error, r.within_bound
+        );
+    }
+
+    gs_bench::util::header("Ordering study (Theorem 3)");
+    let s = ordering::ordering_study(50, 6, 100_000, 2003);
+    println!(
+        "descending bandwidth optimal in {}/{} random platforms; mean gaps: desc {:.1e}, random {:.1e}, asc {:.1e}",
+        s.desc_optimal, s.trials, s.mean_gap_desc, s.mean_gap_random, s.mean_gap_asc
+    );
+
+    gs_bench::util::header("Root selection (§3.4)");
+    let choice = roots::root_selection(n);
+    println!(
+        "chosen root: processor {} with total time {:.1} s over {} candidates",
+        choice.root + 1,
+        choice.total_time,
+        choice.candidates.len()
+    );
+
+    gs_bench::util::header("Strategy ablation");
+    for r in ablation::strategy_ablation(8, 20_000, &[1.0, 4.0, 16.0]) {
+        println!(
+            "spread {:>4.0}x: uniform {:>8.2} s  closed-form {:>8.2} s  heuristic {:>8.2} s  exact {:>8.2} s  ({:.2}x available)",
+            r.spread, r.uniform, r.closed_form, r.heuristic, r.exact, r.available_speedup
+        );
+    }
+
+    gs_bench::util::header("Tomography end-to-end (§2.2)");
+    let cmp = tomo::tomo_e2e(if full { 100_000 } else { 10_000 }, 1999);
+    println!(
+        "uniform {:.2} virtual s vs balanced {:.2} virtual s => {:.2}x speedup",
+        cmp.uniform.virtual_makespan, cmp.balanced.virtual_makespan, cmp.speedup
+    );
+}

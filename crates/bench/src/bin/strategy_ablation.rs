@@ -1,0 +1,15 @@
+//! Strategy ablation across heterogeneity levels.
+use gs_bench::experiments::ablation::strategy_ablation;
+use gs_bench::util::arg_usize;
+fn main() {
+    let p = arg_usize("--procs", 8);
+    let n = arg_usize("--items", 20_000);
+    println!("strategy ablation, p = {p}, n = {n} (makespans in seconds)");
+    println!("{:>8} {:>10} {:>12} {:>10} {:>10} {:>9}", "spread", "uniform", "closed form", "heuristic", "exact DP", "speedup");
+    for r in strategy_ablation(p, n, &[1.0, 2.0, 4.0, 8.0, 16.0]) {
+        println!(
+            "{:>8.1} {:>10.2} {:>12.2} {:>10.2} {:>10.2} {:>8.2}x",
+            r.spread, r.uniform, r.closed_form, r.heuristic, r.exact, r.available_speedup
+        );
+    }
+}

@@ -1,0 +1,4 @@
+//! Prints Table 1 of the paper (the testbed model).
+fn main() {
+    print!("{}", gs_bench::experiments::figures::table1());
+}

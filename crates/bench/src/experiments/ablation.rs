@@ -1,0 +1,109 @@
+//! Strategy ablation: how much each solver buys as platform heterogeneity
+//! grows. At homogeneity the uniform scatter is already fine; the gain of
+//! the paper's machinery scales with CPU/link spread.
+
+use gs_scatter::cost::{Platform, Processor};
+use gs_scatter::ordering::OrderPolicy;
+use gs_scatter::planner::{Planner, Strategy};
+
+/// Results at one heterogeneity level.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// CPU-speed spread factor between the fastest and slowest machine.
+    pub spread: f64,
+    /// Uniform-distribution makespan.
+    pub uniform: f64,
+    /// Closed-form makespan.
+    pub closed_form: f64,
+    /// LP-heuristic makespan.
+    pub heuristic: f64,
+    /// Exact-DP makespan.
+    pub exact: f64,
+    /// `uniform / exact` — the available speedup.
+    pub available_speedup: f64,
+}
+
+/// Builds a `p`-processor platform whose per-item compute costs span a
+/// geometric range of `spread` (1 = homogeneous), with mildly varied
+/// links.
+pub fn spread_platform(p: usize, spread: f64) -> Platform {
+    assert!(p >= 2 && spread >= 1.0);
+    let base_alpha = 8e-3;
+    let procs: Vec<Processor> = (0..p)
+        .map(|i| {
+            let t = i as f64 / (p - 1) as f64;
+            let alpha = base_alpha * spread.powf(t - 0.5);
+            let beta = if i == 0 { 0.0 } else { 1e-5 * (1.0 + (i % 4) as f64) };
+            Processor::linear(format!("m{i}"), beta, alpha)
+        })
+        .collect();
+    Platform::new(procs, 0).expect("valid")
+}
+
+/// Sweeps heterogeneity levels.
+pub fn strategy_ablation(p: usize, n: usize, spreads: &[f64]) -> Vec<AblationRow> {
+    spreads
+        .iter()
+        .map(|&spread| {
+            let platform = spread_platform(p, spread);
+            let run = |s: Strategy| {
+                Planner::new(platform.clone())
+                    .strategy(s)
+                    .order_policy(OrderPolicy::DescendingBandwidth)
+                    .plan(n)
+                    .unwrap()
+                    .predicted_makespan
+            };
+            let uniform = run(Strategy::Uniform);
+            let closed_form = run(Strategy::ClosedForm);
+            let heuristic = run(Strategy::Heuristic);
+            let exact = run(Strategy::Exact);
+            AblationRow {
+                spread,
+                uniform,
+                closed_form,
+                heuristic,
+                exact,
+                available_speedup: uniform / exact,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_grows_with_heterogeneity() {
+        let rows = strategy_ablation(6, 5_000, &[1.0, 4.0, 16.0]);
+        assert!(rows[0].available_speedup < rows[1].available_speedup);
+        assert!(rows[1].available_speedup < rows[2].available_speedup);
+    }
+
+    #[test]
+    fn solvers_are_ordered_correctly() {
+        for row in strategy_ablation(5, 3_000, &[1.0, 8.0]) {
+            // Exact is optimal; the others can only be >= (within float dust).
+            assert!(row.exact <= row.heuristic + 1e-9, "{row:?}");
+            assert!(row.exact <= row.closed_form + 1e-9, "{row:?}");
+            assert!(row.exact <= row.uniform + 1e-9, "{row:?}");
+            // The heuristic stays within a hair of exact.
+            assert!((row.heuristic - row.exact) / row.exact < 1e-2, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn homogeneous_platform_gains_little() {
+        let rows = strategy_ablation(6, 5_000, &[1.0]);
+        assert!(rows[0].available_speedup < 1.2, "{rows:?}");
+    }
+
+    #[test]
+    fn spread_platform_shape() {
+        let p = spread_platform(4, 16.0);
+        let a0 = p.procs()[0].comp.eval(1000);
+        let a3 = p.procs()[3].comp.eval(1000);
+        assert!((a3 / a0 - 16.0).abs() < 1e-6, "{}", a3 / a0);
+    }
+}

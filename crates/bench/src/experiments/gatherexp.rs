@@ -1,0 +1,90 @@
+//! Extension ablation: what the forward-only model (the paper's) loses
+//! when results must travel back — and what the gather-aware LP recovers.
+//!
+//! The result-return cost is swept as a fraction of the forward transfer
+//! cost (`γ_i = ratio · β_i`). At ratio 0 both planners coincide; as the
+//! return path grows, the forward-only plan over-commits remote machines.
+
+use gs_scatter::gather::{
+    gather_aware_distribution, makespan_with_gather, GatherProcessor,
+};
+use gs_scatter::heuristic::heuristic_distribution;
+use gs_scatter::ordering::{scatter_order, OrderPolicy};
+use gs_scatter::paper::table1_platform;
+
+/// Results at one return-cost ratio.
+#[derive(Debug, Clone)]
+pub struct GatherRow {
+    /// `γ / β` ratio.
+    pub ratio: f64,
+    /// Completion (incl. gather) of the paper's forward-only plan.
+    pub forward_only: f64,
+    /// Completion of the gather-aware plan.
+    pub gather_aware: f64,
+    /// `forward_only / gather_aware` — the value of modelling the gather.
+    pub improvement: f64,
+}
+
+/// Sweeps the return-cost ratio on the Table-1 platform.
+pub fn gather_ablation(n: usize, ratios: &[f64]) -> Vec<GatherRow> {
+    let platform = table1_platform();
+    let order = scatter_order(&platform, OrderPolicy::DescendingBandwidth);
+    let view = platform.ordered(&order);
+
+    ratios
+        .iter()
+        .map(|&ratio| {
+            let gprocs: Vec<GatherProcessor> = view
+                .iter()
+                .map(|p| {
+                    let beta = p.comm.linear_slope().unwrap_or(0.0);
+                    GatherProcessor::with_linear_back((*p).clone(), beta * ratio)
+                })
+                .collect();
+            let gview: Vec<&GatherProcessor> = gprocs.iter().collect();
+
+            // The paper's plan, evaluated under the full model.
+            let fwd = heuristic_distribution(&view, n).unwrap();
+            let forward_only = makespan_with_gather(&gview, &fwd.counts);
+
+            // The gather-aware plan.
+            let aware = gather_aware_distribution(&gview, n).unwrap();
+
+            GatherRow {
+                ratio,
+                forward_only,
+                gather_aware: aware.makespan,
+                improvement: forward_only / aware.makespan,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_ratio_ties() {
+        let rows = gather_ablation(20_000, &[0.0]);
+        assert!((rows[0].improvement - 1.0).abs() < 1e-6, "{rows:?}");
+    }
+
+    #[test]
+    fn aware_never_loses() {
+        for r in gather_ablation(20_000, &[0.0, 1.0, 10.0, 100.0]) {
+            assert!(
+                r.improvement >= 1.0 - 1e-6,
+                "gather-aware must not lose: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_return_paths_reward_awareness() {
+        // Once results are as big as inputs times 100 (e.g. full waveform
+        // outputs), the forward-only plan leaves real time on the table.
+        let rows = gather_ablation(20_000, &[100.0]);
+        assert!(rows[0].improvement > 1.005, "{rows:?}");
+    }
+}

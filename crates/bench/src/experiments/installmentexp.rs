@@ -1,0 +1,66 @@
+//! Multi-installment ablation: how much does splitting each share into k
+//! pieces (divisible-load style) improve the Table-1 schedule?
+
+use gs_gridsim::installments::{simulate_installments, split_installments};
+use gs_scatter::ordering::OrderPolicy;
+use gs_scatter::paper::table1_platform;
+use gs_scatter::planner::{Planner, Strategy};
+
+/// Results at one installment count.
+#[derive(Debug, Clone)]
+pub struct InstallmentRow {
+    /// Installments per processor.
+    pub k: usize,
+    /// Resulting makespan.
+    pub makespan: f64,
+    /// Mean first-arrival time (how early compute starts on average).
+    pub mean_first_arrival: f64,
+}
+
+/// Sweeps the installment count on the balanced Table-1 plan.
+pub fn installment_ablation(n: usize, ks: &[usize]) -> Vec<InstallmentRow> {
+    let platform = table1_platform();
+    let plan = Planner::new(platform.clone())
+        .strategy(Strategy::Heuristic)
+        .order_policy(OrderPolicy::DescendingBandwidth)
+        .plan(n)
+        .unwrap();
+    let view = platform.ordered(&plan.order);
+    let counts = plan.counts_in_order();
+    ks.iter()
+        .map(|&k| {
+            let run = simulate_installments(&view, &split_installments(&counts, k));
+            let mean_first_arrival =
+                run.first_arrival.iter().sum::<f64>() / run.first_arrival.len() as f64;
+            InstallmentRow { k, makespan: run.makespan, mean_first_arrival }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k1_matches_planner_prediction() {
+        let platform = table1_platform();
+        let plan = Planner::new(platform).strategy(Strategy::Heuristic).plan(100_000).unwrap();
+        let rows = installment_ablation(100_000, &[1]);
+        assert!((rows[0].makespan - plan.predicted_makespan).abs() < 1e-6);
+    }
+
+    #[test]
+    fn installments_barely_help_on_table1() {
+        // comm << comp on Table 1: the paper's one-round scatter leaves
+        // almost nothing on the table.
+        let rows = installment_ablation(100_000, &[1, 4]);
+        let gain = (rows[0].makespan - rows[1].makespan) / rows[0].makespan;
+        assert!(gain.abs() < 0.02, "gain {gain} should be tiny on Table 1");
+    }
+
+    #[test]
+    fn first_arrivals_shrink_with_k() {
+        let rows = installment_ablation(100_000, &[1, 8]);
+        assert!(rows[1].mean_first_arrival < rows[0].mean_first_arrival);
+    }
+}

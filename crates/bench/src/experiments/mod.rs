@@ -1,0 +1,12 @@
+//! Experiment implementations, one module per paper artifact.
+
+pub mod ablation;
+pub mod dynamicexp;
+pub mod figures;
+pub mod installmentexp;
+pub mod gatherexp;
+pub mod multiport;
+pub mod ordering;
+pub mod roots;
+pub mod runtimes;
+pub mod tomo;

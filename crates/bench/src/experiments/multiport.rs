@@ -1,0 +1,108 @@
+//! Ablation of the single-port root assumption (§2.3) on the two-site
+//! Table-1 topology: how much would extra root NICs (and a contended WAN)
+//! change the picture?
+
+use gs_gridsim::multiport::{simulate_multiport, MultiportConfig};
+use gs_scatter::ordering::OrderPolicy;
+use gs_scatter::paper::table1_platform;
+use gs_scatter::planner::{Planner, Strategy};
+
+/// Result at one port count.
+#[derive(Debug, Clone)]
+pub struct MultiportRow {
+    /// Number of concurrent root ports.
+    pub ports: usize,
+    /// Makespan without WAN contention.
+    pub makespan_free: f64,
+    /// Makespan with remote transfers serialized on the shared WAN.
+    pub makespan_wan: f64,
+    /// Total pre-receive waiting (the stair area), WAN-free case.
+    pub stair_free: f64,
+}
+
+/// Site of each Table-1 processor by *platform index*: processors 1–8
+/// (dinadan…seven) are at the first site, the eight `leda` CPUs at the
+/// second (§5.1: "at the other end of France").
+pub fn table1_sites() -> Vec<usize> {
+    (0..16).map(|i| usize::from(i >= 8)).collect()
+}
+
+/// Sweeps the root's port count on the balanced Table-1 plan.
+pub fn multiport_ablation(n: usize, ports: &[usize]) -> Vec<MultiportRow> {
+    let platform = table1_platform();
+    let plan = Planner::new(platform.clone())
+        .strategy(Strategy::Heuristic)
+        .order_policy(OrderPolicy::DescendingBandwidth)
+        .plan(n)
+        .unwrap();
+    let view = platform.ordered(&plan.order);
+    let counts = plan.counts_in_order();
+    let sites_by_index = table1_sites();
+    let sites: Vec<usize> = plan.order.iter().map(|&i| sites_by_index[i]).collect();
+
+    ports
+        .iter()
+        .map(|&k| {
+            let free = simulate_multiport(
+                &view,
+                &counts,
+                &MultiportConfig { ports: k, sites: sites.clone(), root_site: 0, wan_serializes: false },
+                &[],
+            );
+            let wan = simulate_multiport(
+                &view,
+                &counts,
+                &MultiportConfig { ports: k, sites: sites.clone(), root_site: 0, wan_serializes: true },
+                &[],
+            );
+            MultiportRow {
+                ports: k,
+                makespan_free: free.makespan(),
+                makespan_wan: wan.makespan(),
+                stair_free: free.comm_start.iter().sum(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_port_matches_planner_prediction() {
+        let platform = table1_platform();
+        let plan = Planner::new(platform)
+            .strategy(Strategy::Heuristic)
+            .plan(100_000)
+            .unwrap();
+        let rows = multiport_ablation(100_000, &[1]);
+        assert!((rows[0].makespan_free - plan.predicted_makespan).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ports_reduce_stair_monotonically() {
+        let rows = multiport_ablation(100_000, &[1, 2, 4, 16]);
+        for w in rows.windows(2) {
+            assert!(w[1].stair_free <= w[0].stair_free + 1e-9);
+            assert!(w[1].makespan_free <= w[0].makespan_free + 1e-9);
+        }
+        // With 16 ports and no WAN, the stair vanishes.
+        assert!(rows.last().unwrap().stair_free < 1e-9);
+    }
+
+    #[test]
+    fn wan_never_helps() {
+        for row in multiport_ablation(50_000, &[1, 4]) {
+            assert!(row.makespan_wan >= row.makespan_free - 1e-9, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn table1_sites_split_8_8() {
+        let sites = table1_sites();
+        assert_eq!(sites.iter().filter(|&&s| s == 0).count(), 8);
+        assert_eq!(sites.iter().filter(|&&s| s == 1).count(), 8);
+        assert_eq!(sites[0], 0, "dinadan at the root site");
+    }
+}

@@ -1,0 +1,172 @@
+//! Ordering-policy study (§4.3–4.4, Theorem 3): on random linear
+//! platforms, compare descending bandwidth against ascending, random, and
+//! the exhaustive best order.
+//!
+//! Makespans are evaluated with the closed form's exact rational duration
+//! (the rational relaxation is what Theorem 3 speaks about), so "best"
+//! here is exact, not a float artifact.
+
+use gs_scatter::brute::permute;
+use gs_scatter::closed_form::closed_form_from_slopes;
+use gs_scatter::closed_form::LinearSlopes;
+use gs_numeric::Rational;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random linear platform: per-processor `(beta, alpha)` with the root
+/// (beta = 0) last.
+#[derive(Debug, Clone)]
+pub struct RandomPlatform {
+    /// Comm slopes (s/item), index order; last is the root with 0.
+    pub beta: Vec<f64>,
+    /// Comp slopes (s/item).
+    pub alpha: Vec<f64>,
+}
+
+/// Draws a platform with log-uniform heterogeneity.
+pub fn random_platform(p: usize, rng: &mut StdRng) -> RandomPlatform {
+    assert!(p >= 2);
+    let log_uniform = |rng: &mut StdRng, lo: f64, hi: f64| -> f64 {
+        let (l, h) = (lo.ln(), hi.ln());
+        (l + rng.gen_range(0.0..1.0) * (h - l)).exp()
+    };
+    let mut beta: Vec<f64> = (0..p - 1)
+        .map(|_| log_uniform(rng, 1e-6, 3e-4))
+        .collect();
+    beta.push(0.0); // root
+    let alpha: Vec<f64> = (0..p).map(|_| log_uniform(rng, 2e-3, 3e-2)).collect();
+    RandomPlatform { beta, alpha }
+}
+
+/// Exact rational makespan of the closed form for one ordering of the
+/// non-root processors (`perm` are indices into the platform, root
+/// appended automatically).
+fn duration_for_order(plat: &RandomPlatform, perm: &[usize], n: usize) -> Rational {
+    let p = plat.beta.len();
+    let mut beta = Vec::with_capacity(p);
+    let mut alpha = Vec::with_capacity(p);
+    for &i in perm {
+        beta.push(Rational::from_f64(plat.beta[i]).unwrap());
+        alpha.push(Rational::from_f64(plat.alpha[i]).unwrap());
+    }
+    beta.push(Rational::from_f64(plat.beta[p - 1]).unwrap());
+    alpha.push(Rational::from_f64(plat.alpha[p - 1]).unwrap());
+    let slopes = LinearSlopes { beta, alpha };
+    closed_form_from_slopes(&slopes, n).unwrap().duration
+}
+
+/// Aggregate results over many random platforms.
+#[derive(Debug, Clone)]
+pub struct OrderingStudy {
+    /// Number of platforms tried.
+    pub trials: usize,
+    /// How often descending bandwidth achieved the exhaustive optimum.
+    pub desc_optimal: usize,
+    /// Mean relative gap of each policy to the exhaustive best.
+    pub mean_gap_desc: f64,
+    /// Mean gap, ascending bandwidth.
+    pub mean_gap_asc: f64,
+    /// Mean gap, random order.
+    pub mean_gap_random: f64,
+    /// Worst observed ascending-order gap (how bad the §5.2 control can
+    /// get).
+    pub worst_gap_asc: f64,
+}
+
+/// Runs the study: `trials` random platforms with `p` processors and `n`
+/// items, exhaustive search over the `(p-1)!` orders.
+pub fn ordering_study(trials: usize, p: usize, n: usize, seed: u64) -> OrderingStudy {
+    assert!((2..=8).contains(&p), "exhaustive search needs small p");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut desc_optimal = 0usize;
+    let (mut gap_d, mut gap_a, mut gap_r) = (0.0f64, 0.0f64, 0.0f64);
+    let mut worst_asc = 0.0f64;
+
+    for _ in 0..trials {
+        let plat = random_platform(p, &mut rng);
+        let root = p - 1;
+        let others: Vec<usize> = (0..root).collect();
+
+        // Exhaustive best (exact rationals).
+        let mut best: Option<Rational> = None;
+        permute(&mut others.clone(), 0, &mut |perm: &[usize]| {
+            let d = duration_for_order(&plat, perm, n);
+            if best.as_ref().is_none_or(|b| d < *b) {
+                best = Some(d);
+            }
+        });
+        let best = best.unwrap();
+
+        // Policies.
+        let by_beta = |asc: bool| -> Vec<usize> {
+            let mut v = others.clone();
+            v.sort_by(|&a, &b| {
+                let o = plat.beta[a].partial_cmp(&plat.beta[b]).unwrap();
+                if asc {
+                    o
+                } else {
+                    o.reverse()
+                }
+            });
+            v
+        };
+        let desc = duration_for_order(&plat, &by_beta(true), n); // ascending beta = descending bandwidth
+        let asc = duration_for_order(&plat, &by_beta(false), n);
+        let mut shuffled = others.clone();
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            shuffled.swap(i, j);
+        }
+        let random = duration_for_order(&plat, &shuffled, n);
+
+        if desc == best {
+            desc_optimal += 1;
+        }
+        let gap = |d: &Rational| ((d - &best) / &best).to_f64();
+        gap_d += gap(&desc);
+        let ga = gap(&asc);
+        gap_a += ga;
+        worst_asc = worst_asc.max(ga);
+        gap_r += gap(&random);
+    }
+
+    OrderingStudy {
+        trials,
+        desc_optimal,
+        mean_gap_desc: gap_d / trials as f64,
+        mean_gap_asc: gap_a / trials as f64,
+        mean_gap_random: gap_r / trials as f64,
+        worst_gap_asc: worst_asc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descending_is_always_optimal_in_rationals() {
+        // Theorem 3 says it must be, for linear costs in rationals.
+        let study = ordering_study(25, 5, 10_000, 42);
+        assert_eq!(study.desc_optimal, study.trials, "{study:?}");
+        assert!(study.mean_gap_desc.abs() < 1e-12);
+    }
+
+    #[test]
+    fn ascending_and_random_are_worse() {
+        let study = ordering_study(25, 5, 10_000, 7);
+        assert!(study.mean_gap_asc > 0.0);
+        assert!(study.mean_gap_random >= 0.0);
+        assert!(study.mean_gap_asc >= study.mean_gap_random * 0.5);
+    }
+
+    #[test]
+    fn random_platform_is_valid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let plat = random_platform(6, &mut rng);
+        assert_eq!(plat.beta.len(), 6);
+        assert_eq!(*plat.beta.last().unwrap(), 0.0);
+        assert!(plat.beta[..5].iter().all(|&b| b > 0.0));
+        assert!(plat.alpha.iter().all(|&a| a > 0.0));
+    }
+}

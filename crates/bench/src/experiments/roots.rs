@@ -1,0 +1,67 @@
+//! Root-selection experiment (§3.4) on the Table-1 grid.
+//!
+//! The data set lives on `dinadan` (the paper's setup). Moving it to
+//! another candidate root costs `n · β_candidate` seconds over that
+//! candidate's link; the §3.4 rule weighs this against the balanced
+//! makespan achievable with the candidate as root.
+
+use gs_scatter::ordering::OrderPolicy;
+use gs_scatter::paper::{table1_platform, table1_rows};
+use gs_scatter::planner::Strategy;
+use gs_scatter::root::{select_root, RootChoice};
+
+/// Runs root selection for `n` items with the data initially on
+/// `dinadan`.
+pub fn root_selection(n: usize) -> RootChoice {
+    let platform = table1_platform();
+    // Transfer cost from dinadan to candidate r: the data crosses r's
+    // link once (β is measured from dinadan, the data host).
+    let transfer: Vec<f64> = table1_rows().iter().map(|r| r.beta * n as f64).collect();
+    select_root(
+        &platform,
+        &transfer,
+        n,
+        Strategy::Heuristic,
+        OrderPolicy::DescendingBandwidth,
+    )
+    .expect("Table-1 platform plans cleanly")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluates_all_sixteen_candidates() {
+        let choice = root_selection(20_000);
+        assert_eq!(choice.candidates.len(), 16);
+    }
+
+    #[test]
+    fn totals_are_transfer_plus_makespan() {
+        let choice = root_selection(10_000);
+        for c in &choice.candidates {
+            assert!((c.total - (c.transfer + c.makespan)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn winner_minimizes_total() {
+        let choice = root_selection(10_000);
+        let min = choice
+            .candidates
+            .iter()
+            .map(|c| c.total)
+            .fold(f64::INFINITY, f64::min);
+        assert!((choice.total_time - min).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dinadan_pays_no_transfer() {
+        let choice = root_selection(50_000);
+        assert_eq!(choice.candidates[0].transfer, 0.0, "data host is candidate 0");
+        // merlin's transfer is the most expensive per item.
+        let merlin = &choice.candidates[4];
+        assert!(merlin.transfer > choice.candidates[1].transfer);
+    }
+}

@@ -1,0 +1,167 @@
+//! §5.2 algorithm-cost comparison: Algorithm 1 vs Algorithm 2 vs the LP
+//! heuristic (paper: > 2 days vs 6 minutes vs "instantaneous" at
+//! n = 817,101), and the heuristic's relative error (< 6·10⁻⁶).
+
+use std::time::Instant;
+
+use gs_scatter::closed_form::closed_form_distribution;
+use gs_scatter::dp_basic::optimal_distribution_basic;
+use gs_scatter::dp_optimized::optimal_distribution;
+use gs_scatter::heuristic::heuristic_distribution;
+use gs_scatter::ordering::{scatter_order, OrderPolicy};
+use gs_scatter::paper::table1_platform;
+
+/// Measured solver runtimes at one problem size.
+#[derive(Debug, Clone)]
+pub struct RuntimeRow {
+    /// Problem size (items).
+    pub n: usize,
+    /// Algorithm 1 wall time, seconds (`None` above the cap — it is
+    /// quadratic and the paper itself gave up after two days).
+    pub basic: Option<f64>,
+    /// Algorithm 2 wall time, seconds.
+    pub optimized: f64,
+    /// LP heuristic wall time, seconds.
+    pub heuristic: f64,
+    /// Closed-form wall time, seconds.
+    pub closed_form: f64,
+}
+
+/// Times the four solvers on the Table-1 platform over a size sweep.
+/// `basic_cap` bounds the sizes at which the quadratic Algorithm 1 runs.
+pub fn algo_runtimes(ns: &[usize], basic_cap: usize) -> Vec<RuntimeRow> {
+    let platform = table1_platform();
+    let order = scatter_order(&platform, OrderPolicy::DescendingBandwidth);
+    let view = platform.ordered(&order);
+    ns.iter()
+        .map(|&n| {
+            let basic = (n <= basic_cap).then(|| {
+                let t = Instant::now();
+                let s = optimal_distribution_basic(&view, n).unwrap();
+                assert_eq!(s.counts.iter().sum::<usize>(), n);
+                t.elapsed().as_secs_f64()
+            });
+            let t = Instant::now();
+            let s = optimal_distribution(&view, n).unwrap();
+            assert_eq!(s.counts.iter().sum::<usize>(), n);
+            let optimized = t.elapsed().as_secs_f64();
+
+            let t = Instant::now();
+            let h = heuristic_distribution(&view, n).unwrap();
+            assert_eq!(h.counts.iter().sum::<usize>(), n);
+            let heuristic = t.elapsed().as_secs_f64();
+
+            let t = Instant::now();
+            let c = closed_form_distribution(&view, n).unwrap();
+            assert_eq!(c.counts.iter().sum::<usize>(), n);
+            let closed_form = t.elapsed().as_secs_f64();
+
+            RuntimeRow { n, basic, optimized, heuristic, closed_form }
+        })
+        .collect()
+}
+
+/// Quadratic extrapolation of Algorithm 1's cost to a target size, from
+/// the largest measured point (the paper could only *bound* it: "more
+/// than two days of work (we interrupted it before its completion)").
+pub fn extrapolate_quadratic(rows: &[RuntimeRow], target_n: usize) -> Option<f64> {
+    rows.iter()
+        .rev()
+        .find_map(|r| r.basic.map(|t| (r.n, t)))
+        .map(|(n, t)| t * (target_n as f64 / n as f64).powi(2))
+}
+
+/// Heuristic-vs-optimal quality at one size.
+#[derive(Debug, Clone)]
+pub struct ErrorRow {
+    /// Problem size.
+    pub n: usize,
+    /// Optimal integer makespan (Algorithm 2).
+    pub optimal: f64,
+    /// Heuristic makespan after rounding.
+    pub heuristic: f64,
+    /// `(heuristic − optimal) / optimal`.
+    pub rel_error: f64,
+    /// The Eq. (4) guarantee bound.
+    pub bound: f64,
+    /// Whether `heuristic <= bound` (must always hold).
+    pub within_bound: bool,
+}
+
+/// Measures the §5.2 heuristic error across problem sizes.
+pub fn heuristic_error(ns: &[usize]) -> Vec<ErrorRow> {
+    let platform = table1_platform();
+    let order = scatter_order(&platform, OrderPolicy::DescendingBandwidth);
+    let view = platform.ordered(&order);
+    ns.iter()
+        .map(|&n| {
+            let exact = optimal_distribution(&view, n).unwrap();
+            let h = heuristic_distribution(&view, n).unwrap();
+            let rel_error = (h.makespan - exact.makespan) / exact.makespan;
+            ErrorRow {
+                n,
+                optimal: exact.makespan,
+                heuristic: h.makespan,
+                rel_error,
+                bound: h.guarantee_bound,
+                within_bound: h.makespan <= h.guarantee_bound + 1e-9,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimized_beats_basic_at_scale() {
+        let rows = algo_runtimes(&[2000], 2000);
+        let r = &rows[0];
+        assert!(
+            r.optimized < r.basic.unwrap(),
+            "Algorithm 2 ({}) must beat Algorithm 1 ({})",
+            r.optimized,
+            r.basic.unwrap()
+        );
+    }
+
+    #[test]
+    fn basic_capped() {
+        let rows = algo_runtimes(&[100, 500], 200);
+        assert!(rows[0].basic.is_some());
+        assert!(rows[1].basic.is_none());
+    }
+
+    #[test]
+    fn extrapolation_is_quadratic() {
+        let rows = vec![RuntimeRow {
+            n: 1000,
+            basic: Some(2.0),
+            optimized: 0.1,
+            heuristic: 0.01,
+            closed_form: 0.001,
+        }];
+        assert_eq!(extrapolate_quadratic(&rows, 2000), Some(8.0));
+        assert_eq!(extrapolate_quadratic(&[], 10), None);
+    }
+
+    #[test]
+    fn heuristic_error_tiny_and_bounded() {
+        let rows = heuristic_error(&[1000, 5000]);
+        for r in rows {
+            assert!(r.rel_error >= -1e-12, "cannot beat the optimum");
+            // Eq. (4): the absolute gap is at most one item's comm on every
+            // link plus one item's compute, so the relative error shrinks
+            // like 1/n. At n = 1000 that is still ~1e-2 territory.
+            assert!(r.rel_error < 1e-2, "n={}: rel error {}", r.n, r.rel_error);
+            assert!(r.within_bound);
+        }
+    }
+
+    #[test]
+    fn error_shrinks_with_n() {
+        let rows = heuristic_error(&[200, 20_000]);
+        assert!(rows[1].rel_error <= rows[0].rel_error + 1e-9);
+    }
+}

@@ -1,0 +1,74 @@
+//! End-to-end reproduction of the §2.2 application on the emulated grid:
+//! uniform scatter (the original program) vs the balanced scatterv, real
+//! ray tracing, virtual-time schedule.
+
+use gs_scatter::ordering::OrderPolicy;
+use gs_scatter::paper::table1_platform;
+use gs_scatter::planner::Strategy;
+use gs_seismic::{run_tomography, TomoConfig, TomoReport};
+
+/// Uniform-vs-balanced end-to-end comparison.
+#[derive(Debug)]
+pub struct TomoComparison {
+    /// The original program (uniform scatter).
+    pub uniform: TomoReport,
+    /// The transformed program (balanced scatterv).
+    pub balanced: TomoReport,
+    /// `uniform.virtual_makespan / balanced.virtual_makespan`.
+    pub speedup: f64,
+}
+
+/// Runs both variants on the Table-1 grid with `n_rays` synthetic rays.
+pub fn tomo_e2e(n_rays: usize, seed: u64) -> TomoComparison {
+    let base = TomoConfig {
+        platform: table1_platform(),
+        strategy: Strategy::Uniform,
+        policy: OrderPolicy::DescendingBandwidth,
+        n_rays,
+        seed,
+    };
+    let uniform = run_tomography(&base).expect("uniform plan");
+    let balanced = run_tomography(&TomoConfig { strategy: Strategy::Heuristic, ..base })
+        .expect("balanced plan");
+    let speedup = uniform.virtual_makespan / balanced.virtual_makespan;
+    TomoComparison { uniform, balanced, speedup }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_halves_the_makespan() {
+        // The paper's headline: "the total execution duration is
+        // approximately half the duration of the first experiment".
+        let cmp = tomo_e2e(2_000, 1);
+        assert!(
+            cmp.speedup > 1.6 && cmp.speedup < 2.6,
+            "speedup {} outside the paper's shape",
+            cmp.speedup
+        );
+    }
+
+    #[test]
+    fn same_physics_either_way() {
+        let cmp = tomo_e2e(1_000, 2);
+        let rel = (cmp.uniform.checksum - cmp.balanced.checksum).abs() / cmp.uniform.checksum;
+        assert!(rel < 1e-9, "checksums diverge: {rel}");
+        assert_eq!(cmp.uniform.rays_traced, 1_000);
+        assert_eq!(cmp.balanced.rays_traced, 1_000);
+    }
+
+    #[test]
+    fn balanced_run_is_balanced() {
+        let cmp = tomo_e2e(2_000, 3);
+        let min = cmp
+            .balanced
+            .virtual_finish
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let max = cmp.balanced.virtual_makespan;
+        assert!((max - min) / max < 0.12, "imbalance {}", (max - min) / max);
+    }
+}

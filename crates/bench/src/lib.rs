@@ -1,0 +1,28 @@
+//! # gs-bench — the experiment harness
+//!
+//! One module (and one binary) per table/figure of the paper, plus the
+//! ablations DESIGN.md calls out. Every experiment is a library function
+//! returning a typed summary — the binaries print, the integration tests
+//! assert the *shapes* the paper reports (who wins, by what factor, where
+//! the crossovers are).
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 (testbed) |
+//! | `fig1_stair` | Fig. 1 (stair effect) |
+//! | `fig2_uniform` | Fig. 2 (uniform distribution) |
+//! | `fig3_balanced` | Fig. 3 (balanced, descending bandwidth) |
+//! | `fig4_ascending` | Fig. 4 (balanced, ascending bandwidth) |
+//! | `algo_runtimes` | §5.2 "2 days / 6 minutes / instantaneous" |
+//! | `heuristic_error` | §5.2 "relative error < 6·10⁻⁶" |
+//! | `ordering_study` | §4.3/§4.4 ordering-policy ablation |
+//! | `root_selection` | §3.4 root choice |
+//! | `strategy_ablation` | exact vs heuristic vs closed-form vs uniform |
+//! | `tomo_e2e` | §2.2 application end-to-end on the emulated grid |
+//! | `run_all` | everything above, in sequence |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod util;

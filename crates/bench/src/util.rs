@@ -1,0 +1,68 @@
+//! Small shared helpers for the experiment binaries.
+
+/// Parses `--rays N` / `--seed N`-style `u64` flags from `std::env::args`,
+/// falling back to `default`.
+pub fn arg_u64(flag: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == flag {
+            return w[1]
+                .parse()
+                .unwrap_or_else(|_| panic!("{flag} expects an integer, got {}", w[1]));
+        }
+    }
+    default
+}
+
+/// `usize` variant of [`arg_u64`].
+pub fn arg_usize(flag: &str, default: usize) -> usize {
+    arg_u64(flag, default as u64) as usize
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} {}", "=".repeat(66usize.saturating_sub(title.len())));
+}
+
+/// Formats seconds compactly (`1.23 s`, `45 ms`, `6.7 µs`).
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.2} µs", s * 1e6)
+    } else {
+        format!("{:.0} ns", s * 1e9)
+    }
+}
+
+/// Relative difference `(a - b) / b`.
+pub fn rel_diff(a: f64, b: f64) -> f64 {
+    (a - b) / b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_secs_ranges() {
+        assert_eq!(fmt_secs(2.5), "2.50 s");
+        assert_eq!(fmt_secs(0.0042), "4.20 ms");
+        assert_eq!(fmt_secs(3.1e-6), "3.10 µs");
+        assert_eq!(fmt_secs(5e-8), "50 ns");
+    }
+
+    #[test]
+    fn rel_diff_signs() {
+        assert_eq!(rel_diff(11.0, 10.0), 0.1);
+        assert_eq!(rel_diff(9.0, 10.0), -0.1);
+    }
+
+    #[test]
+    fn arg_defaults_without_flag() {
+        assert_eq!(arg_u64("--definitely-not-passed", 7), 7);
+        assert_eq!(arg_usize("--nope", 9), 9);
+    }
+}

@@ -1,0 +1,241 @@
+//! The `gs` subcommands, exposed as library functions so tests can drive
+//! them without spawning processes. Each returns the text it would print.
+
+use gs_gridsim::chart::{figure_rows, render_figure, summary_line};
+use gs_gridsim::export::to_csv;
+use gs_gridsim::sim::simulate_plan;
+use gs_scatter::cost::Platform;
+use gs_scatter::ordering::OrderPolicy;
+use gs_scatter::planner::{Plan, Planner, Strategy};
+use gs_transform::{emit_plan_arrays, transform_source, CodegenOptions};
+
+use crate::platform_file::{parse_platform, render_platform};
+use crate::CliError;
+
+/// Options shared by the planning-based subcommands.
+#[derive(Debug, Clone)]
+pub struct PlanOptions {
+    /// Items to distribute.
+    pub items: usize,
+    /// Strategy name (`uniform`, `exact`, `exact-basic`, `heuristic`,
+    /// `closed-form`).
+    pub strategy: String,
+    /// Ordering name (`desc`, `asc`, `as-is`, `cpu`).
+    pub order: String,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions {
+            items: 0,
+            strategy: "heuristic".into(),
+            order: "desc".into(),
+        }
+    }
+}
+
+fn parse_strategy(s: &str) -> Result<Strategy, CliError> {
+    Ok(match s {
+        "uniform" => Strategy::Uniform,
+        "exact" => Strategy::Exact,
+        "exact-basic" => Strategy::ExactBasic,
+        "heuristic" => Strategy::Heuristic,
+        "closed-form" => Strategy::ClosedForm,
+        other => {
+            return Err(CliError(format!(
+                "unknown strategy `{other}` (try uniform|exact|exact-basic|heuristic|closed-form)"
+            )))
+        }
+    })
+}
+
+fn parse_order(s: &str) -> Result<OrderPolicy, CliError> {
+    Ok(match s {
+        "desc" => OrderPolicy::DescendingBandwidth,
+        "asc" => OrderPolicy::AscendingBandwidth,
+        "as-is" => OrderPolicy::AsIs,
+        "cpu" => OrderPolicy::FastestCpuFirst,
+        other => {
+            return Err(CliError(format!(
+                "unknown order `{other}` (try desc|asc|as-is|cpu)"
+            )))
+        }
+    })
+}
+
+fn make_plan(platform: &Platform, opts: &PlanOptions) -> Result<Plan, CliError> {
+    if opts.items == 0 {
+        return Err(CliError("--items must be given (and positive)".into()));
+    }
+    Ok(Planner::new(platform.clone())
+        .strategy(parse_strategy(&opts.strategy)?)
+        .order_policy(parse_order(&opts.order)?)
+        .plan(opts.items)?)
+}
+
+/// `gs plan`: prints the distribution and predicted schedule
+/// (optionally as a C block with `emit_c`).
+pub fn cmd_plan(platform_text: &str, opts: &PlanOptions, emit_c: bool) -> Result<String, CliError> {
+    let platform = parse_platform(platform_text)?;
+    let plan = make_plan(&platform, opts)?;
+    if emit_c {
+        return Ok(emit_plan_arrays(&plan, &CodegenOptions::default()));
+    }
+    let mut out = format!(
+        "plan: {} items over {} processors ({} strategy, {} order)\n",
+        opts.items,
+        platform.len(),
+        opts.strategy,
+        opts.order
+    );
+    out.push_str(&format!(
+        "{:<14} {:>10} {:>10} {:>12}\n",
+        "processor", "count", "displ", "finish (s)"
+    ));
+    for (pos, &idx) in plan.order.iter().enumerate() {
+        out.push_str(&format!(
+            "{:<14} {:>10} {:>10} {:>12.2}\n",
+            platform.procs()[idx].name,
+            plan.counts[idx],
+            plan.displs[idx],
+            plan.predicted.finish[pos],
+        ));
+    }
+    out.push_str(&format!("predicted makespan: {:.3} s\n", plan.predicted_makespan));
+    Ok(out)
+}
+
+/// `gs simulate`: runs the DES and renders a Figs.-2–4-style chart; when
+/// `csv` is set, returns machine-readable CSV instead.
+pub fn cmd_simulate(
+    platform_text: &str,
+    opts: &PlanOptions,
+    width: usize,
+    csv: bool,
+) -> Result<String, CliError> {
+    let platform = parse_platform(platform_text)?;
+    let plan = make_plan(&platform, opts)?;
+    let sim = simulate_plan(&platform, &plan, &[]);
+    let names: Vec<&str> = plan
+        .order
+        .iter()
+        .map(|&i| platform.procs()[i].name.as_str())
+        .collect();
+    let counts = plan.counts_in_order();
+    if csv {
+        return Ok(to_csv(&names, &counts, &sim.timeline));
+    }
+    let rows = figure_rows(&names, &counts, &sim.timeline);
+    let mut out = render_figure(
+        &format!("simulated scatter of {} items", opts.items),
+        &rows,
+        width,
+    );
+    out.push_str(&format!("{}\n", summary_line(&rows)));
+    Ok(out)
+}
+
+/// `gs transform`: rewrites `MPI_Scatter` calls in `c_source` and
+/// prepends the generated arrays.
+pub fn cmd_transform(
+    c_source: &str,
+    platform_text: &str,
+    opts: &PlanOptions,
+) -> Result<String, CliError> {
+    let platform = parse_platform(platform_text)?;
+    let plan = make_plan(&platform, opts)?;
+    let report = transform_source(c_source);
+    if report.rewrites.is_empty() {
+        return Err(CliError("no MPI_Scatter call sites found".into()));
+    }
+    let block = emit_plan_arrays(&plan, &CodegenOptions::default());
+    Ok(format!("{block}\n{}", report.source))
+}
+
+/// `gs table1`: the paper's testbed in platform-file format.
+pub fn cmd_table1() -> String {
+    render_platform(&gs_scatter::paper::table1_platform())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PLATFORM: &str = "proc root beta=0 alpha=0.01\nproc w1 beta=1e-4 alpha=0.004\nproc w2 beta=2e-4 alpha=0.016\nroot root\n";
+
+    fn opts(items: usize) -> PlanOptions {
+        PlanOptions { items, ..Default::default() }
+    }
+
+    #[test]
+    fn plan_prints_counts() {
+        let out = cmd_plan(PLATFORM, &opts(1000), false).unwrap();
+        assert!(out.contains("predicted makespan"));
+        assert!(out.contains("w1"));
+        // Counts sum: extract column 2.
+        let sum: usize = out
+            .lines()
+            .skip(2)
+            .take(3)
+            .map(|l| l.split_whitespace().nth(1).unwrap().parse::<usize>().unwrap())
+            .sum();
+        assert_eq!(sum, 1000);
+    }
+
+    #[test]
+    fn plan_emit_c() {
+        let out = cmd_plan(PLATFORM, &opts(1000), true).unwrap();
+        assert!(out.contains("static const int gs_counts[3]"));
+    }
+
+    #[test]
+    fn simulate_renders_and_csvs() {
+        let text = cmd_simulate(PLATFORM, &opts(500), 40, false).unwrap();
+        assert!(text.contains('#'));
+        assert!(text.contains("earliest finish"));
+        let csv = cmd_simulate(PLATFORM, &opts(500), 40, true).unwrap();
+        assert!(csv.starts_with("pos,name,data,"));
+        assert_eq!(csv.lines().count(), 4);
+    }
+
+    #[test]
+    fn transform_combines_block_and_source() {
+        let src = "MPI_Scatter(a, n/P, T, b, n/P, T, 0, MPI_COMM_WORLD);";
+        let out = cmd_transform(src, PLATFORM, &opts(1000)).unwrap();
+        assert!(out.contains("gs_counts[3]"));
+        assert!(out.contains("MPI_Scatterv(a, gs_counts"));
+    }
+
+    #[test]
+    fn transform_without_call_sites_errors() {
+        assert!(cmd_transform("int main(){}", PLATFORM, &opts(10)).is_err());
+    }
+
+    #[test]
+    fn bad_strategy_and_order_error() {
+        let mut o = opts(10);
+        o.strategy = "magic".into();
+        assert!(cmd_plan(PLATFORM, &o, false).is_err());
+        let mut o = opts(10);
+        o.order = "zigzag".into();
+        assert!(cmd_plan(PLATFORM, &o, false).is_err());
+        assert!(cmd_plan(PLATFORM, &opts(0), false).is_err());
+    }
+
+    #[test]
+    fn every_strategy_name_parses() {
+        for s in ["uniform", "exact", "exact-basic", "heuristic", "closed-form"] {
+            let mut o = opts(100);
+            o.strategy = s.into();
+            assert!(cmd_plan(PLATFORM, &o, false).is_ok(), "{s}");
+        }
+    }
+
+    #[test]
+    fn table1_output_reparses() {
+        let text = cmd_table1();
+        let plan = cmd_plan(&text, &opts(817_101), false).unwrap();
+        assert!(plan.contains("dinadan"));
+        assert!(plan.contains("leda"));
+    }
+}

@@ -1,0 +1,103 @@
+//! The `gs` binary: argument parsing and dispatch (logic lives in the
+//! library so it is testable).
+
+use std::process::ExitCode;
+
+use gs_cli::commands::{cmd_plan, cmd_simulate, cmd_table1, cmd_transform, PlanOptions};
+use gs_cli::CliError;
+
+const USAGE: &str = "\
+gs — load-balanced scatter planning (Genaud/Giersch/Vivien, IPPS 2003)
+
+USAGE:
+  gs table1                                     print the paper's testbed as a platform file
+  gs plan <platform> --items N [opts]           compute a distribution
+  gs plan <platform> --items N --emit-c         ... as C arrays for MPI_Scatterv
+  gs simulate <platform> --items N [opts]       simulate and render the schedule
+  gs simulate <platform> --items N --csv        ... as CSV
+  gs transform <file.c> <platform> --items N    rewrite MPI_Scatter call sites
+
+OPTIONS:
+  --items N          number of data items (required for plan/simulate/transform)
+  --strategy S       uniform | exact | exact-basic | heuristic (default) | closed-form
+  --order O          desc (default) | asc | as-is | cpu
+  --width W          chart width for simulate (default 60)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("gs: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, CliError> {
+    let mut positional = Vec::new();
+    let mut opts = PlanOptions::default();
+    let mut emit_c = false;
+    let mut csv = false;
+    let mut width = 60usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--items" => {
+                opts.items = next_value(args, &mut i)?.parse().map_err(|_| bad("--items"))?;
+            }
+            "--strategy" => opts.strategy = next_value(args, &mut i)?,
+            "--order" => opts.order = next_value(args, &mut i)?,
+            "--width" => width = next_value(args, &mut i)?.parse().map_err(|_| bad("--width"))?,
+            "--emit-c" => emit_c = true,
+            "--csv" => csv = true,
+            "--help" | "-h" => return Ok(USAGE.to_string()),
+            flag if flag.starts_with("--") => {
+                return Err(CliError(format!("unknown flag `{flag}`")))
+            }
+            word => positional.push(word.to_string()),
+        }
+        i += 1;
+    }
+
+    let command = positional.first().map(String::as_str).unwrap_or("");
+    match command {
+        "table1" => Ok(cmd_table1()),
+        "plan" => {
+            let platform = read_file(positional.get(1))?;
+            cmd_plan(&platform, &opts, emit_c)
+        }
+        "simulate" => {
+            let platform = read_file(positional.get(1))?;
+            cmd_simulate(&platform, &opts, width, csv)
+        }
+        "transform" => {
+            let source = read_file(positional.get(1))?;
+            let platform = read_file(positional.get(2))?;
+            cmd_transform(&source, &platform, &opts)
+        }
+        "" => Err(CliError("no command given".into())),
+        other => Err(CliError(format!("unknown command `{other}`"))),
+    }
+}
+
+fn next_value(args: &[String], i: &mut usize) -> Result<String, CliError> {
+    *i += 1;
+    args.get(*i)
+        .cloned()
+        .ok_or_else(|| CliError(format!("{} needs a value", args[*i - 1])))
+}
+
+fn bad(flag: &str) -> CliError {
+    CliError(format!("{flag} expects a number"))
+}
+
+fn read_file(path: Option<&String>) -> Result<String, CliError> {
+    let path = path.ok_or_else(|| CliError("missing file argument".into()))?;
+    Ok(std::fs::read_to_string(path)?)
+}

@@ -1,0 +1,235 @@
+//! Algorithm 1 of the paper: exact optimal distribution by dynamic
+//! programming, for arbitrary non-negative cost functions.
+//!
+//! Recurrence: the time to process `d` items on processors `i..p` is
+//!
+//! ```text
+//! cost[d, i] = min_{0 <= e <= d}  Tcomm(i, e) + max(Tcomp(i, e), cost[d-e, i+1])
+//! cost[d, p] = Tcomm(p, d) + Tcomp(p, d)
+//! ```
+//!
+//! Complexity `O(p·n²)` time, `O(p·n)` space (one `f64` column is kept per
+//! suffix, plus a `u32` choice table for reconstruction). The paper reports
+//! this takes **more than two days** for `n = 817,101`, `p = 16` — use
+//! [`crate::dp_optimized`] (Algorithm 2) or the LP heuristic for large `n`.
+//!
+//! Note on the paper's pseudo-code: Algorithm 1 as printed updates
+//! `solution[d, i]`/`cost[d, i]` *inside* the inner `e`-loop (lines 17–18);
+//! the intended placement — used here — is after the loop.
+
+use crate::cost::Processor;
+use crate::error::PlanError;
+
+/// Result of an exact DP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpSolution {
+    /// Optimal counts, in scatter order (same order as the input slice).
+    pub counts: Vec<usize>,
+    /// The optimal makespan (Eq. 2) of `counts`.
+    pub makespan: f64,
+}
+
+/// Pre-evaluates a cost function on `0..=n` (the DPs probe each size many
+/// times; `Custom` closures may be arbitrarily expensive).
+pub(crate) fn tabulate(f: &crate::cost::CostFn, n: usize) -> Vec<f64> {
+    (0..=n).map(|x| f.eval(x)).collect()
+}
+
+pub(crate) fn validate_procs(procs: &[&Processor], n: usize) -> Result<(), PlanError> {
+    if procs.is_empty() {
+        return Err(PlanError::InvalidPlatform("no processors".into()));
+    }
+    for (i, p) in procs.iter().enumerate() {
+        p.validate(i, n)?;
+    }
+    Ok(())
+}
+
+/// Computes an optimal distribution of `n` items over `procs` (in scatter
+/// order, root last) — Algorithm 1.
+///
+/// Only requires the cost functions to be non-negative. Runs in
+/// `O(p·n²)`; prefer [`crate::dp_optimized::optimal_distribution`] when the
+/// cost functions are non-decreasing.
+pub fn optimal_distribution_basic(
+    procs: &[&Processor],
+    n: usize,
+) -> Result<DpSolution, PlanError> {
+    validate_procs(procs, n)?;
+    let p = procs.len();
+    assert!(n <= u32::MAX as usize, "item count must fit u32");
+
+    // choice[d * p + i]: items given to processor i when d items remain.
+    let mut choice = vec![0u32; (n + 1) * p];
+
+    // Base case: the last processor (the root) takes everything that is left.
+    let comm_last = tabulate(&procs[p - 1].comm, n);
+    let comp_last = tabulate(&procs[p - 1].comp, n);
+    let mut cost: Vec<f64> = (0..=n).map(|d| comm_last[d] + comp_last[d]).collect();
+    for d in 0..=n {
+        choice[d * p + (p - 1)] = d as u32;
+    }
+
+    for i in (0..p - 1).rev() {
+        let comm = tabulate(&procs[i].comm, n);
+        let comp = tabulate(&procs[i].comp, n);
+        let mut new_cost = vec![0.0f64; n + 1];
+        for d in 0..=n {
+            let mut best_e = 0usize;
+            let mut best = f64::INFINITY;
+            for e in 0..=d {
+                let m = comm[e] + f64::max(comp[e], cost[d - e]);
+                if m < best {
+                    best = m;
+                    best_e = e;
+                }
+            }
+            new_cost[d] = best;
+            choice[d * p + i] = best_e as u32;
+        }
+        cost = new_cost;
+    }
+
+    let mut counts = vec![0usize; p];
+    let mut d = n;
+    for i in 0..p {
+        let e = choice[d * p + i] as usize;
+        counts[i] = e;
+        d -= e;
+    }
+    debug_assert_eq!(d, 0, "reconstruction must distribute everything");
+
+    Ok(DpSolution { counts, makespan: cost[n] })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_distribution;
+    use crate::cost::Processor;
+    use crate::distribution::makespan;
+
+    fn view(ps: &[Processor]) -> Vec<&Processor> {
+        ps.iter().collect()
+    }
+
+    #[test]
+    fn single_processor_takes_all() {
+        let ps = vec![Processor::linear("root", 0.0, 2.0)];
+        let sol = optimal_distribution_basic(&view(&ps), 10).unwrap();
+        assert_eq!(sol.counts, vec![10]);
+        assert_eq!(sol.makespan, 20.0);
+    }
+
+    #[test]
+    fn zero_items() {
+        let ps = vec![
+            Processor::linear("a", 1.0, 1.0),
+            Processor::linear("root", 0.0, 1.0),
+        ];
+        let sol = optimal_distribution_basic(&view(&ps), 0).unwrap();
+        assert_eq!(sol.counts, vec![0, 0]);
+        assert_eq!(sol.makespan, 0.0);
+    }
+
+    #[test]
+    fn homogeneous_splits_evenly_without_comm() {
+        // Free communication, equal CPUs: even split is optimal.
+        let ps = vec![
+            Processor::linear("a", 0.0, 1.0),
+            Processor::linear("b", 0.0, 1.0),
+            Processor::linear("root", 0.0, 1.0),
+        ];
+        let sol = optimal_distribution_basic(&view(&ps), 9).unwrap();
+        assert_eq!(sol.counts.iter().sum::<usize>(), 9);
+        assert_eq!(sol.makespan, 3.0);
+        assert!(sol.counts.iter().all(|&c| c == 3));
+    }
+
+    #[test]
+    fn slow_link_gets_nothing_when_prohibitive() {
+        // Sending one item to `far` costs more than computing everything
+        // on the root.
+        let ps = vec![
+            Processor::linear("far", 1000.0, 0.001),
+            Processor::linear("root", 0.0, 1.0),
+        ];
+        let sol = optimal_distribution_basic(&view(&ps), 5).unwrap();
+        assert_eq!(sol.counts, vec![0, 5]);
+        assert_eq!(sol.makespan, 5.0);
+    }
+
+    #[test]
+    fn matches_brute_force_small() {
+        let ps = vec![
+            Processor::linear("a", 0.5, 2.0),
+            Processor::linear("b", 1.0, 1.0),
+            Processor::linear("root", 0.0, 3.0),
+        ];
+        let v = view(&ps);
+        for n in 0..=12 {
+            let sol = optimal_distribution_basic(&v, n).unwrap();
+            let brute = brute_force_distribution(&v, n);
+            assert!(
+                (sol.makespan - brute.makespan).abs() < 1e-9,
+                "n={n}: dp {} vs brute {}",
+                sol.makespan,
+                brute.makespan
+            );
+            assert!((makespan(&v, &sol.counts) - sol.makespan).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_affine() {
+        let ps = vec![
+            Processor::affine("a", 0.3, 0.5, 0.7, 2.0),
+            Processor::affine("b", 0.1, 1.0, 0.2, 1.0),
+            Processor::affine("root", 0.0, 0.0, 0.0, 3.0),
+        ];
+        let v = view(&ps);
+        for n in [0usize, 1, 5, 10] {
+            let sol = optimal_distribution_basic(&v, n).unwrap();
+            let brute = brute_force_distribution(&v, n);
+            assert!((sol.makespan - brute.makespan).abs() < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn handles_non_monotone_custom_costs() {
+        // A "batched" compute cost: cheap in blocks of 4 (e.g. SIMD width).
+        // Algorithm 1 makes no monotonicity assumption.
+        let batched = |x: usize| x.div_ceil(4) as f64;
+        let ps = vec![
+            Processor::custom("batchy", |x| 0.1 * x as f64, batched),
+            Processor::linear("root", 0.0, 1.0),
+        ];
+        let v = view(&ps);
+        for n in 0..=10 {
+            let sol = optimal_distribution_basic(&v, n).unwrap();
+            let brute = brute_force_distribution(&v, n);
+            assert!((sol.makespan - brute.makespan).abs() < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_costs() {
+        let ps = vec![Processor::custom("bad", |_| -1.0, |x| x as f64)];
+        assert!(matches!(
+            optimal_distribution_basic(&view(&ps), 5),
+            Err(PlanError::InvalidCost { .. })
+        ));
+    }
+
+    #[test]
+    fn counts_sum_preserved() {
+        let ps = vec![
+            Processor::linear("a", 0.1, 0.5),
+            Processor::linear("b", 0.2, 0.25),
+            Processor::linear("c", 0.05, 1.0),
+            Processor::linear("root", 0.0, 0.4),
+        ];
+        let sol = optimal_distribution_basic(&view(&ps), 57).unwrap();
+        assert_eq!(sol.counts.iter().sum::<usize>(), 57);
+    }
+}

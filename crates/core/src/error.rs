@@ -1,0 +1,66 @@
+//! Error types for planning.
+
+use std::fmt;
+
+/// Why a scatter plan could not be produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// A platform needs at least one processor, and the root index must be
+    /// in range.
+    InvalidPlatform(String),
+    /// The chosen strategy requires linear cost functions
+    /// (`Tcomm(i,x) = β·x`, `Tcomp(i,x) = α·x`) but a processor's cost
+    /// function is not linear.
+    NotLinear {
+        /// Index of the offending processor.
+        proc: usize,
+    },
+    /// The chosen strategy requires affine cost functions
+    /// (`a + b·x`) but a processor's cost function is not affine.
+    NotAffine {
+        /// Index of the offending processor.
+        proc: usize,
+    },
+    /// A cost function must be non-decreasing for the optimized DP
+    /// (Algorithm 2) but a decreasing step was detected.
+    NotIncreasing {
+        /// Index of the offending processor.
+        proc: usize,
+    },
+    /// The underlying linear program was infeasible or unbounded — this
+    /// indicates an invalid cost model (e.g. negative coefficients).
+    LpFailed(String),
+    /// A cost function returned a negative or non-finite value.
+    InvalidCost {
+        /// Index of the offending processor.
+        proc: usize,
+        /// Item count at which the invalid value was observed.
+        items: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::InvalidPlatform(msg) => write!(f, "invalid platform: {msg}"),
+            PlanError::NotLinear { proc } => {
+                write!(f, "processor {proc} does not have linear cost functions")
+            }
+            PlanError::NotAffine { proc } => {
+                write!(f, "processor {proc} does not have affine cost functions")
+            }
+            PlanError::NotIncreasing { proc } => {
+                write!(f, "processor {proc} has a decreasing cost function")
+            }
+            PlanError::LpFailed(msg) => write!(f, "linear program failed: {msg}"),
+            PlanError::InvalidCost { proc, items, value } => write!(
+                f,
+                "processor {proc} returned invalid cost {value} for {items} items"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}

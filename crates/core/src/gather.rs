@@ -1,0 +1,283 @@
+//! Extension: planning with the **result gather** included.
+//!
+//! The paper's model stops when every processor finishes computing; the
+//! real application then gathers results back to the root. With a
+//! single-port root on the inbound side too, the gather serializes in the
+//! same processor order, so the true completion time is
+//!
+//! ```text
+//! g_i = max(g_{i-1}, F_i) + Tback(i, n_i)       g_0 = 0
+//! F_i = Σ_{j<=i} Tcomm(j, n_j) + Tcomp(i, n_i)  (Eq. 1)
+//! T   = g_p
+//! ```
+//!
+//! where `Tback(i, x)` is the time to return the results of `x` items.
+//! The `max` makes this non-linear but still LP-representable when all
+//! costs are affine: replace `g_i = max(a, b) + c` by `g_i >= a + c`,
+//! `g_i >= b + c` and minimize `g_p` — the relaxation is tight at the
+//! optimum because `g_p` presses down on every `g_i` through the chain.
+//!
+//! This module provides the evaluator, the LP solver, and tests that the
+//! LP matches brute force on small instances.
+
+use gs_lp::{LpProblem, Sense};
+use gs_numeric::Rational;
+
+use crate::cost::{CostFn, Processor};
+use crate::error::PlanError;
+use crate::rounding::round_shares;
+
+/// A processor together with its result-return cost.
+#[derive(Debug, Clone)]
+pub struct GatherProcessor {
+    /// The forward-path processor (scatter comm + compute).
+    pub proc: Processor,
+    /// `Tback(i, x)`: time to return the results of `x` items to the root.
+    pub back: CostFn,
+}
+
+impl GatherProcessor {
+    /// Wraps a processor with a linear return cost (`gamma` s/item).
+    pub fn with_linear_back(proc: Processor, gamma: f64) -> Self {
+        let back = if gamma == 0.0 {
+            CostFn::Zero
+        } else {
+            CostFn::Linear { slope: gamma }
+        };
+        GatherProcessor { proc, back }
+    }
+}
+
+/// Evaluates the scatter+compute+gather completion time of a distribution
+/// (processors in scatter order, root last; the root's own `back` cost is
+/// normally zero).
+pub fn makespan_with_gather(procs: &[&GatherProcessor], counts: &[usize]) -> f64 {
+    assert_eq!(procs.len(), counts.len());
+    let mut comm_acc = 0.0f64;
+    let mut g = 0.0f64;
+    let mut finishes = Vec::with_capacity(procs.len());
+    for (p, &c) in procs.iter().zip(counts) {
+        comm_acc += p.proc.comm.eval(c);
+        finishes.push(comm_acc + p.proc.comp.eval(c));
+    }
+    for (p, (&c, &f)) in procs.iter().zip(counts.iter().zip(&finishes)) {
+        g = g.max(f) + p.back.eval(c);
+    }
+    g
+}
+
+/// Result of the gather-aware LP heuristic.
+#[derive(Debug, Clone)]
+pub struct GatherSolution {
+    /// Integer counts, scatter order.
+    pub counts: Vec<usize>,
+    /// The LP's exact rational optimum (lower bound on the integer one).
+    pub rational_makespan: Rational,
+    /// Completion time of `counts` under the full model.
+    pub makespan: f64,
+}
+
+/// Solves the gather-aware distribution problem for affine costs: an
+/// exact rational LP plus the §3.3 rounding scheme.
+///
+/// ```
+/// use gs_scatter::cost::Processor;
+/// use gs_scatter::gather::{gather_aware_distribution, GatherProcessor};
+///
+/// let procs = vec![
+///     GatherProcessor::with_linear_back(Processor::linear("w", 0.01, 0.5), 0.02),
+///     GatherProcessor::with_linear_back(Processor::linear("root", 0.0, 1.0), 0.0),
+/// ];
+/// let view: Vec<&GatherProcessor> = procs.iter().collect();
+/// let sol = gather_aware_distribution(&view, 100).unwrap();
+/// assert_eq!(sol.counts.iter().sum::<usize>(), 100);
+/// ```
+pub fn gather_aware_distribution(
+    procs: &[&GatherProcessor],
+    n: usize,
+) -> Result<GatherSolution, PlanError> {
+    if procs.is_empty() {
+        return Err(PlanError::InvalidPlatform("no processors".into()));
+    }
+    let p = procs.len();
+    let mut params = Vec::with_capacity(p);
+    for (i, gp) in procs.iter().enumerate() {
+        let comm = gp.proc.comm.affine_params().ok_or(PlanError::NotAffine { proc: i })?;
+        let comp = gp.proc.comp.affine_params().ok_or(PlanError::NotAffine { proc: i })?;
+        let back = gp.back.affine_params().ok_or(PlanError::NotAffine { proc: i })?;
+        for v in [comm.0, comm.1, comp.0, comp.1, back.0, back.1] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(PlanError::InvalidCost { proc: i, items: 1, value: v });
+            }
+        }
+        let r = |v: f64| Rational::from_f64(v).expect("finite");
+        params.push(((r(comm.0), r(comm.1)), (r(comp.0), r(comp.1)), (r(back.0), r(back.1))));
+    }
+
+    let mut lp = LpProblem::new(Sense::Minimize);
+    let vars: Vec<_> = (0..p).map(|i| lp.add_var(format!("n{i}"))).collect();
+    let gs: Vec<_> = (0..p).map(|i| lp.add_var(format!("g{i}"))).collect();
+    lp.set_objective([(gs[p - 1], Rational::one())]);
+    lp.add_eq(vars.iter().map(|&v| (v, Rational::one())), Rational::from(n));
+
+    // g_i >= F_i + back_i  and  g_i >= g_{i-1} + back_i.
+    let mut comm_intercepts = Rational::zero();
+    for i in 0..p {
+        let ((ref b_i, _), (ref a_i, ref alpha_i), (ref c_i, ref gamma_i)) = params[i];
+        comm_intercepts += b_i;
+        // F_i + back_i <= g_i:
+        //   Σ_{j<=i} β_j n_j + α_i n_i + γ_i n_i − g_i <= −(Σ b_j + a_i + c_i)
+        let mut terms: Vec<(gs_lp::VarId, Rational)> = Vec::with_capacity(i + 2);
+        for j in 0..=i {
+            let beta_j = params[j].0 .1.clone();
+            let mut coef = beta_j;
+            if j == i {
+                coef = &coef + alpha_i;
+                coef = &coef + gamma_i;
+            }
+            terms.push((vars[j], coef));
+        }
+        terms.push((gs[i], -Rational::one()));
+        lp.add_le(terms, -(&(&comm_intercepts + a_i) + c_i));
+        // g_{i-1} + back_i <= g_i:  γ_i n_i + g_{i-1} − g_i <= −c_i
+        if i > 0 {
+            lp.add_le(
+                [
+                    (vars[i], gamma_i.clone()),
+                    (gs[i - 1], Rational::one()),
+                    (gs[i], -Rational::one()),
+                ],
+                -c_i.clone(),
+            );
+        }
+    }
+
+    let sol = lp.solve().map_err(|e| PlanError::LpFailed(e.to_string()))?;
+    let shares: Vec<Rational> = vars.iter().map(|&v| sol[v].clone()).collect();
+    let counts = round_shares(&shares, n);
+    let makespan = makespan_with_gather(procs, &counts);
+    Ok(GatherSolution {
+        counts,
+        rational_makespan: sol.objective.clone(),
+        makespan,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Processor;
+
+    fn gp(name: &str, beta: f64, alpha: f64, gamma: f64) -> GatherProcessor {
+        GatherProcessor::with_linear_back(Processor::linear(name, beta, alpha), gamma)
+    }
+
+    fn brute_force(procs: &[&GatherProcessor], n: usize) -> (Vec<usize>, f64) {
+        fn rec(
+            procs: &[&GatherProcessor],
+            rem: usize,
+            i: usize,
+            counts: &mut Vec<usize>,
+            best: &mut (Vec<usize>, f64),
+        ) {
+            if i == procs.len() - 1 {
+                counts[i] = rem;
+                let m = makespan_with_gather(procs, counts);
+                if m < best.1 {
+                    *best = (counts.clone(), m);
+                }
+                return;
+            }
+            for e in 0..=rem {
+                counts[i] = e;
+                rec(procs, rem - e, i + 1, counts, best);
+            }
+        }
+        let mut counts = vec![0; procs.len()];
+        let mut best = (vec![], f64::INFINITY);
+        rec(procs, n, 0, &mut counts, &mut best);
+        best
+    }
+
+    #[test]
+    fn evaluator_hand_checked() {
+        // P1: comm 1/item, comp 1/item, back 1/item. Root free comp 1/item.
+        let ps = [gp("p1", 1.0, 1.0, 1.0), gp("root", 0.0, 1.0, 0.0)];
+        let view: Vec<&GatherProcessor> = ps.iter().collect();
+        // counts [2, 2]: F1 = 2 + 2 = 4; F2 = 2 + 2 = 4.
+        // g1 = max(0, 4) + 2 = 6; g2 = max(6, 4) + 0 = 6.
+        assert_eq!(makespan_with_gather(&view, &[2, 2]), 6.0);
+    }
+
+    #[test]
+    fn zero_back_cost_reduces_to_eq2() {
+        let ps = [gp("a", 0.5, 2.0, 0.0), gp("b", 1.0, 1.0, 0.0), gp("root", 0.0, 3.0, 0.0)];
+        let view: Vec<&GatherProcessor> = ps.iter().collect();
+        let plain: Vec<&Processor> = ps.iter().map(|g| &g.proc).collect();
+        for counts in [[3usize, 2, 1], [0, 0, 6], [2, 2, 2]] {
+            assert_eq!(
+                makespan_with_gather(&view, &counts),
+                crate::distribution::makespan(&plain, &counts)
+            );
+        }
+    }
+
+    #[test]
+    fn lp_matches_brute_force_small() {
+        let ps = [gp("a", 0.3, 1.0, 0.4), gp("b", 0.7, 0.5, 0.2), gp("root", 0.0, 2.0, 0.0)];
+        let view: Vec<&GatherProcessor> = ps.iter().collect();
+        for n in [4usize, 8, 12] {
+            let sol = gather_aware_distribution(&view, n).unwrap();
+            let (_, brute) = brute_force(&view, n);
+            // The LP bound can only be <= the integer optimum; the rounded
+            // solution within one item of it.
+            assert!(sol.rational_makespan.to_f64() <= brute + 1e-9, "n={n}");
+            let slack: f64 = 0.3 + 0.7 + 1.0 + 0.4; // crude Σ one-item costs
+            assert!(sol.makespan <= brute + slack, "n={n}: {} vs {brute}", sol.makespan);
+        }
+    }
+
+    #[test]
+    fn gather_cost_shifts_work_to_root() {
+        // With an expensive return path, remote processors become less
+        // attractive than the paper's forward-only model suggests.
+        let forward_only = [gp("w", 0.01, 0.5, 0.0), gp("root", 0.0, 1.0, 0.0)];
+        let with_back = [gp("w", 0.01, 0.5, 1.0), gp("root", 0.0, 1.0, 0.0)];
+        let n = 100;
+        let a = gather_aware_distribution(&forward_only.iter().collect::<Vec<_>>(), n).unwrap();
+        let b = gather_aware_distribution(&with_back.iter().collect::<Vec<_>>(), n).unwrap();
+        assert!(
+            b.counts[0] < a.counts[0],
+            "return cost must shrink the remote share: {:?} vs {:?}",
+            b.counts,
+            a.counts
+        );
+    }
+
+    #[test]
+    fn sum_preserved_and_bounded() {
+        let ps = [
+            gp("a", 1e-4, 5e-3, 2e-4),
+            gp("b", 2e-4, 9e-3, 1e-4),
+            gp("c", 5e-5, 2e-2, 3e-4),
+            gp("root", 0.0, 8e-3, 0.0),
+        ];
+        let view: Vec<&GatherProcessor> = ps.iter().collect();
+        let n = 50_000;
+        let sol = gather_aware_distribution(&view, n).unwrap();
+        assert_eq!(sol.counts.iter().sum::<usize>(), n);
+        assert!(sol.makespan >= sol.rational_makespan.to_f64() - 1e-9);
+    }
+
+    #[test]
+    fn rejects_non_affine_back() {
+        let mut g = gp("a", 0.1, 0.1, 0.1);
+        g.back = CostFn::Custom(std::sync::Arc::new(|x| (x as f64).sqrt()));
+        let root = gp("root", 0.0, 1.0, 0.0);
+        let ps = [g, root];
+        assert!(matches!(
+            gather_aware_distribution(&ps.iter().collect::<Vec<_>>(), 10),
+            Err(PlanError::NotAffine { proc: 0 })
+        ));
+    }
+}

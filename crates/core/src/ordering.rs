@@ -1,0 +1,178 @@
+//! Processor ordering policies (RR-4770 §4.3–4.4, Theorem 3).
+//!
+//! The single-port root serves processors in rank order, so the order
+//! matters: the time spent sending to `P_i` is paid by every processor
+//! after it. Theorem 3 proves that, for linear costs and a rational
+//! relaxation, the optimal order is **by decreasing bandwidth to the root**
+//! (increasing comm slope `β`), root last; §4.4 extends this as a
+//! guaranteed heuristic to the general case. §5.2's control experiment
+//! uses the opposite (ascending-bandwidth) order, which is what
+//! [`OrderPolicy::AscendingBandwidth`] reproduces.
+
+use crate::cost::Platform;
+
+/// Reference block size used to estimate the marginal per-item
+/// communication cost of non-affine cost functions.
+pub const EFFECTIVE_SLOPE_REF_ITEMS: usize = 10_000;
+
+/// How to order the processors in the scatter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderPolicy {
+    /// The paper's policy (Theorem 3): decreasing bandwidth to the root
+    /// (increasing per-item comm cost), root last.
+    DescendingBandwidth,
+    /// The §5.2 control: increasing bandwidth (decreasing per-item comm
+    /// cost first... i.e. slowest links first), root last.
+    AscendingBandwidth,
+    /// Keep the platform's index order, with the root moved last.
+    AsIs,
+    /// Fastest CPU (smallest per-item compute cost) first — an ablation
+    /// showing that CPU speed is the *wrong* sort key.
+    FastestCpuFirst,
+    /// A deterministic pseudo-random shuffle (xorshift with the given
+    /// seed) — baseline for ordering studies.
+    Random(u64),
+}
+
+/// Produces a scatter order — a permutation of processor indices with the
+/// root last — according to `policy`.
+pub fn scatter_order(platform: &Platform, policy: OrderPolicy) -> Vec<usize> {
+    let root = platform.root();
+    let mut others: Vec<usize> = (0..platform.len()).filter(|&i| i != root).collect();
+    match policy {
+        OrderPolicy::DescendingBandwidth => {
+            sort_by_key_f64(&mut others, |i| {
+                platform.procs()[i].comm.effective_slope(EFFECTIVE_SLOPE_REF_ITEMS)
+            });
+        }
+        OrderPolicy::AscendingBandwidth => {
+            sort_by_key_f64(&mut others, |i| {
+                -platform.procs()[i].comm.effective_slope(EFFECTIVE_SLOPE_REF_ITEMS)
+            });
+        }
+        OrderPolicy::AsIs => {}
+        OrderPolicy::FastestCpuFirst => {
+            sort_by_key_f64(&mut others, |i| {
+                platform.procs()[i].comp.effective_slope(EFFECTIVE_SLOPE_REF_ITEMS)
+            });
+        }
+        OrderPolicy::Random(seed) => shuffle(&mut others, seed),
+    }
+    others.push(root);
+    others
+}
+
+/// Stable sort by an `f64` key (NaN-free by cost-function validation).
+fn sort_by_key_f64(items: &mut [usize], key: impl Fn(usize) -> f64) {
+    items.sort_by(|&a, &b| {
+        key(a)
+            .partial_cmp(&key(b))
+            .expect("cost slopes must not be NaN")
+    });
+}
+
+/// Deterministic Fisher–Yates with an xorshift64* generator, so the core
+/// crate stays dependency-free.
+fn shuffle(items: &mut [usize], seed: u64) {
+    let mut state = seed.wrapping_mul(2685821657736338717).max(1);
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state = state.wrapping_mul(2685821657736338717);
+        state
+    };
+    for i in (1..items.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{Platform, Processor};
+
+    fn platform() -> Platform {
+        Platform::new(
+            vec![
+                Processor::linear("root", 0.0, 1.0),   // 0 (root)
+                Processor::linear("slow-link", 3.0, 0.5), // 1
+                Processor::linear("fast-link", 1.0, 2.0), // 2
+                Processor::linear("mid-link", 2.0, 0.1),  // 3
+            ],
+            0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn descending_bandwidth_sorts_by_beta() {
+        let order = scatter_order(&platform(), OrderPolicy::DescendingBandwidth);
+        assert_eq!(order, vec![2, 3, 1, 0]);
+    }
+
+    #[test]
+    fn ascending_bandwidth_is_reverse() {
+        let order = scatter_order(&platform(), OrderPolicy::AscendingBandwidth);
+        assert_eq!(order, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn as_is_moves_root_last() {
+        let order = scatter_order(&platform(), OrderPolicy::AsIs);
+        assert_eq!(order, vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn fastest_cpu_first() {
+        let order = scatter_order(&platform(), OrderPolicy::FastestCpuFirst);
+        assert_eq!(order, vec![3, 1, 2, 0]);
+    }
+
+    #[test]
+    fn random_is_permutation_and_deterministic() {
+        let a = scatter_order(&platform(), OrderPolicy::Random(42));
+        let b = scatter_order(&platform(), OrderPolicy::Random(42));
+        assert_eq!(a, b);
+        assert_eq!(*a.last().unwrap(), 0, "root last even when shuffled");
+        let mut sorted = a.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        // Different seeds eventually differ.
+        let c = scatter_order(&platform(), OrderPolicy::Random(7));
+        let d = scatter_order(&platform(), OrderPolicy::Random(8));
+        assert!(a != c || a != d || c != d);
+    }
+
+    #[test]
+    fn ties_are_stable() {
+        let plat = Platform::new(
+            vec![
+                Processor::linear("root", 0.0, 1.0),
+                Processor::linear("a", 1.0, 1.0),
+                Processor::linear("b", 1.0, 1.0),
+                Processor::linear("c", 1.0, 1.0),
+            ],
+            0,
+        )
+        .unwrap();
+        let order = scatter_order(&plat, OrderPolicy::DescendingBandwidth);
+        assert_eq!(order, vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn root_in_middle_of_indices() {
+        let plat = Platform::new(
+            vec![
+                Processor::linear("a", 2.0, 1.0),
+                Processor::linear("root", 0.0, 1.0),
+                Processor::linear("b", 1.0, 1.0),
+            ],
+            1,
+        )
+        .unwrap();
+        let order = scatter_order(&plat, OrderPolicy::DescendingBandwidth);
+        assert_eq!(order, vec![2, 0, 1]);
+    }
+}

@@ -1,0 +1,247 @@
+//! High-level planner: picks an ordering, runs a distribution strategy,
+//! and emits `MPI_Scatterv`-ready `counts`/`displs`.
+
+use crate::cost::Platform;
+use crate::distribution::{self, Timeline};
+use crate::error::PlanError;
+use crate::ordering::{scatter_order, OrderPolicy};
+
+/// Which distribution algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Equal shares — the original `MPI_Scatter` behaviour (baseline).
+    Uniform,
+    /// Algorithm 1: exact DP, arbitrary non-negative costs, `O(p·n²)`.
+    ExactBasic,
+    /// Algorithm 2: exact DP, non-decreasing costs (default exact solver).
+    Exact,
+    /// §3.3 guaranteed LP heuristic, affine costs.
+    Heuristic,
+    /// §4 closed form, linear costs, exact rational + rounding.
+    ClosedForm,
+}
+
+/// A complete scatter plan.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Items for each processor, **by platform index** (ready to be used
+    /// as the `counts` argument of a scatterv).
+    pub counts: Vec<usize>,
+    /// Offset of each processor's block in the root buffer, by platform
+    /// index. Blocks are laid out contiguously in scatter order, so the
+    /// root transmits a single sequential sweep of its buffer.
+    pub displs: Vec<usize>,
+    /// The scatter order used (processor indices, root last).
+    pub order: Vec<usize>,
+    /// Predicted schedule (Eq. 1), in scatter order.
+    pub predicted: Timeline,
+    /// Predicted makespan (Eq. 2).
+    pub predicted_makespan: f64,
+}
+
+impl Plan {
+    /// Counts re-arranged into scatter order.
+    pub fn counts_in_order(&self) -> Vec<usize> {
+        self.order.iter().map(|&i| self.counts[i]).collect()
+    }
+
+    /// Total number of items distributed.
+    pub fn total_items(&self) -> usize {
+        self.counts.iter().sum()
+    }
+}
+
+/// Builder tying a [`Platform`] to a [`Strategy`] and an [`OrderPolicy`].
+///
+/// ```
+/// use gs_scatter::prelude::*;
+/// let platform = Platform::new(vec![
+///     Processor::linear("root", 0.0, 0.01),
+///     Processor::linear("w1", 1e-4, 0.02),
+/// ], 0).unwrap();
+/// let plan = Planner::new(platform).strategy(Strategy::Exact).plan(1000).unwrap();
+/// assert_eq!(plan.total_items(), 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Planner {
+    platform: Platform,
+    strategy: Strategy,
+    policy: OrderPolicy,
+}
+
+impl Planner {
+    /// Creates a planner with the paper's defaults: the guaranteed
+    /// heuristic and descending-bandwidth ordering.
+    pub fn new(platform: Platform) -> Self {
+        Planner {
+            platform,
+            strategy: Strategy::Heuristic,
+            policy: OrderPolicy::DescendingBandwidth,
+        }
+    }
+
+    /// Selects the distribution strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Selects the ordering policy.
+    pub fn order_policy(mut self, policy: OrderPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The platform being planned for.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Computes a plan for `n` items.
+    pub fn plan(&self, n: usize) -> Result<Plan, PlanError> {
+        let order = scatter_order(&self.platform, self.policy);
+        self.plan_with_order(n, order)
+    }
+
+    /// Computes a plan for `n` items using an explicit scatter order
+    /// (a permutation of processor indices, root last).
+    pub fn plan_with_order(&self, n: usize, order: Vec<usize>) -> Result<Plan, PlanError> {
+        let view = self.platform.ordered(&order);
+        let counts_ordered: Vec<usize> = match self.strategy {
+            Strategy::Uniform => distribution::uniform_distribution(view.len(), n),
+            Strategy::ExactBasic => {
+                crate::dp_basic::optimal_distribution_basic(&view, n)?.counts
+            }
+            Strategy::Exact => crate::dp_optimized::optimal_distribution(&view, n)?.counts,
+            Strategy::Heuristic => crate::heuristic::heuristic_distribution(&view, n)?.counts,
+            Strategy::ClosedForm => {
+                crate::closed_form::closed_form_distribution(&view, n)?.counts
+            }
+        };
+        let predicted = distribution::timeline(&view, &counts_ordered);
+        let predicted_makespan = predicted.makespan();
+
+        // Map ordered counts back to platform indices and lay out blocks
+        // contiguously in send (scatter) order.
+        let p = self.platform.len();
+        let mut counts = vec![0usize; p];
+        let mut displs = vec![0usize; p];
+        let mut offset = 0usize;
+        for (pos, &idx) in order.iter().enumerate() {
+            counts[idx] = counts_ordered[pos];
+            displs[idx] = offset;
+            offset += counts_ordered[pos];
+        }
+        debug_assert_eq!(offset, n);
+
+        Ok(Plan { counts, displs, order, predicted, predicted_makespan })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Processor;
+
+    fn platform() -> Platform {
+        Platform::new(
+            vec![
+                Processor::linear("root", 0.0, 0.009288),
+                Processor::linear("caseb", 1.00e-5, 0.004629),
+                Processor::linear("merlin", 8.15e-5, 0.003976),
+                Processor::linear("seven", 2.10e-5, 0.016156),
+            ],
+            0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_strategies_distribute_everything() {
+        let n = 5000;
+        for strategy in [
+            Strategy::Uniform,
+            Strategy::ExactBasic,
+            Strategy::Exact,
+            Strategy::Heuristic,
+            Strategy::ClosedForm,
+        ] {
+            let plan = Planner::new(platform()).strategy(strategy).plan(n).unwrap();
+            assert_eq!(plan.total_items(), n, "{strategy:?}");
+            assert_eq!(*plan.order.last().unwrap(), 0, "{strategy:?}: root last");
+        }
+    }
+
+    #[test]
+    fn displs_are_contiguous_in_scatter_order() {
+        let plan = Planner::new(platform())
+            .strategy(Strategy::Heuristic)
+            .plan(10_000)
+            .unwrap();
+        let mut offset = 0;
+        for &idx in &plan.order {
+            assert_eq!(plan.displs[idx], offset);
+            offset += plan.counts[idx];
+        }
+        assert_eq!(offset, 10_000);
+    }
+
+    #[test]
+    fn balanced_beats_uniform() {
+        let n = 50_000;
+        let uniform = Planner::new(platform()).strategy(Strategy::Uniform).plan(n).unwrap();
+        let balanced = Planner::new(platform()).strategy(Strategy::Heuristic).plan(n).unwrap();
+        assert!(
+            balanced.predicted_makespan < uniform.predicted_makespan * 0.8,
+            "balanced {} should clearly beat uniform {}",
+            balanced.predicted_makespan,
+            uniform.predicted_makespan
+        );
+    }
+
+    #[test]
+    fn exact_and_heuristic_agree_closely() {
+        let n = 2_000;
+        let exact = Planner::new(platform()).strategy(Strategy::Exact).plan(n).unwrap();
+        let heur = Planner::new(platform()).strategy(Strategy::Heuristic).plan(n).unwrap();
+        assert!(exact.predicted_makespan <= heur.predicted_makespan + 1e-9);
+        let rel =
+            (heur.predicted_makespan - exact.predicted_makespan) / exact.predicted_makespan;
+        assert!(rel < 1e-2, "relative gap {rel}");
+    }
+
+    #[test]
+    fn descending_no_worse_than_ascending() {
+        let n = 20_000;
+        let desc = Planner::new(platform())
+            .strategy(Strategy::ClosedForm)
+            .order_policy(OrderPolicy::DescendingBandwidth)
+            .plan(n)
+            .unwrap();
+        let asc = Planner::new(platform())
+            .strategy(Strategy::ClosedForm)
+            .order_policy(OrderPolicy::AscendingBandwidth)
+            .plan(n)
+            .unwrap();
+        assert!(desc.predicted_makespan <= asc.predicted_makespan + 1e-9);
+    }
+
+    #[test]
+    fn counts_in_order_round_trips() {
+        let plan = Planner::new(platform()).strategy(Strategy::Uniform).plan(103).unwrap();
+        let in_order = plan.counts_in_order();
+        for (pos, &idx) in plan.order.iter().enumerate() {
+            assert_eq!(in_order[pos], plan.counts[idx]);
+        }
+    }
+
+    #[test]
+    fn explicit_order() {
+        let plan = Planner::new(platform())
+            .strategy(Strategy::Exact)
+            .plan_with_order(1000, vec![3, 2, 1, 0])
+            .unwrap();
+        assert_eq!(plan.order, vec![3, 2, 1, 0]);
+        assert_eq!(plan.total_items(), 1000);
+    }
+}

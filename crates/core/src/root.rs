@@ -1,0 +1,185 @@
+//! Root-processor selection (RR-4770 §3.4).
+//!
+//! The `n` data items initially live on a computer `C`. If the root is not
+//! on `C`, the whole execution additionally pays the transfer of the data
+//! set from `C` to the root. The best root minimizes
+//! `transfer(C → r, n) + T(plan with root r)` over the `p` candidates.
+
+use crate::cost::Platform;
+use crate::error::PlanError;
+use crate::ordering::OrderPolicy;
+use crate::planner::{Plan, Planner, Strategy};
+
+/// Outcome of root selection.
+#[derive(Debug, Clone)]
+pub struct RootChoice {
+    /// Index of the winning root processor.
+    pub root: usize,
+    /// Total time (initial transfer + balanced execution) with that root.
+    pub total_time: f64,
+    /// The plan computed for the winning root.
+    pub plan: Plan,
+    /// `(candidate, transfer, makespan, total)` for every candidate, for
+    /// reporting.
+    pub candidates: Vec<CandidateReport>,
+}
+
+/// Evaluation of one root candidate.
+#[derive(Debug, Clone)]
+pub struct CandidateReport {
+    /// Candidate processor index.
+    pub root: usize,
+    /// Time to move the data set from `C` to this candidate.
+    pub transfer: f64,
+    /// Predicted balanced makespan with this candidate as root.
+    pub makespan: f64,
+    /// `transfer + makespan`.
+    pub total: f64,
+}
+
+/// Selects the best root (§3.4): minimizes initial transfer plus balanced
+/// execution time.
+///
+/// `transfer_time[i]` is the time to move the whole data set from its
+/// initial location `C` to candidate `i` (zero when the candidate is on
+/// `C`). The same `strategy`/`policy` is used to evaluate every candidate.
+pub fn select_root(
+    platform: &Platform,
+    transfer_time: &[f64],
+    n: usize,
+    strategy: Strategy,
+    policy: OrderPolicy,
+) -> Result<RootChoice, PlanError> {
+    if transfer_time.len() != platform.len() {
+        return Err(PlanError::InvalidPlatform(format!(
+            "need one transfer time per processor ({} != {})",
+            transfer_time.len(),
+            platform.len()
+        )));
+    }
+    let mut best: Option<(usize, f64, Plan)> = None;
+    let mut candidates = Vec::with_capacity(platform.len());
+    for (r, &transfer) in transfer_time.iter().enumerate() {
+        let candidate_platform = platform.with_root(r)?;
+        let plan = Planner::new(candidate_platform)
+            .strategy(strategy)
+            .order_policy(policy)
+            .plan(n)?;
+        let total = transfer + plan.predicted_makespan;
+        candidates.push(CandidateReport {
+            root: r,
+            transfer,
+            makespan: plan.predicted_makespan,
+            total,
+        });
+        if best.as_ref().is_none_or(|(_, t, _)| total < *t) {
+            best = Some((r, total, plan));
+        }
+    }
+    let (root, total_time, plan) = best.expect("platform is non-empty");
+    Ok(RootChoice { root, total_time, plan, candidates })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Processor;
+
+    fn platform() -> Platform {
+        Platform::new(
+            vec![
+                Processor::linear("a", 1e-4, 0.01),
+                Processor::linear("b", 5e-5, 0.02),
+                Processor::linear("c", 2e-4, 0.005),
+            ],
+            0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_transfer_everywhere_picks_best_makespan() {
+        let choice = select_root(
+            &platform(),
+            &[0.0, 0.0, 0.0],
+            10_000,
+            Strategy::Heuristic,
+            OrderPolicy::DescendingBandwidth,
+        )
+        .unwrap();
+        // Whatever wins, it must be the argmin of the reports.
+        let best = choice
+            .candidates
+            .iter()
+            .min_by(|a, b| a.total.partial_cmp(&b.total).unwrap())
+            .unwrap();
+        assert_eq!(choice.root, best.root);
+        assert_eq!(choice.candidates.len(), 3);
+    }
+
+    #[test]
+    fn expensive_transfer_disqualifies_candidate() {
+        // Candidate 2 has the best CPU but a huge initial transfer cost.
+        let free = select_root(
+            &platform(),
+            &[0.0, 0.0, 0.0],
+            10_000,
+            Strategy::Heuristic,
+            OrderPolicy::DescendingBandwidth,
+        )
+        .unwrap();
+        let taxed = select_root(
+            &platform(),
+            &[0.0, 0.0, 1e6],
+            10_000,
+            Strategy::Heuristic,
+            OrderPolicy::DescendingBandwidth,
+        )
+        .unwrap();
+        assert_ne!(taxed.root, 2, "prohibitive transfer must exclude candidate 2");
+        assert!(taxed.total_time >= free.total_time);
+    }
+
+    #[test]
+    fn data_host_wins_when_links_are_slow() {
+        // All transfers off-host are slow: the host of the data (index 1,
+        // transfer 0) should be root.
+        let choice = select_root(
+            &platform(),
+            &[500.0, 0.0, 500.0],
+            10_000,
+            Strategy::Heuristic,
+            OrderPolicy::DescendingBandwidth,
+        )
+        .unwrap();
+        assert_eq!(choice.root, 1);
+    }
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        assert!(select_root(
+            &platform(),
+            &[0.0, 0.0],
+            100,
+            Strategy::Uniform,
+            OrderPolicy::AsIs,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn reports_are_consistent() {
+        let choice = select_root(
+            &platform(),
+            &[1.0, 2.0, 3.0],
+            5_000,
+            Strategy::ClosedForm,
+            OrderPolicy::DescendingBandwidth,
+        )
+        .unwrap();
+        for c in &choice.candidates {
+            assert!((c.total - (c.transfer + c.makespan)).abs() < 1e-12);
+            assert!(choice.total_time <= c.total + 1e-12);
+        }
+    }
+}

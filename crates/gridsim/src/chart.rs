@@ -1,0 +1,139 @@
+//! Per-processor bar charts in the style of the paper's Figs. 2–4: for
+//! each processor (x axis of the figures), the total time, the
+//! communication time, and the amount of data received.
+
+use gs_scatter::distribution::Timeline;
+
+/// One row of a figure table.
+#[derive(Debug, Clone)]
+pub struct FigureRow {
+    /// Machine name.
+    pub name: String,
+    /// Items received.
+    pub data: usize,
+    /// Time spent receiving, seconds.
+    pub comm_time: f64,
+    /// Wait before receiving (stair), seconds.
+    pub wait_time: f64,
+    /// Finish time, seconds (the figures' "total time" bars).
+    pub total_time: f64,
+}
+
+/// Tabulates a timeline into figure rows.
+pub fn figure_rows(names: &[&str], counts: &[usize], tl: &Timeline) -> Vec<FigureRow> {
+    assert_eq!(names.len(), counts.len());
+    assert_eq!(names.len(), tl.finish.len());
+    (0..names.len())
+        .map(|i| FigureRow {
+            name: names[i].to_string(),
+            data: counts[i],
+            comm_time: tl.comm_end[i] - tl.comm_start[i],
+            wait_time: tl.comm_start[i],
+            total_time: tl.finish[i],
+        })
+        .collect()
+}
+
+/// Renders rows as the text analogue of Figs. 2–4: a table with a
+/// horizontal bar for the total time of each processor (`#`), prefixed by
+/// its pre-receive wait (`.`), plus numeric columns.
+///
+/// ```text
+/// processor        data   comm(s)  total(s)  0 ......................... 853
+/// caseb           51069      0.5     236.9   ###########
+/// ...
+/// ```
+pub fn render_figure(title: &str, rows: &[FigureRow], width: usize) -> String {
+    let max_total = rows.iter().map(|r| r.total_time).fold(0.0f64, f64::max);
+    let scale = if max_total > 0.0 { width as f64 / max_total } else { 0.0 };
+    let name_w = rows.iter().map(|r| r.name.len()).max().unwrap_or(9).max(9);
+
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:<name_w$} {:>9} {:>9} {:>9}   0 {} {max_total:.0}s\n",
+        "processor",
+        "data",
+        "comm(s)",
+        "total(s)",
+        ".".repeat(width.saturating_sub(10)),
+    ));
+    for r in rows {
+        let wait_cols = (r.wait_time * scale).round() as usize;
+        let total_cols = ((r.total_time * scale).round() as usize).min(width);
+        let busy = total_cols.saturating_sub(wait_cols);
+        out.push_str(&format!(
+            "{:<name_w$} {:>9} {:>9.2} {:>9.1}   {}{}\n",
+            r.name,
+            r.data,
+            r.comm_time,
+            r.total_time,
+            ".".repeat(wait_cols),
+            "#".repeat(busy),
+        ));
+    }
+    out
+}
+
+/// A compact comparison line quoted under each figure: min/max finish and
+/// the §5.2 imbalance percentage.
+pub fn summary_line(rows: &[FigureRow]) -> String {
+    let min = rows.iter().map(|r| r.total_time).fold(f64::INFINITY, f64::min);
+    let max = rows.iter().map(|r| r.total_time).fold(0.0f64, f64::max);
+    let imb = if max > 0.0 { (max - min) / max * 100.0 } else { 0.0 };
+    format!(
+        "earliest finish {min:.0} s, latest {max:.0} s, max difference {imb:.0}% of total duration"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tl() -> Timeline {
+        Timeline {
+            comm_start: vec![0.0, 3.0],
+            comm_end: vec![3.0, 5.0],
+            finish: vec![10.0, 20.0],
+        }
+    }
+
+    #[test]
+    fn rows_extracted() {
+        let rows = figure_rows(&["a", "b"], &[30, 20], &tl());
+        assert_eq!(rows[0].data, 30);
+        assert_eq!(rows[0].comm_time, 3.0);
+        assert_eq!(rows[0].wait_time, 0.0);
+        assert_eq!(rows[1].wait_time, 3.0);
+        assert_eq!(rows[1].total_time, 20.0);
+    }
+
+    #[test]
+    fn render_contains_names_and_numbers() {
+        let rows = figure_rows(&["alpha", "beta"], &[30, 20], &tl());
+        let s = render_figure("Figure X", &rows, 40);
+        assert!(s.contains("Figure X"));
+        assert!(s.contains("alpha"));
+        assert!(s.contains("30"));
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn bars_scale_with_total_time() {
+        let rows = figure_rows(&["a", "b"], &[1, 1], &tl());
+        let s = render_figure("t", &rows, 40);
+        let bar_len = |line: &str| line.chars().filter(|&c| c == '#').count();
+        let lines: Vec<&str> = s.lines().skip(2).collect();
+        assert!(bar_len(lines[0]) < bar_len(lines[1]));
+        assert_eq!(bar_len(lines[1]), 40 - (3.0 / 20.0 * 40.0f64).round() as usize);
+    }
+
+    #[test]
+    fn summary_line_quotes_imbalance() {
+        let rows = figure_rows(&["a", "b"], &[1, 1], &tl());
+        let s = summary_line(&rows);
+        assert!(s.contains("10 s"));
+        assert!(s.contains("20 s"));
+        assert!(s.contains("50%"));
+    }
+}

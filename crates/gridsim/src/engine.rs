@@ -1,0 +1,181 @@
+//! A minimal discrete-event engine: a time-ordered queue of closures.
+//!
+//! Kept deliberately small — the scatter model needs only a handful of
+//! event kinds — but genuinely event-driven so extensions (multi-port
+//! roots, overlapping rounds, failures) slot in without restructuring.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happened, for traces and Gantt rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEventKind {
+    /// Root starts sending to a processor.
+    SendStart,
+    /// A processor finished receiving its block.
+    SendEnd,
+    /// A processor starts computing.
+    ComputeStart,
+    /// A processor finished computing.
+    ComputeEnd,
+}
+
+/// A timestamped event concerning one processor (by scatter-order
+/// position).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimEvent {
+    /// Simulation time, seconds.
+    pub time: f64,
+    /// Event kind.
+    pub kind: SimEventKind,
+    /// Scatter-order position of the processor concerned.
+    pub proc: usize,
+}
+
+/// An entry in the pending-event queue.
+struct Pending {
+    time: f64,
+    seq: u64,
+    action: Box<dyn FnOnce(&mut Engine)>,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Pending {}
+
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest time pops first;
+        // ties break by insertion order (deterministic).
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times must not be NaN")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The event engine: a virtual clock plus a queue of scheduled actions.
+#[derive(Default)]
+pub struct Engine {
+    queue: BinaryHeap<Pending>,
+    seq: u64,
+    now: f64,
+    /// Recorded trace, in execution order.
+    pub trace: Vec<SimEvent>,
+}
+
+impl Engine {
+    /// A fresh engine at time zero.
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedules `action` to run at absolute time `at` (must not be in the
+    /// past).
+    pub fn schedule_at(&mut self, at: f64, action: impl FnOnce(&mut Engine) + 'static) {
+        assert!(at >= self.now, "cannot schedule in the past ({at} < {})", self.now);
+        assert!(at.is_finite(), "event time must be finite");
+        self.seq += 1;
+        self.queue.push(Pending { time: at, seq: self.seq, action: Box::new(action) });
+    }
+
+    /// Schedules `action` after a non-negative delay.
+    pub fn schedule_after(&mut self, delay: f64, action: impl FnOnce(&mut Engine) + 'static) {
+        assert!(delay >= 0.0, "negative delay {delay}");
+        let at = self.now + delay;
+        self.schedule_at(at, action);
+    }
+
+    /// Records a trace event at the current time.
+    pub fn record(&mut self, kind: SimEventKind, proc: usize) {
+        self.trace.push(SimEvent { time: self.now, kind, proc });
+    }
+
+    /// Runs until the queue drains; returns the final time.
+    pub fn run(&mut self) -> f64 {
+        while let Some(ev) = self.queue.pop() {
+            debug_assert!(ev.time >= self.now, "time must be monotone");
+            self.now = ev.time;
+            (ev.action)(self);
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut e = Engine::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for (t, tag) in [(3.0, 'c'), (1.0, 'a'), (2.0, 'b')] {
+            let log = log.clone();
+            e.schedule_at(t, move |_| log.borrow_mut().push(tag));
+        }
+        assert_eq!(e.run(), 3.0);
+        assert_eq!(*log.borrow(), vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut e = Engine::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for tag in ['x', 'y', 'z'] {
+            let log = log.clone();
+            e.schedule_at(5.0, move |_| log.borrow_mut().push(tag));
+        }
+        e.run();
+        assert_eq!(*log.borrow(), vec!['x', 'y', 'z']);
+    }
+
+    #[test]
+    fn cascading_events() {
+        let mut e = Engine::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let log2 = log.clone();
+        e.schedule_at(1.0, move |e| {
+            log2.borrow_mut().push(e.now());
+            let log3 = log2.clone();
+            e.schedule_after(2.5, move |e| log3.borrow_mut().push(e.now()));
+        });
+        assert_eq!(e.run(), 3.5);
+        assert_eq!(*log.borrow(), vec![1.0, 3.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule in the past")]
+    fn rejects_past_events() {
+        let mut e = Engine::new();
+        e.schedule_at(5.0, |e| e.schedule_at(1.0, |_| {}));
+        e.run();
+    }
+
+    #[test]
+    fn trace_recording() {
+        let mut e = Engine::new();
+        e.schedule_at(2.0, |e| e.record(SimEventKind::SendStart, 7));
+        e.run();
+        assert_eq!(
+            e.trace,
+            vec![SimEvent { time: 2.0, kind: SimEventKind::SendStart, proc: 7 }]
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Machine-readable export of run results (CSV), for plotting the figures
+//! with external tools.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use gs_scatter::distribution::Timeline;
+
+/// Serializes a run (scatter order) as CSV with header
+/// `pos,name,data,comm_start,comm_end,finish`.
+pub fn to_csv(names: &[&str], counts: &[usize], tl: &Timeline) -> String {
+    assert_eq!(names.len(), counts.len());
+    assert_eq!(names.len(), tl.finish.len());
+    let mut out = String::from("pos,name,data,comm_start,comm_end,finish\n");
+    for i in 0..names.len() {
+        out.push_str(&format!(
+            "{},{},{},{:.6},{:.6},{:.6}\n",
+            i,
+            escape(names[i]),
+            counts[i],
+            tl.comm_start[i],
+            tl.comm_end[i],
+            tl.finish[i]
+        ));
+    }
+    out
+}
+
+/// Writes [`to_csv`] output to a file.
+pub fn write_csv(
+    path: impl AsRef<Path>,
+    names: &[&str],
+    counts: &[usize],
+    tl: &Timeline,
+) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_csv(names, counts, tl).as_bytes())
+}
+
+/// Minimal CSV field escaping (quotes fields containing `,` or `"`).
+fn escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tl() -> Timeline {
+        Timeline {
+            comm_start: vec![0.0, 1.5],
+            comm_end: vec![1.5, 2.0],
+            finish: vec![5.0, 6.0],
+        }
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = to_csv(&["a", "b"], &[10, 20], &tl());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "pos,name,data,comm_start,comm_end,finish");
+        assert!(lines[1].starts_with("0,a,10,0.000000,1.500000,5.000000"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("q\"q"), "\"q\"\"q\"");
+    }
+
+    #[test]
+    fn write_csv_round_trip() {
+        let dir = std::env::temp_dir().join("gs_gridsim_test_csv");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("run.csv");
+        write_csv(&path, &["a", "b"], &[1, 2], &tl()).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, to_csv(&["a", "b"], &[1, 2], &tl()));
+        let _ = std::fs::remove_file(path);
+    }
+}

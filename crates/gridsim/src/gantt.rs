@@ -1,0 +1,154 @@
+//! ASCII Gantt charts in the style of the paper's Fig. 1: per-processor
+//! rows showing the wait / receive / compute phases of a scatter.
+
+use gs_scatter::distribution::Timeline;
+
+/// Characters used by [`render_gantt`].
+pub mod glyphs {
+    /// Idle, waiting for the root's port (the "stair effect").
+    pub const WAIT: char = '.';
+    /// Receiving data from the root.
+    pub const RECV: char = '=';
+    /// Computing.
+    pub const COMPUTE: char = '#';
+    /// Idle after finishing, before the global makespan.
+    pub const DONE: char = ' ';
+}
+
+/// Renders a Gantt chart of a timeline (scatter order) as fixed-width
+/// ASCII, one row per processor, `width` time columns.
+///
+/// ```text
+/// P1 |==########                |
+/// P2 |..====#######             |
+/// P3 |......===########         |
+/// P4 |.........=====########### |
+///    0s ................... 21.0s
+/// ```
+pub fn render_gantt(names: &[&str], tl: &Timeline, width: usize) -> String {
+    assert_eq!(names.len(), tl.finish.len(), "one name per processor");
+    assert!(width >= 10, "width too small to be legible");
+    let makespan = tl.makespan();
+    let name_w = names.iter().map(|n| n.len()).max().unwrap_or(0);
+    let scale = if makespan > 0.0 { width as f64 / makespan } else { 0.0 };
+    let col = |t: f64| ((t * scale).round() as usize).min(width);
+
+    let mut out = String::new();
+    for (i, name) in names.iter().enumerate() {
+        let c_recv = col(tl.comm_start[i]);
+        let c_comp = col(tl.comm_end[i]);
+        let c_done = col(tl.finish[i]);
+        let mut row = String::with_capacity(width);
+        for c in 0..width {
+            row.push(if c < c_recv {
+                glyphs::WAIT
+            } else if c < c_comp {
+                glyphs::RECV
+            } else if c < c_done {
+                glyphs::COMPUTE
+            } else {
+                glyphs::DONE
+            });
+        }
+        // Ensure at least one RECV glyph for non-empty transfers that
+        // round to zero columns (the paper's comm times are tiny).
+        if tl.comm_end[i] > tl.comm_start[i] && c_comp == c_recv && c_recv < width {
+            row.replace_range(
+                row.char_indices()
+                    .nth(c_recv)
+                    .map(|(o, ch)| o..o + ch.len_utf8())
+                    .unwrap(),
+                &glyphs::RECV.to_string(),
+            );
+        }
+        out.push_str(&format!("{name:>name_w$} |{row}|\n"));
+    }
+    let axis = format!("0s{}{makespan:.1}s", " ".repeat(width.saturating_sub(8)));
+    out.push_str(&format!("{} {axis}\n", " ".repeat(name_w)));
+    out
+}
+
+/// Renders the legend for [`render_gantt`].
+pub fn legend() -> String {
+    format!(
+        "{} waiting   {} receiving   {} computing\n",
+        glyphs::WAIT,
+        glyphs::RECV,
+        glyphs::COMPUTE
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tl() -> Timeline {
+        Timeline {
+            comm_start: vec![0.0, 2.0, 4.0],
+            comm_end: vec![2.0, 4.0, 4.0],
+            finish: vec![10.0, 8.0, 9.0],
+        }
+    }
+
+    #[test]
+    fn renders_all_rows_and_axis() {
+        let s = render_gantt(&["P1", "P2", "root"], &tl(), 40);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("  P1 |"));
+        assert!(lines[2].starts_with("root |"));
+        assert!(lines[3].contains("10.0s"));
+    }
+
+    #[test]
+    fn stair_effect_visible() {
+        let s = render_gantt(&["P1", "P2", "root"], &tl(), 40);
+        let lines: Vec<&str> = s.lines().collect();
+        // Later processors have longer leading wait runs.
+        let waits = |l: &str| l.chars().skip_while(|&c| c != '|').skip(1)
+            .take_while(|&c| c == glyphs::WAIT).count();
+        assert!(waits(lines[0]) < waits(lines[1]));
+        assert!(waits(lines[1]) < waits(lines[2]));
+    }
+
+    #[test]
+    fn rows_are_equal_width() {
+        let s = render_gantt(&["a", "bb", "ccc"], &tl(), 30);
+        let widths: Vec<usize> = s
+            .lines()
+            .take(3)
+            .map(|l| l.chars().count())
+            .collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn zero_makespan_renders() {
+        let tl = Timeline {
+            comm_start: vec![0.0],
+            comm_end: vec![0.0],
+            finish: vec![0.0],
+        };
+        let s = render_gantt(&["p"], &tl, 20);
+        assert!(s.contains("0.0s"));
+    }
+
+    #[test]
+    fn tiny_comm_still_marked() {
+        let tl = Timeline {
+            comm_start: vec![0.0],
+            comm_end: vec![1e-6],
+            finish: vec![100.0],
+        };
+        let s = render_gantt(&["p"], &tl, 40);
+        assert!(s.contains(glyphs::RECV), "transfer must be visible: {s}");
+    }
+
+    #[test]
+    fn legend_mentions_all_glyphs() {
+        let l = legend();
+        for g in ['.', '=', '#'] {
+            assert!(l.contains(g));
+        }
+    }
+}

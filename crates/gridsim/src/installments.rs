@@ -1,0 +1,221 @@
+//! Multi-installment scatter: a divisible-load-theory extension.
+//!
+//! The paper sends each processor its whole share in one block, so `P_i`
+//! idles until its block fully arrives (the stair of Fig. 1). Divisible
+//! load theory (§6 cites [6, 20]) suggests *installments*: split each
+//! share into `k` pieces and interleave the sends, so every processor
+//! starts computing after receiving only `1/k` of its data. The optimum
+//! `k` is finite: with round-major interleaving each processor's *last*
+//! installment arrives later as `k` grows, so very fine installments
+//! degrade again.
+//!
+//! This module simulates that schedule (single-port root, round-major
+//! send order) so the trade-off can be measured: on platforms where
+//! communication is a visible fraction of the makespan, installments
+//! shave most of the stair; on Table 1 (comm ≪ comp) they buy almost
+//! nothing — evidence for the paper's choice to keep the simple
+//! one-round scatter.
+
+use gs_scatter::cost::Processor;
+
+/// Result of a multi-installment simulation.
+#[derive(Debug, Clone)]
+pub struct InstallmentRun {
+    /// Per-processor compute-finish times (scatter order).
+    pub finish: Vec<f64>,
+    /// Overall makespan.
+    pub makespan: f64,
+    /// When each processor received its *first* installment (compute can
+    /// start here — compare with the one-round `comm_end`).
+    pub first_arrival: Vec<f64>,
+}
+
+impl InstallmentRun {
+    /// Largest finish time.
+    pub fn makespan(&self) -> f64 {
+        self.makespan
+    }
+}
+
+/// Splits one-round counts into `k` installment rounds (round-major),
+/// spreading each share as evenly as possible (earlier rounds get the
+/// remainder so compute starts sooner).
+pub fn split_installments(counts: &[usize], k: usize) -> Vec<Vec<usize>> {
+    assert!(k >= 1);
+    (0..k)
+        .map(|round| {
+            counts
+                .iter()
+                .map(|&c| {
+                    let base = c / k;
+                    let rem = c % k;
+                    base + usize::from(round < rem)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Simulates a multi-installment scatter: the root sends `rounds[0]` to
+/// `P_1..P_p` in order, then `rounds[1]`, etc.
+///
+/// ```
+/// use gs_gridsim::installments::{simulate_installments, split_installments};
+/// use gs_scatter::cost::Processor;
+///
+/// let ps = vec![Processor::linear("w", 1.0, 1.0), Processor::linear("root", 0.0, 1.0)];
+/// let view: Vec<&Processor> = ps.iter().collect();
+/// let one = simulate_installments(&view, &split_installments(&[8, 8], 1));
+/// let four = simulate_installments(&view, &split_installments(&[8, 8], 4));
+/// // Installments start the root's compute earlier, never later.
+/// assert!(four.makespan <= one.makespan);
+/// ```
+/// (single port; empty
+/// installments are skipped and cost nothing). Each processor computes
+/// greedily on whatever has arrived, charging the *marginal* compute cost
+/// `Tcomp(total_so_far) − Tcomp(previous_total)` per installment, which
+/// reduces to the usual per-item cost for linear functions and stays
+/// consistent for non-linear ones.
+pub fn simulate_installments(procs: &[&Processor], rounds: &[Vec<usize>]) -> InstallmentRun {
+    let p = procs.len();
+    for r in rounds {
+        assert_eq!(r.len(), p, "every round covers every processor");
+    }
+    let mut port = 0.0f64; // root's outgoing-port availability
+    let mut cum_items = vec![0usize; p];
+    let mut compute_free = vec![0.0f64; p]; // when each CPU finishes queued work
+    let mut first_arrival = vec![f64::INFINITY; p];
+    let mut received_any = vec![false; p];
+
+    for round in rounds {
+        for i in 0..p {
+            let c = round[i];
+            if c == 0 {
+                continue;
+            }
+            // Transfer: marginal comm cost of c more items.
+            let before = procs[i].comm.eval(cum_items[i]);
+            let after = procs[i].comm.eval(cum_items[i] + c);
+            port += (after - before).max(0.0);
+            let arrival = port;
+            if !received_any[i] {
+                first_arrival[i] = arrival;
+                received_any[i] = true;
+            }
+            // Compute: marginal cost of c more items, starting when both
+            // the data is here and the CPU is free.
+            let w_before = procs[i].comp.eval(cum_items[i]);
+            let w_after = procs[i].comp.eval(cum_items[i] + c);
+            let start = compute_free[i].max(arrival);
+            compute_free[i] = start + (w_after - w_before).max(0.0);
+            cum_items[i] += c;
+        }
+    }
+
+    for i in 0..p {
+        if !received_any[i] {
+            first_arrival[i] = 0.0;
+        }
+    }
+    let makespan = compute_free.iter().copied().fold(0.0, f64::max);
+    InstallmentRun { finish: compute_free, makespan, first_arrival }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_scatter::distribution::timeline;
+
+    fn procs() -> Vec<Processor> {
+        vec![
+            Processor::linear("a", 1.0, 2.0),
+            Processor::linear("b", 2.0, 1.0),
+            Processor::linear("root", 0.0, 1.0),
+        ]
+    }
+
+    #[test]
+    fn split_preserves_counts() {
+        let rounds = split_installments(&[10, 7, 0], 3);
+        assert_eq!(rounds.len(), 3);
+        for i in 0..3 {
+            let total: usize = rounds.iter().map(|r| r[i]).sum();
+            assert_eq!(total, [10, 7, 0][i]);
+        }
+        // Earlier rounds carry the remainder.
+        assert_eq!(rounds[0][1], 3);
+        assert_eq!(rounds[2][1], 2);
+    }
+
+    #[test]
+    fn one_installment_equals_one_round_model() {
+        let ps = procs();
+        let view: Vec<&Processor> = ps.iter().collect();
+        let counts = vec![3usize, 2, 1];
+        let run = simulate_installments(&view, &split_installments(&counts, 1));
+        let tl = timeline(&view, &counts);
+        for (a, b) in run.finish.iter().zip(&tl.finish) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+        assert_eq!(run.makespan, tl.makespan());
+    }
+
+    #[test]
+    fn installments_start_compute_earlier() {
+        let ps = procs();
+        let view: Vec<&Processor> = ps.iter().collect();
+        let counts = vec![8usize, 8, 0];
+        let one = simulate_installments(&view, &split_installments(&counts, 1));
+        let four = simulate_installments(&view, &split_installments(&counts, 4));
+        // P2's first data arrives much earlier with installments.
+        assert!(four.first_arrival[1] < one.first_arrival[1]);
+    }
+
+    #[test]
+    fn moderate_installments_improve_then_degrade() {
+        // The classical divisible-load result: a few installments shave
+        // the stair, but with round-major interleaving each processor's
+        // LAST piece arrives ever later as k grows, so the optimum k is
+        // finite — makespan is not monotone in k.
+        let ps = procs();
+        let view: Vec<&Processor> = ps.iter().collect();
+        let counts = vec![20usize, 12, 8];
+        let at = |k: usize| {
+            simulate_installments(&view, &split_installments(&counts, k)).makespan
+        };
+        let one = at(1);
+        let best_multi = [2usize, 4, 8].iter().map(|&k| at(k)).fold(f64::INFINITY, f64::min);
+        assert!(best_multi < one, "some k > 1 must beat one round: {best_multi} vs {one}");
+        // And overly fine installments are worse than the best choice.
+        assert!(at(16) > best_multi);
+    }
+
+    #[test]
+    fn empty_installments_cost_nothing() {
+        let ps = procs();
+        let view: Vec<&Processor> = ps.iter().collect();
+        // k far larger than the share: most installments are empty.
+        let run = simulate_installments(&view, &split_installments(&[2, 1, 0], 10));
+        assert_eq!(run.finish.len(), 3);
+        assert!(run.makespan.is_finite());
+        let direct = simulate_installments(&view, &split_installments(&[2, 1, 0], 1));
+        // With such tiny shares the schedules coincide.
+        assert!(run.makespan <= direct.makespan + 1e-9);
+    }
+
+    #[test]
+    fn marginal_costs_respect_non_linear_comp() {
+        // Quadratic-ish compute: total work must not depend on k.
+        let ps = [Processor::custom("quad", |x| 0.1 * x as f64, |x| (x * x) as f64 * 0.01),
+            Processor::linear("root", 0.0, 1.0)];
+        let view: Vec<&Processor> = ps.iter().collect();
+        let one = simulate_installments(&view, &split_installments(&[10, 0], 1));
+        let five = simulate_installments(&view, &split_installments(&[10, 0], 5));
+        // Same total compute (1.0 s) regardless of installment count; only
+        // the arrival pattern differs.
+        let total_work = 0.01 * 100.0;
+        assert!(one.finish[0] >= total_work);
+        assert!(five.finish[0] >= total_work);
+        assert!(five.finish[0] <= one.finish[0] + 1e-9);
+    }
+}

@@ -1,0 +1,169 @@
+//! Background-load traces: piecewise-constant slowdown factors.
+//!
+//! §3 of the paper notes that the computed distribution can be based on
+//! *instantaneous* grid characteristics queried from a monitoring daemon
+//! (à la Network Weather Service) just before the scatter. To study that
+//! scenario — and to reproduce artifacts like the "peak load on sekhmet
+//! during the experiment" that §5.2 blames for Fig. 4's residual
+//! imbalance — the simulator lets each processor carry a [`LoadTrace`]: a
+//! piecewise-constant factor `>= 1` by which its compute time is stretched.
+
+/// A piecewise-constant slowdown profile.
+///
+/// `factor(t)` multiplies the processor's *instantaneous* compute cost at
+/// time `t`: a factor of 2.0 means the CPU progresses at half speed
+/// (e.g. a competing background job). Factors must be `>= 1` is *not*
+/// required — a factor below 1 models a machine that was benchmarked under
+/// load and is now free — but they must be positive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadTrace {
+    /// `(start_time, factor)` segments, sorted by start time. The factor
+    /// before the first segment is 1.0; each segment lasts until the next.
+    segments: Vec<(f64, f64)>,
+}
+
+impl LoadTrace {
+    /// The identity trace (no background load).
+    pub fn none() -> Self {
+        LoadTrace { segments: Vec::new() }
+    }
+
+    /// Builds a trace from `(start_time, factor)` segments.
+    ///
+    /// # Panics
+    /// Panics if segments are unsorted or a factor is not strictly
+    /// positive and finite.
+    pub fn new(segments: Vec<(f64, f64)>) -> Self {
+        assert!(
+            segments.windows(2).all(|w| w[0].0 < w[1].0),
+            "segments must be strictly sorted by start time"
+        );
+        for &(t, f) in &segments {
+            assert!(t >= 0.0, "segment start {t} must be >= 0");
+            assert!(f.is_finite() && f > 0.0, "factor {f} must be positive");
+        }
+        LoadTrace { segments }
+    }
+
+    /// A single load spike: factor `f` during `[from, to)`.
+    pub fn spike(from: f64, to: f64, factor: f64) -> Self {
+        assert!(from < to, "empty spike");
+        LoadTrace::new(vec![(from, factor), (to, 1.0)])
+    }
+
+    /// The slowdown factor at time `t`.
+    pub fn factor_at(&self, t: f64) -> f64 {
+        match self.segments.iter().rev().find(|&&(start, _)| start <= t) {
+            Some(&(_, f)) => f,
+            None => 1.0,
+        }
+    }
+
+    /// Given `work` seconds of nominal compute starting at `start`,
+    /// returns the wall-clock completion time under this trace.
+    ///
+    /// Progress accrues at rate `1/factor(t)`; the answer solves
+    /// `∫_{start}^{end} dt / factor(t) = work` by walking the segments.
+    pub fn finish_time(&self, start: f64, work: f64) -> f64 {
+        assert!(work >= 0.0 && work.is_finite());
+        if work == 0.0 {
+            return start;
+        }
+        let mut t = start;
+        let mut remaining = work;
+        loop {
+            let factor = self.factor_at(t);
+            // Next boundary strictly after t, if any.
+            let next = self
+                .segments
+                .iter()
+                .map(|&(s, _)| s)
+                .find(|&s| s > t);
+            match next {
+                Some(boundary) => {
+                    let span = boundary - t;
+                    let progress = span / factor;
+                    if progress >= remaining {
+                        return t + remaining * factor;
+                    }
+                    remaining -= progress;
+                    t = boundary;
+                }
+                None => return t + remaining * factor,
+            }
+        }
+    }
+}
+
+impl Default for LoadTrace {
+    fn default() -> Self {
+        LoadTrace::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_trace() {
+        let t = LoadTrace::none();
+        assert_eq!(t.factor_at(0.0), 1.0);
+        assert_eq!(t.factor_at(1e9), 1.0);
+        assert_eq!(t.finish_time(5.0, 10.0), 15.0);
+        assert_eq!(t.finish_time(5.0, 0.0), 5.0);
+    }
+
+    #[test]
+    fn factor_lookup() {
+        let t = LoadTrace::new(vec![(10.0, 2.0), (20.0, 4.0), (30.0, 1.0)]);
+        assert_eq!(t.factor_at(0.0), 1.0);
+        assert_eq!(t.factor_at(10.0), 2.0);
+        assert_eq!(t.factor_at(19.9), 2.0);
+        assert_eq!(t.factor_at(20.0), 4.0);
+        assert_eq!(t.factor_at(31.0), 1.0);
+    }
+
+    #[test]
+    fn finish_time_within_one_segment() {
+        let t = LoadTrace::spike(0.0, 100.0, 2.0);
+        // 10 s of work at half speed takes 20 s.
+        assert_eq!(t.finish_time(0.0, 10.0), 20.0);
+    }
+
+    #[test]
+    fn finish_time_across_boundary() {
+        let t = LoadTrace::spike(0.0, 10.0, 2.0);
+        // First 10 wall-seconds yield 5 work-seconds; the remaining 5 work
+        // at full speed: finish at 15.
+        assert_eq!(t.finish_time(0.0, 10.0), 15.0);
+    }
+
+    #[test]
+    fn finish_time_spike_in_middle() {
+        let t = LoadTrace::spike(10.0, 20.0, 3.0);
+        // Start at 5 with 10 s of work: 5 s free (work 5 by t=10); during
+        // the spike [10, 20) only 10/3 work accrues; the remaining
+        // 5 - 10/3 = 5/3 finishes at full speed => 20 + 5/3.
+        let expect = 20.0 + 5.0 / 3.0;
+        assert!((t.finish_time(5.0, 10.0) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_factor_below_one() {
+        let t = LoadTrace::new(vec![(0.0, 0.5)]);
+        assert_eq!(t.finish_time(0.0, 10.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn rejects_unsorted() {
+        let _ = LoadTrace::new(vec![(10.0, 2.0), (5.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_factor() {
+        let _ = LoadTrace::new(vec![(0.0, 0.0)]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Summary metrics for a simulated (or analytic) run.
+
+use gs_scatter::distribution::Timeline;
+
+/// Aggregate metrics of one scatter + compute phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMetrics {
+    /// Overall makespan (Eq. 2).
+    pub makespan: f64,
+    /// Earliest finish time.
+    pub min_finish: f64,
+    /// `(makespan − min_finish) / makespan` — the §5.2 balance metric.
+    pub imbalance: f64,
+    /// Sum over processors of the time spent waiting before their data
+    /// starts flowing — the area of the "stair" of Fig. 1.
+    pub stair_area: f64,
+    /// Sum over processors of `makespan − finish_i` (post-compute idling).
+    pub tail_idle: f64,
+    /// Total seconds of useful computation.
+    pub compute_area: f64,
+    /// Total seconds the root's port spent transmitting.
+    pub comm_total: f64,
+}
+
+impl RunMetrics {
+    /// Computes metrics from a timeline (in scatter order).
+    pub fn from_timeline(tl: &Timeline) -> Self {
+        let makespan = tl.makespan();
+        let min_finish = tl.min_finish();
+        let stair_area: f64 = tl.comm_start.iter().sum();
+        let tail_idle: f64 = tl.finish.iter().map(|f| makespan - f).sum();
+        let compute_area: f64 = tl
+            .finish
+            .iter()
+            .zip(&tl.comm_end)
+            .map(|(f, c)| f - c)
+            .sum();
+        let comm_total: f64 = tl
+            .comm_end
+            .iter()
+            .zip(&tl.comm_start)
+            .map(|(e, s)| e - s)
+            .sum();
+        RunMetrics {
+            makespan,
+            min_finish,
+            imbalance: if makespan == 0.0 { 0.0 } else { (makespan - min_finish) / makespan },
+            stair_area,
+            tail_idle,
+            compute_area,
+            comm_total,
+        }
+    }
+
+    /// Speedup of this run relative to a baseline makespan.
+    pub fn speedup_over(&self, baseline_makespan: f64) -> f64 {
+        baseline_makespan / self.makespan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tl() -> Timeline {
+        Timeline {
+            comm_start: vec![0.0, 2.0, 5.0],
+            comm_end: vec![2.0, 5.0, 5.0],
+            finish: vec![8.0, 9.0, 10.0],
+        }
+    }
+
+    #[test]
+    fn metrics_hand_checked() {
+        let m = RunMetrics::from_timeline(&tl());
+        assert_eq!(m.makespan, 10.0);
+        assert_eq!(m.min_finish, 8.0);
+        assert!((m.imbalance - 0.2).abs() < 1e-12);
+        assert_eq!(m.stair_area, 7.0); // 0 + 2 + 5
+        assert_eq!(m.tail_idle, 3.0); // 2 + 1 + 0
+        assert_eq!(m.compute_area, 6.0 + 4.0 + 5.0);
+        assert_eq!(m.comm_total, 5.0); // 2 + 3 + 0
+    }
+
+    #[test]
+    fn speedup() {
+        let m = RunMetrics::from_timeline(&tl());
+        assert_eq!(m.speedup_over(20.0), 2.0);
+    }
+
+    #[test]
+    fn zero_makespan_has_zero_imbalance() {
+        let m = RunMetrics::from_timeline(&Timeline {
+            comm_start: vec![0.0],
+            comm_end: vec![0.0],
+            finish: vec![0.0],
+        });
+        assert_eq!(m.imbalance, 0.0);
+    }
+}

@@ -1,0 +1,391 @@
+//! Discrete-event simulation of scatter + compute phases.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use gs_scatter::cost::{Platform, Processor};
+use gs_scatter::distribution::Timeline;
+use gs_scatter::planner::Plan;
+
+use crate::engine::{Engine, SimEvent, SimEventKind};
+use crate::load::LoadTrace;
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Default)]
+pub struct SimConfig {
+    /// Background-load trace per processor, **in scatter order**. Empty
+    /// means no background load anywhere.
+    pub loads: Vec<LoadTrace>,
+}
+
+impl SimConfig {
+    /// No background load.
+    pub fn ideal() -> Self {
+        SimConfig::default()
+    }
+
+    /// Background loads, one per processor in scatter order.
+    pub fn with_loads(loads: Vec<LoadTrace>) -> Self {
+        SimConfig { loads }
+    }
+}
+
+/// Result of one simulated scatter + compute phase.
+#[derive(Debug, Clone)]
+pub struct ScatterSim {
+    /// Per-processor schedule, in scatter order.
+    pub timeline: Timeline,
+    /// Full event trace, in time order.
+    pub events: Vec<SimEvent>,
+    /// Overall makespan.
+    pub makespan: f64,
+}
+
+struct SimState {
+    comm_time: Vec<f64>,
+    work: Vec<f64>,
+    loads: Vec<LoadTrace>,
+    comm_start: Vec<f64>,
+    comm_end: Vec<f64>,
+    finish: Vec<f64>,
+}
+
+/// Simulates one scatter (root sends blocks in order, single-port) followed
+/// by the compute phase, under optional background load.
+///
+/// ```
+/// use gs_gridsim::sim::{simulate_scatter, SimConfig};
+/// use gs_scatter::cost::Processor;
+///
+/// let procs = vec![
+///     Processor::linear("w", 1.0, 2.0),
+///     Processor::linear("root", 0.0, 1.0),
+/// ];
+/// let view: Vec<&Processor> = procs.iter().collect();
+/// let sim = simulate_scatter(&view, &[3, 2], &SimConfig::ideal());
+/// // w: 3 s receiving + 6 s computing.
+/// assert_eq!(sim.timeline.finish[0], 9.0);
+/// assert_eq!(sim.makespan, 9.0);
+/// ```
+///
+/// `procs` and `counts` are in scatter order (root last), as produced by
+/// [`gs_scatter::planner::Planner`]. Without background load the resulting
+/// timeline equals [`gs_scatter::distribution::timeline`] exactly.
+pub fn simulate_scatter(
+    procs: &[&Processor],
+    counts: &[usize],
+    config: &SimConfig,
+) -> ScatterSim {
+    assert_eq!(procs.len(), counts.len(), "one count per processor");
+    assert!(
+        config.loads.is_empty() || config.loads.len() == procs.len(),
+        "loads must be empty or match the processor count"
+    );
+    let p = procs.len();
+    let loads = if config.loads.is_empty() {
+        vec![LoadTrace::none(); p]
+    } else {
+        config.loads.clone()
+    };
+    let state = Rc::new(RefCell::new(SimState {
+        comm_time: procs.iter().zip(counts).map(|(pr, &c)| pr.comm.eval(c)).collect(),
+        work: procs.iter().zip(counts).map(|(pr, &c)| pr.comp.eval(c)).collect(),
+        loads,
+        comm_start: vec![0.0; p],
+        comm_end: vec![0.0; p],
+        finish: vec![0.0; p],
+    }));
+
+    let mut engine = Engine::new();
+    if p > 0 {
+        schedule_send(&mut engine, state.clone(), 0, p);
+    }
+    let makespan = engine.run();
+
+    let st = state.borrow();
+    ScatterSim {
+        timeline: Timeline {
+            comm_start: st.comm_start.clone(),
+            comm_end: st.comm_end.clone(),
+            finish: st.finish.clone(),
+        },
+        events: engine.trace,
+        makespan,
+    }
+}
+
+fn schedule_send(engine: &mut Engine, state: Rc<RefCell<SimState>>, i: usize, p: usize) {
+    engine.record(SimEventKind::SendStart, i);
+    let dt = {
+        let mut st = state.borrow_mut();
+        st.comm_start[i] = engine.now();
+        st.comm_time[i]
+    };
+    let st2 = state.clone();
+    engine.schedule_after(dt, move |e| {
+        e.record(SimEventKind::SendEnd, i);
+        e.record(SimEventKind::ComputeStart, i);
+        let finish = {
+            let mut st = st2.borrow_mut();
+            st.comm_end[i] = e.now();
+            st.loads[i].finish_time(e.now(), st.work[i])
+        };
+        let st3 = st2.clone();
+        e.schedule_at(finish, move |e| {
+            e.record(SimEventKind::ComputeEnd, i);
+            st3.borrow_mut().finish[i] = e.now();
+        });
+        // The root's port is free: start the next transfer immediately.
+        if i + 1 < p {
+            schedule_send(e, st2.clone(), i + 1, p);
+        }
+    });
+}
+
+/// Simulates a [`Plan`] on its platform. `loads_by_index` (if non-empty)
+/// gives one [`LoadTrace`] per processor **by platform index**; they are
+/// re-arranged into the plan's scatter order internally.
+pub fn simulate_plan(
+    platform: &Platform,
+    plan: &Plan,
+    loads_by_index: &[LoadTrace],
+) -> ScatterSim {
+    let view = platform.ordered(&plan.order);
+    let counts = plan.counts_in_order();
+    let config = if loads_by_index.is_empty() {
+        SimConfig::ideal()
+    } else {
+        assert_eq!(loads_by_index.len(), platform.len());
+        SimConfig::with_loads(
+            plan.order.iter().map(|&i| loads_by_index[i].clone()).collect(),
+        )
+    };
+    simulate_scatter(&view, &counts, &config)
+}
+
+/// Simulates `rounds` consecutive scatter+compute phases (an SPMD loop that
+/// re-scatters between iterations). Round `k+1` starts only when every
+/// processor of round `k` has finished — the paper keeps the original
+/// code's communication structure, with no overlap between phases.
+/// Background loads persist across rounds (they are absolute-time traces).
+pub fn simulate_multi_round(
+    procs: &[&Processor],
+    counts_per_round: &[Vec<usize>],
+    config: &SimConfig,
+) -> Vec<ScatterSim> {
+    let mut out = Vec::with_capacity(counts_per_round.len());
+    let mut offset = 0.0f64;
+    for counts in counts_per_round {
+        // Shift the load traces into the round's local time frame.
+        let local = SimConfig {
+            loads: config
+                .loads
+                .iter()
+                .map(|t| shift_trace(t, offset))
+                .collect(),
+        };
+        let mut sim = simulate_scatter(procs, counts, &local);
+        // Re-express times absolutely.
+        for v in sim
+            .timeline
+            .comm_start
+            .iter_mut()
+            .chain(sim.timeline.comm_end.iter_mut())
+            .chain(sim.timeline.finish.iter_mut())
+        {
+            *v += offset;
+        }
+        for ev in &mut sim.events {
+            ev.time += offset;
+        }
+        sim.makespan += offset;
+        offset = sim.makespan;
+        out.push(sim);
+    }
+    out
+}
+
+/// Re-bases a load trace so that absolute time `offset` becomes local 0.
+fn shift_trace(trace: &LoadTrace, offset: f64) -> LoadTrace {
+    if offset == 0.0 {
+        return trace.clone();
+    }
+    // Sample the factor at the offset, then keep later segments shifted.
+    let mut segments = vec![(0.0, trace.factor_at(offset))];
+    // Conservatively re-sample boundaries after the offset.
+    let mut t = offset;
+    loop {
+        // Find next boundary after t by probing the trace's own structure:
+        // LoadTrace has no public segment accessor, so probe adaptively.
+        let f = trace.factor_at(t);
+        let mut step = 1.0;
+        let mut next = None;
+        // Exponential search out to a horizon, then binary refine.
+        let horizon = 1e7;
+        while t + step < offset + horizon {
+            if trace.factor_at(t + step) != f {
+                // Binary refine in (t, t+step].
+                let (mut lo, mut hi) = (t, t + step);
+                for _ in 0..80 {
+                    let mid = 0.5 * (lo + hi);
+                    if trace.factor_at(mid) != f {
+                        hi = mid;
+                    } else {
+                        lo = mid;
+                    }
+                }
+                next = Some(hi);
+                break;
+            }
+            step *= 2.0;
+        }
+        match next {
+            Some(b) => {
+                segments.push((b - offset, trace.factor_at(b)));
+                t = b;
+            }
+            None => break,
+        }
+    }
+    // Deduplicate equal consecutive factors and drop the leading identity.
+    segments.dedup_by(|a, b| a.1 == b.1);
+    if segments.len() == 1 && segments[0].1 == 1.0 {
+        return LoadTrace::none();
+    }
+    LoadTrace::new(segments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_scatter::distribution::timeline;
+    use gs_scatter::ordering::OrderPolicy;
+    use gs_scatter::planner::{Planner, Strategy};
+
+    fn procs() -> Vec<Processor> {
+        vec![
+            Processor::linear("a", 1.0, 2.0),
+            Processor::linear("b", 2.0, 1.0),
+            Processor::linear("root", 0.0, 1.0),
+        ]
+    }
+
+    #[test]
+    fn matches_analytic_timeline_exactly() {
+        let ps = procs();
+        let view: Vec<&Processor> = ps.iter().collect();
+        let counts = vec![3usize, 2, 1];
+        let sim = simulate_scatter(&view, &counts, &SimConfig::ideal());
+        let analytic = timeline(&view, &counts);
+        assert_eq!(sim.timeline, analytic);
+        assert_eq!(sim.makespan, analytic.makespan());
+    }
+
+    #[test]
+    fn event_trace_is_consistent() {
+        let ps = procs();
+        let view: Vec<&Processor> = ps.iter().collect();
+        let sim = simulate_scatter(&view, &[3, 2, 1], &SimConfig::ideal());
+        // 4 events per processor.
+        assert_eq!(sim.events.len(), 12);
+        // Events are time-ordered.
+        assert!(sim.events.windows(2).all(|w| w[0].time <= w[1].time));
+        // SendStart of i+1 coincides with SendEnd of i (single port).
+        for i in 0..2 {
+            let end_i = sim
+                .events
+                .iter()
+                .find(|e| e.kind == SimEventKind::SendEnd && e.proc == i)
+                .unwrap()
+                .time;
+            let start_next = sim
+                .events
+                .iter()
+                .find(|e| e.kind == SimEventKind::SendStart && e.proc == i + 1)
+                .unwrap()
+                .time;
+            assert_eq!(end_i, start_next);
+        }
+    }
+
+    #[test]
+    fn load_spike_delays_victim_only() {
+        let ps = procs();
+        let view: Vec<&Processor> = ps.iter().collect();
+        let counts = vec![3usize, 2, 1];
+        // Processor 0 computes during [3, 9]; slow it 2x over [3, 9].
+        let loads = vec![
+            LoadTrace::spike(3.0, 9.0, 2.0),
+            LoadTrace::none(),
+            LoadTrace::none(),
+        ];
+        let sim = simulate_scatter(&view, &counts, &SimConfig::with_loads(loads));
+        let ideal = timeline(&view, &counts);
+        // Victim: 6 s of work, first 6 wall-seconds yield 3 => 3 left at
+        // full speed: finish 3 + 6 + 3 = 12 (was 9).
+        assert_eq!(sim.timeline.finish[0], 12.0);
+        assert_eq!(sim.timeline.finish[1], ideal.finish[1]);
+        assert_eq!(sim.timeline.finish[2], ideal.finish[2]);
+    }
+
+    #[test]
+    fn simulate_plan_reorders_loads_by_index() {
+        let plat = Platform::new(procs(), 2).unwrap();
+        let plan = Planner::new(plat.clone())
+            .strategy(Strategy::Exact)
+            .order_policy(OrderPolicy::DescendingBandwidth)
+            .plan(60)
+            .unwrap();
+        // Slow down platform-index 0 ("a"), wherever it lands in the order.
+        let mut loads = vec![LoadTrace::none(); 3];
+        loads[0] = LoadTrace::new(vec![(0.0, 3.0)]);
+        let perturbed = simulate_plan(&plat, &plan, &loads);
+        let ideal = simulate_plan(&plat, &plan, &[]);
+        let pos_a = plan.order.iter().position(|&i| i == 0).unwrap();
+        assert!(perturbed.timeline.finish[pos_a] > ideal.timeline.finish[pos_a]);
+        // Everyone else unchanged.
+        for pos in 0..3 {
+            if pos != pos_a {
+                assert_eq!(perturbed.timeline.finish[pos], ideal.timeline.finish[pos]);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_round_rounds_are_sequential() {
+        let ps = procs();
+        let view: Vec<&Processor> = ps.iter().collect();
+        let rounds = vec![vec![3usize, 2, 1], vec![1, 1, 1]];
+        let sims = simulate_multi_round(&view, &rounds, &SimConfig::ideal());
+        assert_eq!(sims.len(), 2);
+        let end0 = sims[0].makespan;
+        // Round 1 starts exactly at round 0's makespan.
+        assert_eq!(sims[1].timeline.comm_start[0], end0);
+        assert!(sims[1].makespan > end0);
+    }
+
+    #[test]
+    fn multi_round_load_trace_spans_rounds() {
+        let ps = procs();
+        let view: Vec<&Processor> = ps.iter().collect();
+        // Constant 2x slowdown on proc 0 the whole time.
+        let config = SimConfig::with_loads(vec![
+            LoadTrace::new(vec![(0.0, 2.0)]),
+            LoadTrace::none(),
+            LoadTrace::none(),
+        ]);
+        let rounds = vec![vec![2usize, 0, 0], vec![2, 0, 0]];
+        let sims = simulate_multi_round(&view, &rounds, &config);
+        // Each round: comm 2 s + compute 2*4 = 8 s => 10 s per round.
+        assert_eq!(sims[0].makespan, 10.0);
+        assert_eq!(sims[1].makespan, 20.0);
+    }
+
+    #[test]
+    fn empty_counts() {
+        let ps = procs();
+        let view: Vec<&Processor> = ps.iter().collect();
+        let sim = simulate_scatter(&view, &[0, 0, 0], &SimConfig::ideal());
+        assert_eq!(sim.makespan, 0.0);
+    }
+}

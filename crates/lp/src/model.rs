@@ -1,0 +1,492 @@
+//! Linear-program model builder and lowering to standard form.
+
+use std::fmt;
+use std::ops::Index;
+
+use gs_numeric::Rational;
+
+use crate::simplex::{self, StandardForm};
+
+/// Handle to a decision variable of an [`LpProblem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(pub(crate) usize);
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// Relation of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `expr <= rhs`
+    Le,
+    /// `expr >= rhs`
+    Ge,
+    /// `expr == rhs`
+    Eq,
+}
+
+/// A linear constraint `sum(coef_i * x_i)  REL  rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Sparse coefficient list `(variable, coefficient)`.
+    pub terms: Vec<(VarId, Rational)>,
+    /// Constraint relation.
+    pub relation: Relation,
+    /// Right-hand side constant.
+    pub rhs: Rational,
+}
+
+/// Why an LP has no optimal solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => f.write_str("linear program is infeasible"),
+            LpError::Unbounded => f.write_str("linear program is unbounded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An optimal solution: one value per declared variable plus the objective.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solution {
+    /// Optimal value of each variable, indexed by [`VarId`].
+    pub values: Vec<Rational>,
+    /// Optimal objective value (in the problem's original sense).
+    pub objective: Rational,
+}
+
+impl Index<VarId> for Solution {
+    type Output = Rational;
+    fn index(&self, v: VarId) -> &Rational {
+        &self.values[v.0]
+    }
+}
+
+/// A linear program under construction.
+///
+/// Variables are non-negative by default; [`LpProblem::add_free_var`]
+/// declares a sign-unrestricted variable (lowered internally as the
+/// difference of two non-negative variables).
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    sense: Sense,
+    names: Vec<String>,
+    free: Vec<bool>,
+    objective: Vec<Rational>,
+    constraints: Vec<Constraint>,
+}
+
+impl LpProblem {
+    /// Creates an empty problem with the given optimization sense.
+    pub fn new(sense: Sense) -> Self {
+        LpProblem {
+            sense,
+            names: Vec::new(),
+            free: Vec::new(),
+            objective: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Declares a non-negative variable.
+    pub fn add_var(&mut self, name: impl Into<String>) -> VarId {
+        self.names.push(name.into());
+        self.free.push(false);
+        self.objective.push(Rational::zero());
+        VarId(self.names.len() - 1)
+    }
+
+    /// Declares a sign-unrestricted variable.
+    pub fn add_free_var(&mut self, name: impl Into<String>) -> VarId {
+        let v = self.add_var(name);
+        self.free[v.0] = true;
+        v
+    }
+
+    /// Number of declared variables.
+    pub fn num_vars(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of constraints added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Name of a variable.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.names[v.0]
+    }
+
+    /// Sets the objective coefficients (unset variables keep coefficient 0).
+    pub fn set_objective(&mut self, terms: impl IntoIterator<Item = (VarId, Rational)>) {
+        for c in &mut self.objective {
+            *c = Rational::zero();
+        }
+        for (v, c) in terms {
+            self.objective[v.0] = c;
+        }
+    }
+
+    /// Adds `terms <= rhs`.
+    pub fn add_le(
+        &mut self,
+        terms: impl IntoIterator<Item = (VarId, Rational)>,
+        rhs: Rational,
+    ) {
+        self.add_constraint(terms, Relation::Le, rhs);
+    }
+
+    /// Adds `terms >= rhs`.
+    pub fn add_ge(
+        &mut self,
+        terms: impl IntoIterator<Item = (VarId, Rational)>,
+        rhs: Rational,
+    ) {
+        self.add_constraint(terms, Relation::Ge, rhs);
+    }
+
+    /// Adds `terms == rhs`.
+    pub fn add_eq(
+        &mut self,
+        terms: impl IntoIterator<Item = (VarId, Rational)>,
+        rhs: Rational,
+    ) {
+        self.add_constraint(terms, Relation::Eq, rhs);
+    }
+
+    /// Adds a constraint with an explicit [`Relation`].
+    pub fn add_constraint(
+        &mut self,
+        terms: impl IntoIterator<Item = (VarId, Rational)>,
+        relation: Relation,
+        rhs: Rational,
+    ) {
+        self.constraints.push(Constraint {
+            terms: terms.into_iter().collect(),
+            relation,
+            rhs,
+        });
+    }
+
+    /// Solves the problem exactly.
+    ///
+    /// Returns the optimal [`Solution`], or an [`LpError`] when the program
+    /// is infeasible or unbounded.
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        let (std_form, recover) = self.lower();
+        let std_sol = simplex::solve(&std_form)?;
+        // Recover original variable values.
+        let mut values = Vec::with_capacity(self.num_vars());
+        for r in &recover {
+            match r {
+                Recover::Direct(i) => values.push(std_sol[*i].clone()),
+                Recover::Split(p, m) => values.push(&std_sol[*p] - &std_sol[*m]),
+            }
+        }
+        // Compute the objective from the recovered values in the ORIGINAL
+        // sense — avoids any sign bookkeeping with the lowered form.
+        let mut objective = Rational::zero();
+        for (i, c) in self.objective.iter().enumerate() {
+            if !c.is_zero() {
+                objective += &(c * &values[i]);
+            }
+        }
+        Ok(Solution { values, objective })
+    }
+
+    /// Checks whether an assignment satisfies every constraint (and the
+    /// non-negativity of non-free variables). Used by tests and as a cheap
+    /// post-solve sanity check.
+    pub fn is_feasible(&self, values: &[Rational]) -> bool {
+        if values.len() != self.num_vars() {
+            return false;
+        }
+        for (i, v) in values.iter().enumerate() {
+            if !self.free[i] && v.is_negative() {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let mut lhs = Rational::zero();
+            for (v, coef) in &c.terms {
+                lhs += &(coef * &values[v.0]);
+            }
+            let ok = match c.relation {
+                Relation::Le => lhs <= c.rhs,
+                Relation::Ge => lhs >= c.rhs,
+                Relation::Eq => lhs == c.rhs,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Lowers to standard form `min c'x  s.t.  Ax = b, x >= 0, b >= 0`.
+    fn lower(&self) -> (StandardForm, Vec<Recover>) {
+        // Map original variables to standard-form columns.
+        let mut recover = Vec::with_capacity(self.num_vars());
+        let mut n = 0usize;
+        for &is_free in &self.free {
+            if is_free {
+                recover.push(Recover::Split(n, n + 1));
+                n += 2;
+            } else {
+                recover.push(Recover::Direct(n));
+                n += 1;
+            }
+        }
+        let n_struct = n;
+        // One slack/surplus column per inequality.
+        let n_slack = self
+            .constraints
+            .iter()
+            .filter(|c| c.relation != Relation::Eq)
+            .count();
+        let n_total = n_struct + n_slack;
+
+        let m = self.constraints.len();
+        let mut a = vec![vec![Rational::zero(); n_total]; m];
+        let mut b = vec![Rational::zero(); m];
+        let mut slack_col = n_struct;
+        for (row, c) in self.constraints.iter().enumerate() {
+            for (v, coef) in &c.terms {
+                match recover[v.0] {
+                    Recover::Direct(col) => a[row][col] += coef,
+                    Recover::Split(p, mcol) => {
+                        a[row][p] += coef;
+                        a[row][mcol] -= coef;
+                    }
+                }
+            }
+            b[row] = c.rhs.clone();
+            match c.relation {
+                Relation::Le => {
+                    a[row][slack_col] = Rational::one();
+                    slack_col += 1;
+                }
+                Relation::Ge => {
+                    a[row][slack_col] = -Rational::one();
+                    slack_col += 1;
+                }
+                Relation::Eq => {}
+            }
+            // Normalize to b >= 0.
+            if b[row].is_negative() {
+                for x in &mut a[row] {
+                    *x = -x.clone();
+                }
+                b[row] = -b[row].clone();
+            }
+        }
+
+        // Objective in minimize sense.
+        let mut c_std = vec![Rational::zero(); n_total];
+        for (i, coef) in self.objective.iter().enumerate() {
+            let coef = match self.sense {
+                Sense::Minimize => coef.clone(),
+                Sense::Maximize => -coef.clone(),
+            };
+            match recover[i] {
+                Recover::Direct(col) => c_std[col] += &coef,
+                Recover::Split(p, mcol) => {
+                    c_std[p] += &coef;
+                    c_std[mcol] -= &coef;
+                }
+            }
+        }
+
+        (StandardForm { a, b, c: c_std }, recover)
+    }
+}
+
+/// How to recover an original variable from standard-form columns.
+enum Recover {
+    Direct(usize),
+    Split(usize, usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::from_ratio(n, d)
+    }
+
+    #[test]
+    fn classic_max_lp() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 => (2, 6), obj 36
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective([(x, r(3, 1)), (y, r(5, 1))]);
+        lp.add_le([(x, r(1, 1))], r(4, 1));
+        lp.add_le([(y, r(2, 1))], r(12, 1));
+        lp.add_le([(x, r(3, 1)), (y, r(2, 1))], r(18, 1));
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.objective, r(36, 1));
+        assert_eq!(sol[x], r(2, 1));
+        assert_eq!(sol[y], r(6, 1));
+        assert!(lp.is_feasible(&sol.values));
+    }
+
+    #[test]
+    fn min_with_ge_constraints_needs_phase1() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2, y >= 3 => x=7, y=3, obj 23
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective([(x, r(2, 1)), (y, r(3, 1))]);
+        lp.add_ge([(x, r(1, 1)), (y, r(1, 1))], r(10, 1));
+        lp.add_ge([(x, r(1, 1))], r(2, 1));
+        lp.add_ge([(y, r(1, 1))], r(3, 1));
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.objective, r(23, 1));
+        assert_eq!(sol[x], r(7, 1));
+        assert_eq!(sol[y], r(3, 1));
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y == 6, x - y == 0 => x = y = 2, obj 4
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective([(x, r(1, 1)), (y, r(1, 1))]);
+        lp.add_eq([(x, r(1, 1)), (y, r(2, 1))], r(6, 1));
+        lp.add_eq([(x, r(1, 1)), (y, r(-1, 1))], r(0, 1));
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol[x], r(2, 1));
+        assert_eq!(sol[y], r(2, 1));
+        assert_eq!(sol.objective, r(4, 1));
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var("x");
+        lp.set_objective([(x, r(1, 1))]);
+        lp.add_le([(x, r(1, 1))], r(1, 1));
+        lp.add_ge([(x, r(1, 1))], r(2, 1));
+        assert_eq!(lp.solve(), Err(LpError::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var("x");
+        lp.set_objective([(x, r(1, 1))]);
+        lp.add_ge([(x, r(1, 1))], r(1, 1));
+        assert_eq!(lp.solve(), Err(LpError::Unbounded));
+    }
+
+    #[test]
+    fn free_variable_goes_negative() {
+        // min x s.t. x >= -5 with x free => x = -5
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_free_var("x");
+        lp.set_objective([(x, r(1, 1))]);
+        lp.add_ge([(x, r(1, 1))], r(-5, 1));
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol[x], r(-5, 1));
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // min y s.t. -x - y <= -4 (i.e. x + y >= 4), x <= 3 => y = 1
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective([(y, r(1, 1))]);
+        lp.add_le([(x, r(-1, 1)), (y, r(-1, 1))], r(-4, 1));
+        lp.add_le([(x, r(1, 1))], r(3, 1));
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol[y], r(1, 1));
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // A classic degenerate vertex; Bland's rule guarantees termination.
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x1 = lp.add_var("x1");
+        let x2 = lp.add_var("x2");
+        let x3 = lp.add_var("x3");
+        lp.set_objective([(x1, r(10, 1)), (x2, r(-57, 1)), (x3, r(-9, 1))]);
+        lp.add_le([(x1, r(1, 2)), (x2, r(-11, 2)), (x3, r(-5, 2))], r(0, 1));
+        lp.add_le([(x1, r(1, 2)), (x2, r(-3, 2)), (x3, r(-1, 2))], r(0, 1));
+        lp.add_le([(x1, r(1, 1))], r(1, 1));
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.objective, r(1, 1));
+        assert_eq!(sol[x1], r(1, 1));
+    }
+
+    #[test]
+    fn zero_constraint_problem() {
+        // No constraints, minimize x => x = 0.
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var("x");
+        lp.set_objective([(x, r(1, 1))]);
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol[x], r(0, 1));
+    }
+
+    #[test]
+    fn redundant_equalities() {
+        // x + y = 2 stated twice: phase 1 must drop the redundant row.
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective([(x, r(1, 1))]);
+        lp.add_eq([(x, r(1, 1)), (y, r(1, 1))], r(2, 1));
+        lp.add_eq([(x, r(1, 1)), (y, r(1, 1))], r(2, 1));
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol[x], r(0, 1));
+        assert_eq!(sol[y], r(2, 1));
+    }
+
+    #[test]
+    fn exact_fractional_optimum() {
+        // The doc-test example: optimum at a fractional vertex, exactly.
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective([(x, r(1, 1)), (y, r(1, 1))]);
+        lp.add_le([(x, r(1, 1)), (y, r(2, 1))], r(4, 1));
+        lp.add_le([(x, r(3, 1)), (y, r(1, 1))], r(6, 1));
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol[x], r(8, 5));
+        assert_eq!(sol[y], r(6, 5));
+        assert_eq!(sol.objective, r(14, 5));
+    }
+
+    #[test]
+    fn feasibility_checker() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var("x");
+        lp.add_le([(x, r(1, 1))], r(5, 1));
+        assert!(lp.is_feasible(&[r(5, 1)]));
+        assert!(lp.is_feasible(&[r(0, 1)]));
+        assert!(!lp.is_feasible(&[r(6, 1)]));
+        assert!(!lp.is_feasible(&[r(-1, 1)]));
+        assert!(!lp.is_feasible(&[]));
+    }
+}

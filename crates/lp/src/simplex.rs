@@ -1,0 +1,266 @@
+//! Two-phase primal simplex on a dense rational tableau.
+//!
+//! Bland's rule (smallest-index entering and leaving variables) guarantees
+//! termination even on degenerate problems; with exact rational pivots there
+//! is no tolerance tuning and the returned vertex is the true optimum.
+
+use gs_numeric::Rational;
+
+use crate::model::LpError;
+
+/// `min c'x  s.t.  Ax = b, x >= 0` with `b >= 0` (callers normalize signs).
+pub(crate) struct StandardForm {
+    /// Constraint matrix, `m x n`.
+    pub a: Vec<Vec<Rational>>,
+    /// Right-hand side, length `m`, all non-negative.
+    pub b: Vec<Rational>,
+    /// Objective coefficients, length `n`.
+    pub c: Vec<Rational>,
+}
+
+/// Dense simplex tableau. Column layout: the `n` structural columns of the
+/// standard form, then (during phase 1) one artificial column per row.
+struct Tableau {
+    /// `m` rows of `width + 1` entries; the last entry is the RHS.
+    rows: Vec<Vec<Rational>>,
+    /// Reduced-cost row (`width` entries) plus the negated objective value.
+    obj: Vec<Rational>,
+    /// Basic variable (column index) of each row.
+    basis: Vec<usize>,
+}
+
+impl Tableau {
+    /// Performs a pivot on `(row, col)`: the column enters the basis.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let inv = self.rows[row][col].recip();
+        for x in &mut self.rows[row] {
+            *x = &*x * &inv;
+        }
+        let pivot_row = self.rows[row].clone();
+        for (r, cur) in self.rows.iter_mut().enumerate() {
+            if r == row || cur[col].is_zero() {
+                continue;
+            }
+            let factor = cur[col].clone();
+            for (x, p) in cur.iter_mut().zip(&pivot_row) {
+                *x -= &(&factor * p);
+            }
+        }
+        if !self.obj[col].is_zero() {
+            let factor = self.obj[col].clone();
+            for (x, p) in self.obj.iter_mut().zip(&pivot_row) {
+                *x -= &(&factor * p);
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs the simplex loop until optimality or unboundedness.
+    ///
+    /// `usable` bounds the columns eligible to enter (used to exclude
+    /// artificial columns in phase 2).
+    ///
+    /// Pivot rule: Dantzig (most-negative reduced cost) for speed, with a
+    /// permanent switch to Bland's smallest-index rule once the objective
+    /// has stalled for more than `m + n` pivots — degenerate stalls are
+    /// the only way cycling can start, and Bland guarantees termination.
+    fn optimize(&mut self, usable: usize) -> Result<(), LpError> {
+        let stall_limit = self.rows.len() + usable + 4;
+        let mut stalled = 0usize;
+        let mut bland = false;
+        loop {
+            let col = if bland {
+                (0..usable).find(|&j| self.obj[j].is_negative())
+            } else {
+                // Dantzig: most negative reduced cost.
+                let mut best: Option<usize> = None;
+                for j in 0..usable {
+                    if self.obj[j].is_negative()
+                        && best.is_none_or(|b| self.obj[j] < self.obj[b])
+                    {
+                        best = Some(j);
+                    }
+                }
+                best
+            };
+            let Some(col) = col else {
+                return Ok(());
+            };
+            // Leaving row: minimum ratio; ties by smallest basic index (Bland).
+            let mut best: Option<(usize, Rational)> = None;
+            for r in 0..self.rows.len() {
+                let a_rc = &self.rows[r][col];
+                if !a_rc.is_positive() {
+                    continue;
+                }
+                let ratio = self.rows[r].last().unwrap() / a_rc;
+                match &best {
+                    None => best = Some((r, ratio)),
+                    Some((br, bratio)) => {
+                        if ratio < *bratio
+                            || (ratio == *bratio && self.basis[r] < self.basis[*br])
+                        {
+                            best = Some((r, ratio));
+                        }
+                    }
+                }
+            }
+            let Some((row, ratio)) = best else {
+                return Err(LpError::Unbounded);
+            };
+            // A zero ratio means a degenerate pivot: no objective movement.
+            if ratio.is_zero() {
+                stalled += 1;
+                if stalled > stall_limit {
+                    bland = true;
+                }
+            } else {
+                stalled = 0;
+            }
+            self.pivot(row, col);
+        }
+    }
+
+    /// Installs an objective row for the given costs (length `width`) and
+    /// prices out the current basis so reduced costs are consistent.
+    fn set_objective(&mut self, costs: &[Rational]) {
+        self.obj = costs.to_vec();
+        self.obj.push(Rational::zero());
+        for r in 0..self.rows.len() {
+            let b = self.basis[r];
+            if !self.obj[b].is_zero() {
+                let factor = self.obj[b].clone();
+                let row = self.rows[r].clone();
+                for (x, p) in self.obj.iter_mut().zip(&row) {
+                    *x -= &(&factor * p);
+                }
+            }
+        }
+    }
+}
+
+/// Solves the standard form, returning the optimal values of the `n`
+/// structural variables.
+pub(crate) fn solve(sf: &StandardForm) -> Result<Vec<Rational>, LpError> {
+    let m = sf.a.len();
+    let n = sf.c.len();
+    debug_assert!(sf.b.iter().all(|v| !v.is_negative()), "b must be >= 0");
+
+    // Phase 1 tableau: [A | I_art | b], basis = artificials.
+    let width = n + m;
+    let mut rows = Vec::with_capacity(m);
+    for r in 0..m {
+        let mut row = Vec::with_capacity(width + 1);
+        row.extend(sf.a[r].iter().cloned());
+        for j in 0..m {
+            row.push(if j == r { Rational::one() } else { Rational::zero() });
+        }
+        row.push(sf.b[r].clone());
+        rows.push(row);
+    }
+    let mut t = Tableau {
+        rows,
+        obj: Vec::new(),
+        basis: (n..n + m).collect(),
+    };
+
+    if m > 0 {
+        // Phase 1: minimize the sum of artificials.
+        let mut phase1_costs = vec![Rational::zero(); width];
+        for c in phase1_costs[n..n + m].iter_mut() {
+            *c = Rational::one();
+        }
+        t.set_objective(&phase1_costs);
+        t.optimize(width)?;
+        // Optimal phase-1 value is -obj[width].
+        if !t.obj[width].is_zero() {
+            return Err(LpError::Infeasible);
+        }
+        // Drive any artificial variables out of the basis; drop redundant rows.
+        let mut r = 0;
+        while r < t.rows.len() {
+            if t.basis[r] >= n {
+                // Degenerate artificial basic (value must be 0 here).
+                debug_assert!(t.rows[r].last().unwrap().is_zero());
+                if let Some(col) = (0..n).find(|&j| !t.rows[r][j].is_zero()) {
+                    t.pivot(r, col);
+                } else {
+                    // Row is 0 = 0 over structural columns: redundant.
+                    t.rows.remove(r);
+                    t.basis.remove(r);
+                    continue;
+                }
+            }
+            r += 1;
+        }
+    }
+
+    // Phase 2: the real objective over structural columns only.
+    let mut phase2_costs = sf.c.clone();
+    phase2_costs.resize(width, Rational::zero());
+    // Forbid artificial columns from re-entering by pricing them at +inf
+    // effect: we simply never consider them (usable = n).
+    t.set_objective(&phase2_costs);
+    t.optimize(n)?;
+
+    let mut x = vec![Rational::zero(); n];
+    for (r, &b) in t.basis.iter().enumerate() {
+        if b < n {
+            x[b] = t.rows[r].last().unwrap().clone();
+        }
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::from_ratio(n, d)
+    }
+
+    fn sf(a: Vec<Vec<i64>>, b: Vec<i64>, c: Vec<i64>) -> StandardForm {
+        StandardForm {
+            a: a.into_iter()
+                .map(|row| row.into_iter().map(|v| r(v, 1)).collect())
+                .collect(),
+            b: b.into_iter().map(|v| r(v, 1)).collect(),
+            c: c.into_iter().map(|v| r(v, 1)).collect(),
+        }
+    }
+
+    #[test]
+    fn standard_form_direct() {
+        // min -x1 - x2 s.t. x1 + x2 + s = 4 => optimum x1+x2 = 4.
+        let form = sf(vec![vec![1, 1, 1]], vec![4], vec![-1, -1, 0]);
+        let x = solve(&form).unwrap();
+        assert_eq!(&x[0] + &x[1], r(4, 1));
+        assert_eq!(x[2], r(0, 1));
+    }
+
+    #[test]
+    fn infeasible_standard_form() {
+        // x1 = -? impossible: x1 + x2 = 1 and x1 + x2 = 2.
+        let form = sf(
+            vec![vec![1, 1], vec![1, 1]],
+            vec![1, 2],
+            vec![1, 1],
+        );
+        assert_eq!(solve(&form), Err(LpError::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_standard_form() {
+        // min -x1 s.t. x1 - x2 = 0: x1 can grow forever with x2.
+        let form = sf(vec![vec![1, -1]], vec![0], vec![-1, 0]);
+        assert_eq!(solve(&form), Err(LpError::Unbounded));
+    }
+
+    #[test]
+    fn empty_problem() {
+        let form = sf(vec![], vec![], vec![1, 1]);
+        let x = solve(&form).unwrap();
+        assert_eq!(x, vec![r(0, 1), r(0, 1)]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property test: the simplex optimum of a random 2-variable LP matches a
+//! brute-force oracle that enumerates all candidate vertices exactly.
+//!
+//! For `max c'x` over `{x >= 0, a_i . x <= b_i}`, an optimum (when one
+//! exists) lies at the intersection of two active constraints (including the
+//! axes). We enumerate all pairwise intersections, keep the feasible ones,
+//! and compare the best objective with the solver's.
+
+use gs_lp::{LpProblem, Sense};
+use gs_numeric::Rational;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Lp2 {
+    c: [Rational; 2],
+    rows: Vec<([Rational; 2], Rational)>, // a.x <= b, with b >= 0 so x=0 is feasible
+}
+
+fn lp2_strategy() -> impl Strategy<Value = Lp2> {
+    let coef = -5i64..=5;
+    let rhs = 0i64..=20;
+    let row = (coef.clone(), coef.clone(), rhs).prop_map(|(a0, a1, b)| {
+        (
+            [Rational::from(a0), Rational::from(a1)],
+            Rational::from(b),
+        )
+    });
+    (
+        (coef.clone(), coef).prop_map(|(c0, c1)| [Rational::from(c0), Rational::from(c1)]),
+        proptest::collection::vec(row, 1..6),
+    )
+        .prop_map(|(c, rows)| Lp2 { c, rows })
+}
+
+/// All candidate vertices: intersections of constraint/axis pairs.
+fn candidate_vertices(lp: &Lp2) -> Vec<[Rational; 2]> {
+    let mut lines: Vec<([Rational; 2], Rational)> = lp.rows.clone();
+    // Axes x0 = 0 and x1 = 0.
+    lines.push(([Rational::one(), Rational::zero()], Rational::zero()));
+    lines.push(([Rational::zero(), Rational::one()], Rational::zero()));
+    let mut out = Vec::new();
+    for i in 0..lines.len() {
+        for j in i + 1..lines.len() {
+            let (a, b) = (&lines[i], &lines[j]);
+            let det = &a.0[0] * &b.0[1] - &a.0[1] * &b.0[0];
+            if det.is_zero() {
+                continue;
+            }
+            let x0 = (&a.1 * &b.0[1] - &a.0[1] * &b.1) / &det;
+            let x1 = (&a.0[0] * &b.1 - &a.1 * &b.0[0]) / &det;
+            out.push([x0, x1]);
+        }
+    }
+    out
+}
+
+fn feasible(lp: &Lp2, x: &[Rational; 2]) -> bool {
+    if x[0].is_negative() || x[1].is_negative() {
+        return false;
+    }
+    lp.rows.iter().all(|(a, b)| {
+        let lhs = &a[0] * &x[0] + &a[1] * &x[1];
+        lhs <= *b
+    })
+}
+
+fn objective(lp: &Lp2, x: &[Rational; 2]) -> Rational {
+    &lp.c[0] * &x[0] + &lp.c[1] * &x[1]
+}
+
+/// Is the LP unbounded? max c'x with x >= 0: unbounded iff there is a ray
+/// direction d >= 0, c.d > 0, with a_i.d <= 0 for all i. For 2 variables we
+/// test the extreme rays of candidate directions: axes and edge directions.
+fn has_improving_ray(lp: &Lp2) -> bool {
+    let mut dirs: Vec<[Rational; 2]> = vec![
+        [Rational::one(), Rational::zero()],
+        [Rational::zero(), Rational::one()],
+        [Rational::one(), Rational::one()],
+    ];
+    // Edge directions of each constraint line, both orientations.
+    for (a, _) in &lp.rows {
+        dirs.push([a[1].clone(), -a[0].clone()]);
+        dirs.push([-a[1].clone(), a[0].clone()]);
+    }
+    dirs.iter().any(|d| {
+        !d[0].is_negative()
+            && !d[1].is_negative()
+            && objective(lp, d).is_positive()
+            && lp
+                .rows
+                .iter()
+                .all(|(a, _)| !(&a[0] * &d[0] + &a[1] * &d[1]).is_positive())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn simplex_matches_vertex_enumeration(lp2 in lp2_strategy()) {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x0 = lp.add_var("x0");
+        let x1 = lp.add_var("x1");
+        lp.set_objective([(x0, lp2.c[0].clone()), (x1, lp2.c[1].clone())]);
+        for (a, b) in &lp2.rows {
+            lp.add_le([(x0, a[0].clone()), (x1, a[1].clone())], b.clone());
+        }
+        let result = lp.solve();
+
+        // Origin is always feasible (b >= 0), so never infeasible.
+        match result {
+            Err(gs_lp::LpError::Infeasible) => prop_assert!(false, "origin is feasible"),
+            Err(gs_lp::LpError::Unbounded) => {
+                prop_assert!(has_improving_ray(&lp2), "solver says unbounded, oracle disagrees");
+            }
+            Ok(sol) => {
+                prop_assert!(!has_improving_ray(&lp2), "oracle says unbounded, solver disagrees");
+                // Solver's point must be feasible.
+                let x = [sol[x0].clone(), sol[x1].clone()];
+                prop_assert!(feasible(&lp2, &x), "solver returned infeasible point");
+                prop_assert_eq!(objective(&lp2, &x), sol.objective.clone());
+                // No candidate vertex beats it.
+                let best = candidate_vertices(&lp2)
+                    .into_iter()
+                    .filter(|v| feasible(&lp2, v))
+                    .map(|v| objective(&lp2, &v))
+                    .max()
+                    .unwrap_or_else(Rational::zero);
+                prop_assert_eq!(sol.objective, best);
+            }
+        }
+    }
+}

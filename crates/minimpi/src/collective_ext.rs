@@ -1,0 +1,160 @@
+//! Additional collectives: gather (uniform), allgather(v), alltoall, and
+//! inclusive scan. All follow the same rank-ordered, root-serialized
+//! discipline as the §2.3 model.
+
+use crate::comm::{op, Comm};
+use crate::datum::Datum;
+use crate::message::Tag;
+
+impl Comm {
+    /// `MPI_Gather` with uniform block sizes: every rank contributes
+    /// `data` (all the same length); the root returns the concatenation in
+    /// rank order.
+    pub fn gather<T: Datum>(&mut self, root: usize, data: &[T]) -> Option<Vec<T>> {
+        self.gatherv(root, data)
+    }
+
+    /// `MPI_Allgatherv`: every rank contributes `data`; everyone receives
+    /// the concatenation in rank order. Implemented as gather-to-0 +
+    /// broadcast (the flat strategies of §1's high-latency regime).
+    pub fn allgatherv<T: Datum>(&mut self, data: &[T]) -> Vec<T> {
+        let gathered = self.gatherv(0, data);
+        let seq = self.next_seq();
+        let tag = Tag::collective(op::ALLGATHER, seq);
+        if self.rank == 0 {
+            let all = gathered.expect("rank 0 gathered");
+            for r in 1..self.size {
+                self.send(r, tag, &all);
+            }
+            all
+        } else {
+            self.recv(0, tag)
+        }
+    }
+
+    /// `MPI_Alltoall` with uniform block size: `data` holds `size` blocks
+    /// of `block` elements; rank `i` receives block `i` from everyone, in
+    /// rank order.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != block * size`.
+    pub fn alltoall<T: Datum>(&mut self, data: &[T], block: usize) -> Vec<T> {
+        assert_eq!(
+            data.len(),
+            block * self.size,
+            "alltoall needs one block per rank"
+        );
+        let seq = self.next_seq();
+        let tag = Tag::collective(op::ALLTOALL, seq);
+        // Everyone sends its blocks in rank order (self-block kept local),
+        // then receives in rank order — deterministic and deadlock-free
+        // because sends never block.
+        for dest in 0..self.size {
+            if dest != self.rank {
+                self.send(dest, tag, &data[dest * block..(dest + 1) * block]);
+            }
+        }
+        let mut out = Vec::with_capacity(data.len());
+        for src in 0..self.size {
+            if src == self.rank {
+                out.extend_from_slice(&data[self.rank * block..(self.rank + 1) * block]);
+            } else {
+                out.extend(self.recv::<T>(src, tag));
+            }
+        }
+        out
+    }
+
+    /// Inclusive prefix reduction (`MPI_Scan`): rank `i` receives
+    /// `combine(v_0, .., v_i)`. Linear chain in rank order.
+    pub fn scan<T: Datum>(&mut self, value: T, mut combine: impl FnMut(T, T) -> T) -> T {
+        let seq = self.next_seq();
+        let tag = Tag::collective(op::SCAN, seq);
+        let acc = if self.rank == 0 {
+            value
+        } else {
+            let prev = self.recv::<T>(self.rank - 1, tag)[0];
+            combine(prev, value)
+        };
+        if self.rank + 1 < self.size {
+            self.send(self.rank + 1, tag, &[acc]);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{run_world, WorldConfig};
+
+    #[test]
+    fn gather_uniform() {
+        let out = run_world(3, WorldConfig::default(), |c| {
+            let mine = [c.rank() as u64 * 10, c.rank() as u64 * 10 + 1];
+            c.gather(1, &mine)
+        });
+        assert!(out[0].is_none());
+        assert_eq!(out[1].as_ref().unwrap(), &vec![0, 1, 10, 11, 20, 21]);
+        assert!(out[2].is_none());
+    }
+
+    #[test]
+    fn allgatherv_everyone_sees_everything() {
+        let out = run_world(4, WorldConfig::default(), |c| {
+            // Rank r contributes r+1 elements, all equal to r.
+            let mine = vec![c.rank() as u32; c.rank() + 1];
+            c.allgatherv(&mine)
+        });
+        let expect: Vec<u32> = vec![0, 1, 1, 2, 2, 2, 3, 3, 3, 3];
+        for r in out {
+            assert_eq!(r, expect);
+        }
+    }
+
+    #[test]
+    fn alltoall_transposes() {
+        let p = 3;
+        let out = run_world(p, WorldConfig::default(), |c| {
+            // data[d] = 10*me + d: block d goes to rank d.
+            let data: Vec<u64> = (0..c.size()).map(|d| (10 * c.rank() + d) as u64).collect();
+            c.alltoall(&data, 1)
+        });
+        for (me, recv) in out.iter().enumerate() {
+            let expect: Vec<u64> = (0..p).map(|src| (10 * src + me) as u64).collect();
+            assert_eq!(recv, &expect, "rank {me}");
+        }
+    }
+
+    #[test]
+    fn alltoall_multi_element_blocks() {
+        let out = run_world(2, WorldConfig::default(), |c| {
+            let base = c.rank() as u64 * 100;
+            let data: Vec<u64> = vec![base, base + 1, base + 10, base + 11];
+            c.alltoall(&data, 2)
+        });
+        assert_eq!(out[0], vec![0, 1, 100, 101]);
+        assert_eq!(out[1], vec![10, 11, 110, 111]);
+    }
+
+    #[test]
+    fn scan_prefix_sums() {
+        let out = run_world(5, WorldConfig::default(), |c| {
+            c.scan((c.rank() + 1) as u64, |a, b| a + b)
+        });
+        assert_eq!(out, vec![1, 3, 6, 10, 15]);
+    }
+
+    #[test]
+    fn scan_single_rank() {
+        let out = run_world(1, WorldConfig::default(), |c| c.scan(7u64, |a, b| a + b));
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn alltoall_rejects_bad_length() {
+        run_world(2, WorldConfig::default(), |c| {
+            let _ = c.alltoall(&[1u8, 2, 3], 2); // needs 4 elements
+        });
+    }
+}

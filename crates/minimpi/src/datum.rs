@@ -1,0 +1,92 @@
+//! Plain-old-data encoding for message payloads.
+//!
+//! Messages travel as byte vectors; [`Datum`] gives fixed-width
+//! little-endian codecs for the primitive types scientific payloads are
+//! made of. No serde: the formats are trivial, and keeping the runtime
+//! dependency-light matters more than generality here.
+
+/// A fixed-width plain-old-data element that can cross rank boundaries.
+pub trait Datum: Copy + Send + 'static {
+    /// Encoded width in bytes.
+    const WIDTH: usize;
+    /// Appends the little-endian encoding of `self` to `out`.
+    fn write_le(&self, out: &mut Vec<u8>);
+    /// Decodes from exactly [`Self::WIDTH`] bytes.
+    fn read_le(bytes: &[u8]) -> Self;
+}
+
+macro_rules! impl_datum {
+    ($($t:ty),*) => {$(
+        impl Datum for $t {
+            const WIDTH: usize = std::mem::size_of::<$t>();
+            fn write_le(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn read_le(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes.try_into().expect("exact width"))
+            }
+        }
+    )*};
+}
+impl_datum!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
+
+/// Encodes a slice of datums as bytes.
+pub fn encode<T: Datum>(data: &[T]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * T::WIDTH);
+    for d in data {
+        d.write_le(&mut out);
+    }
+    out
+}
+
+/// Decodes bytes produced by [`encode`].
+///
+/// # Panics
+/// Panics if the byte length is not a multiple of the datum width.
+pub fn decode<T: Datum>(bytes: &[u8]) -> Vec<T> {
+    assert_eq!(
+        bytes.len() % T::WIDTH,
+        0,
+        "payload length {} is not a multiple of the datum width {}",
+        bytes.len(),
+        T::WIDTH
+    );
+    bytes.chunks_exact(T::WIDTH).map(T::read_le).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_u64() {
+        let data = vec![0u64, 1, u64::MAX, 42];
+        assert_eq!(decode::<u64>(&encode(&data)), data);
+    }
+
+    #[test]
+    fn round_trip_f64() {
+        let data = vec![0.0f64, -1.5, f64::MAX, f64::MIN_POSITIVE, 3.125];
+        assert_eq!(decode::<f64>(&encode(&data)), data);
+    }
+
+    #[test]
+    fn round_trip_all_widths() {
+        assert_eq!(decode::<u8>(&encode(&[1u8, 2])), vec![1, 2]);
+        assert_eq!(decode::<i16>(&encode(&[-5i16])), vec![-5]);
+        assert_eq!(decode::<u32>(&encode(&[7u32])), vec![7]);
+        assert_eq!(decode::<i64>(&encode(&[-9i64])), vec![-9]);
+        assert_eq!(decode::<f32>(&encode(&[2.5f32])), vec![2.5]);
+    }
+
+    #[test]
+    fn empty_slice() {
+        assert_eq!(decode::<f64>(&encode::<f64>(&[])), Vec::<f64>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the datum width")]
+    fn misaligned_payload_panics() {
+        let _ = decode::<u64>(&[1, 2, 3]);
+    }
+}

@@ -1,0 +1,131 @@
+//! The virtual-time model: deterministic replay of grid heterogeneity.
+
+use gs_scatter::cost::CostFn;
+
+/// Cost model for virtual time.
+///
+/// `link[i]` maps a *byte count* to the seconds the single-port sender
+/// spends transferring to rank `i`; `compute[i]` maps an *item count* to
+/// the seconds rank `i` spends computing (used by
+/// [`crate::Comm::model_compute`]).
+///
+/// Building one from a [`gs_scatter::cost::Platform`] whose cost functions
+/// are per-item: scale the comm slope by `1 / item_size_bytes` — see
+/// [`TimeModel::from_platform`].
+#[derive(Debug, Clone)]
+pub struct TimeModel {
+    /// Per-rank transfer cost, bytes → seconds.
+    pub link: Vec<CostFn>,
+    /// Per-rank compute cost, items → seconds.
+    pub compute: Vec<CostFn>,
+}
+
+impl TimeModel {
+    /// A model where communication is free and compute costs are given.
+    pub fn compute_only(compute: Vec<CostFn>) -> Self {
+        let link = compute.iter().map(|_| CostFn::Zero).collect();
+        TimeModel { link, compute }
+    }
+
+    /// Derives a model from a planner platform whose cost functions are
+    /// per *item*, given the wire size of one item in bytes. Ranks map to
+    /// platform indices.
+    pub fn from_platform(platform: &gs_scatter::cost::Platform, item_bytes: usize) -> Self {
+        assert!(item_bytes > 0);
+        let link = platform
+            .procs()
+            .iter()
+            .map(|p| scale_to_bytes(&p.comm, item_bytes))
+            .collect();
+        let compute = platform.procs().iter().map(|p| p.comp.clone()).collect();
+        TimeModel { link, compute }
+    }
+
+    /// Number of ranks the model covers.
+    pub fn len(&self) -> usize {
+        self.link.len()
+    }
+
+    /// `true` iff the model covers no ranks.
+    pub fn is_empty(&self) -> bool {
+        self.link.is_empty()
+    }
+
+    /// Transfer seconds for `bytes` to rank `dest`.
+    pub fn link_time(&self, dest: usize, bytes: usize) -> f64 {
+        self.link[dest].eval(bytes)
+    }
+
+    /// Compute seconds for `items` on rank `rank`.
+    pub fn compute_time(&self, rank: usize, items: usize) -> f64 {
+        self.compute[rank].eval(items)
+    }
+}
+
+/// Converts a per-item cost function into a per-byte one.
+fn scale_to_bytes(per_item: &CostFn, item_bytes: usize) -> CostFn {
+    match per_item {
+        CostFn::Zero => CostFn::Zero,
+        CostFn::Linear { slope } => CostFn::Linear { slope: slope / item_bytes as f64 },
+        CostFn::Affine { intercept, slope } => CostFn::Affine {
+            intercept: *intercept,
+            slope: slope / item_bytes as f64,
+        },
+        other => {
+            // Tabulated / custom: wrap with a byte → item conversion.
+            let f = other.clone();
+            let ib = item_bytes;
+            CostFn::Custom(std::sync::Arc::new(move |bytes| f.eval(bytes / ib)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_scatter::cost::{Platform, Processor};
+
+    #[test]
+    fn from_platform_scales_comm_to_bytes() {
+        let plat = Platform::new(
+            vec![
+                Processor::linear("root", 0.0, 1.0),
+                Processor::linear("w", 8.0, 2.0), // 8 s per item
+            ],
+            0,
+        )
+        .unwrap();
+        let tm = TimeModel::from_platform(&plat, 8); // 8-byte items
+        assert_eq!(tm.link_time(1, 8), 8.0); // one item
+        assert_eq!(tm.link_time(1, 16), 16.0); // two items
+        assert_eq!(tm.link_time(0, 1_000_000), 0.0); // root link is free
+        assert_eq!(tm.compute_time(1, 3), 6.0);
+    }
+
+    #[test]
+    fn compute_only_model() {
+        let tm = TimeModel::compute_only(vec![
+            CostFn::Linear { slope: 1.0 },
+            CostFn::Linear { slope: 2.0 },
+        ]);
+        assert_eq!(tm.link_time(1, 12345), 0.0);
+        assert_eq!(tm.compute_time(1, 10), 20.0);
+        assert_eq!(tm.len(), 2);
+    }
+
+    #[test]
+    fn tabulated_scaling() {
+        let plat = Platform::new(
+            vec![Processor {
+                name: "t".into(),
+                comm: CostFn::table(vec![(10, 5.0)]),
+                comp: CostFn::Zero,
+            }],
+            0,
+        )
+        .unwrap();
+        let tm = TimeModel::from_platform(&plat, 4);
+        // 40 bytes = 10 items => 5 s.
+        assert_eq!(tm.link_time(0, 40), 5.0);
+    }
+}

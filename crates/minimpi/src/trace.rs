@@ -1,0 +1,142 @@
+//! Per-rank communication tracing, for post-mortem Gantt charts of *real*
+//! runs (as opposed to the planner's predictions).
+
+use crate::comm::Comm;
+
+/// Kind of a traced operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommOp {
+    /// An outgoing transfer (clock time = port occupancy).
+    Send,
+    /// An incoming receive (clock may jump to the message timestamp).
+    Recv,
+}
+
+/// One traced point-to-point operation on a rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommRecord {
+    /// Operation kind.
+    pub op: CommOp,
+    /// Peer rank.
+    pub peer: usize,
+    /// Payload size, bytes.
+    pub bytes: usize,
+    /// Virtual time when the operation started on this rank.
+    pub start: f64,
+    /// Virtual time when it completed on this rank.
+    pub end: f64,
+}
+
+impl Comm {
+    /// Enables communication tracing on this rank (records every
+    /// point-to-point operation, including those inside collectives).
+    pub fn enable_tracing(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// Takes the accumulated trace, leaving tracing enabled.
+    pub fn take_trace(&mut self) -> Vec<CommRecord> {
+        match &mut self.trace {
+            Some(t) => std::mem::take(t),
+            None => Vec::new(),
+        }
+    }
+
+    /// Total bytes this rank sent so far (0 unless tracing is enabled).
+    pub fn bytes_sent(&self) -> usize {
+        self.trace
+            .as_ref()
+            .map(|t| {
+                t.iter()
+                    .filter(|r| r.op == CommOp::Send)
+                    .map(|r| r.bytes)
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Total virtual seconds this rank's port spent sending (0 unless
+    /// tracing is enabled).
+    pub fn send_busy_time(&self) -> f64 {
+        self.trace
+            .as_ref()
+            .map(|t| {
+                t.iter()
+                    .filter(|r| r.op == CommOp::Send)
+                    .map(|r| r.end - r.start)
+                    .sum()
+            })
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{run_world, Tag, TimeModel, WorldConfig};
+    use gs_scatter::cost::CostFn;
+
+    use super::*;
+
+    #[test]
+    fn tracing_records_sends_and_recvs() {
+        let model = TimeModel {
+            link: vec![CostFn::Zero, CostFn::Linear { slope: 0.5 }],
+            compute: vec![CostFn::Zero; 2],
+        };
+        let out = run_world(2, WorldConfig::with_time(model), |c| {
+            c.enable_tracing();
+            if c.rank() == 0 {
+                c.send::<u64>(1, Tag::user(1), &[1, 2, 3, 4]); // 32 bytes
+                (c.take_trace(), c.bytes_sent())
+            } else {
+                let _ = c.recv::<u64>(0, Tag::user(1));
+                (c.take_trace(), c.bytes_sent())
+            }
+        });
+        let (t0, _sent_after_take) = &out[0];
+        assert_eq!(t0.len(), 1);
+        assert_eq!(t0[0].op, CommOp::Send);
+        assert_eq!(t0[0].bytes, 32);
+        assert_eq!(t0[0].end - t0[0].start, 16.0); // 32 bytes * 0.5 s/byte
+        let (t1, _) = &out[1];
+        assert_eq!(t1.len(), 1);
+        assert_eq!(t1[0].op, CommOp::Recv);
+        assert_eq!(t1[0].end, 16.0, "receiver synced to transfer completion");
+    }
+
+    #[test]
+    fn tracing_disabled_by_default() {
+        let out = run_world(2, WorldConfig::default(), |c| {
+            if c.rank() == 0 {
+                c.send::<u8>(1, Tag::user(9), &[1]);
+            } else {
+                let _ = c.recv::<u8>(0, Tag::user(9));
+            }
+            (c.take_trace().len(), c.bytes_sent(), c.send_busy_time())
+        });
+        assert_eq!(out[0], (0, 0, 0.0));
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let model = TimeModel {
+            link: vec![CostFn::Zero, CostFn::Linear { slope: 1.0 }],
+            compute: vec![CostFn::Zero; 2],
+        };
+        let out = run_world(2, WorldConfig::with_time(model), |c| {
+            c.enable_tracing();
+            if c.rank() == 0 {
+                c.send::<u8>(1, Tag::user(1), &[0; 3]);
+                c.send::<u8>(1, Tag::user(2), &[0; 5]);
+                c.send_busy_time()
+            } else {
+                let _ = c.recv::<u8>(0, Tag::user(1));
+                let _ = c.recv::<u8>(0, Tag::user(2));
+                0.0
+            }
+        });
+        assert_eq!(out[0], 8.0);
+    }
+}

@@ -1,0 +1,242 @@
+//! World construction: spawn one thread per rank, wire the channels, run.
+
+use std::sync::Arc;
+
+use crossbeam::channel::unbounded;
+
+use crate::comm::Comm;
+use crate::message::Message;
+use crate::time::TimeModel;
+
+/// Configuration of a world.
+#[derive(Debug, Clone, Default)]
+pub struct WorldConfig {
+    /// Optional virtual-time model (see [`TimeModel`]). `None` means
+    /// clocks only advance through explicit [`Comm::advance`] calls.
+    pub time: Option<TimeModel>,
+}
+
+impl WorldConfig {
+    /// A world with the given heterogeneity model.
+    pub fn with_time(model: TimeModel) -> Self {
+        WorldConfig { time: Some(model) }
+    }
+}
+
+/// Runs `f` on `size` ranks (threads) and returns each rank's result,
+/// indexed by rank.
+///
+/// Panics in any rank propagate (the world is torn down and the panic is
+/// re-raised), so tests fail loudly rather than deadlock.
+///
+/// # Panics
+/// Panics if `size == 0`, or if the time model covers a different number
+/// of ranks.
+pub fn run_world<T, F>(size: usize, config: WorldConfig, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Send + Sync,
+{
+    assert!(size > 0, "a world needs at least one rank");
+    if let Some(m) = &config.time {
+        assert_eq!(m.len(), size, "time model must cover every rank");
+    }
+    let model = config.time.map(Arc::new);
+
+    let (senders, receivers): (Vec<_>, Vec<_>) =
+        (0..size).map(|_| unbounded::<Message>()).unzip();
+
+    let mut results: Vec<Option<T>> = (0..size).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(size);
+        for (rank, (inbox, slot)) in receivers.into_iter().zip(results.iter_mut()).enumerate() {
+            let senders = senders.clone();
+            let model = model.clone();
+            let f = &f;
+            handles.push(scope.spawn(move |_| {
+                let mut comm = Comm::new(rank, size, senders, inbox, model);
+                *slot = Some(f(&mut comm));
+                // Comm (and its channel ends) drops here; ranks that exit
+                // early while others still send to them would error — the
+                // unbounded channel keeps sends non-blocking, and a Comm
+                // owns its receiver until it returns.
+            }));
+        }
+        for h in handles {
+            if let Err(e) = h.join() {
+                std::panic::resume_unwind(e);
+            }
+        }
+    })
+    .expect("scope itself cannot fail beyond rank panics");
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every rank produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Tag;
+    use gs_scatter::cost::CostFn;
+
+    #[test]
+    fn ranks_and_size() {
+        let out = run_world(3, WorldConfig::default(), |c| (c.rank(), c.size()));
+        assert_eq!(out, vec![(0, 3), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn point_to_point_ring() {
+        // Each rank sends its rank to the next; receives from the previous.
+        let out = run_world(4, WorldConfig::default(), |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.send::<u64>(next, Tag::user(1), &[c.rank() as u64]);
+            c.recv::<u64>(prev, Tag::user(1))[0]
+        });
+        assert_eq!(out, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn tag_matching_out_of_order() {
+        let out = run_world(2, WorldConfig::default(), |c| {
+            if c.rank() == 0 {
+                c.send::<u64>(1, Tag::user(7), &[70]);
+                c.send::<u64>(1, Tag::user(8), &[80]);
+                0
+            } else {
+                // Receive tag 8 first even though 7 was sent first.
+                let b = c.recv::<u64>(0, Tag::user(8))[0];
+                let a = c.recv::<u64>(0, Tag::user(7))[0];
+                a * 1000 + b
+            }
+        });
+        assert_eq!(out[1], 70_080);
+    }
+
+    #[test]
+    fn scatterv_and_gatherv_round_trip() {
+        let data: Vec<f64> = (0..60).map(|i| i as f64).collect();
+        let out = run_world(3, WorldConfig::default(), |c| {
+            let counts = [30, 20, 10];
+            let mine = c.scatterv(0, if c.rank() == 0 { Some(&data[..]) } else { None }, &counts);
+            let doubled: Vec<f64> = mine.iter().map(|x| x * 2.0).collect();
+            c.gatherv(0, &doubled)
+        });
+        let gathered = out[0].as_ref().unwrap();
+        assert_eq!(gathered.len(), 60);
+        for (i, v) in gathered.iter().enumerate() {
+            assert_eq!(*v, 2.0 * i as f64);
+        }
+        assert!(out[1].is_none());
+    }
+
+    #[test]
+    fn scatter_uniform() {
+        let data: Vec<u32> = (0..12).collect();
+        let out = run_world(4, WorldConfig::default(), |c| {
+            c.scatter(0, if c.rank() == 0 { Some(&data[..]) } else { None })
+        });
+        assert_eq!(out[0], vec![0, 1, 2]);
+        assert_eq!(out[3], vec![9, 10, 11]);
+    }
+
+    #[test]
+    fn bcast_delivers_everywhere() {
+        let out = run_world(5, WorldConfig::default(), |c| {
+            let data = if c.rank() == 2 { vec![3.5f64, 4.5] } else { vec![] };
+            c.bcast(2, &data)
+        });
+        for r in out {
+            assert_eq!(r, vec![3.5, 4.5]);
+        }
+    }
+
+    #[test]
+    fn reduce_and_allreduce() {
+        let out = run_world(4, WorldConfig::default(), |c| {
+            let partial = (c.rank() + 1) as u64;
+            let r = c.reduce(0, partial, |a, b| a + b);
+            let all = c.allreduce(partial, |a, b| a + b);
+            (r, all)
+        });
+        assert_eq!(out[0].0, Some(10));
+        assert_eq!(out[1].0, None);
+        assert!(out.iter().all(|(_, all)| *all == 10));
+    }
+
+    #[test]
+    fn barrier_syncs_clocks() {
+        let out = run_world(3, WorldConfig::default(), |c| {
+            c.advance(c.rank() as f64 * 10.0); // 0, 10, 20
+            c.barrier();
+            c.now()
+        });
+        assert!(out.iter().all(|&t| t == 20.0), "{out:?}");
+    }
+
+    #[test]
+    fn virtual_time_single_port_scatter() {
+        // Links: rank1 = 1 s/byte, rank2 = 2 s/byte. Root sends 4 bytes to
+        // each in rank order: rank1's data arrives at t=4, rank2's at
+        // t=4+8=12 (the stair effect).
+        let model = TimeModel {
+            link: vec![
+                CostFn::Zero,
+                CostFn::Linear { slope: 1.0 },
+                CostFn::Linear { slope: 2.0 },
+            ],
+            compute: vec![CostFn::Zero; 3],
+        };
+        let out = run_world(3, WorldConfig::with_time(model), |c| {
+            let data: Vec<u8> = (0..12).collect();
+            let counts = [4usize, 4, 4];
+            let _mine =
+                c.scatterv(0, if c.rank() == 0 { Some(&data[..]) } else { None }, &counts);
+            c.now()
+        });
+        assert_eq!(out[1], 4.0, "rank 1 synced to its transfer completion");
+        assert_eq!(out[2], 12.0, "rank 2 waited for rank 1's transfer");
+        assert_eq!(out[0], 12.0, "root's port busy until the last send");
+    }
+
+    #[test]
+    fn model_compute_advances_clock() {
+        let model = TimeModel::compute_only(vec![
+            CostFn::Linear { slope: 0.5 },
+            CostFn::Linear { slope: 2.0 },
+        ]);
+        let out = run_world(2, WorldConfig::with_time(model), |c| {
+            c.model_compute(10);
+            c.now()
+        });
+        assert_eq!(out, vec![5.0, 20.0]);
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let out = run_world(1, WorldConfig::default(), |c| {
+            let mine = c.scatterv(0, Some(&[1u64, 2, 3][..]), &[3]);
+            c.barrier();
+            mine.iter().sum::<u64>()
+        });
+        assert_eq!(out, vec![6]);
+    }
+
+    #[test]
+    fn rank_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            run_world(2, WorldConfig::default(), |c| {
+                if c.rank() == 1 {
+                    panic!("worker exploded");
+                }
+                // Rank 0 does not wait on rank 1, so it exits cleanly.
+                c.rank()
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,431 @@
+//! Signed arbitrary-precision integers (sign–magnitude over [`BigUint`]).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+use std::str::FromStr;
+
+use crate::biguint::{BigUint, ParseBigIntError};
+
+/// Sign of a [`BigInt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Zero.
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+/// An arbitrary-precision signed integer.
+///
+/// Invariant: `neg` is never set when the magnitude is zero, so `0` has a
+/// unique representation and derived equality is sound.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    neg: bool,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        BigInt { neg: false, mag: BigUint::zero() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigInt { neg: false, mag: BigUint::one() }
+    }
+
+    /// Builds from a sign flag and magnitude (normalizes `-0` to `0`).
+    pub fn from_sign_mag(neg: bool, mag: BigUint) -> Self {
+        BigInt { neg: neg && !mag.is_zero(), mag }
+    }
+
+    /// The magnitude `|self|` as an unsigned integer.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// Consumes `self`, returning the magnitude.
+    pub fn into_magnitude(self) -> BigUint {
+        self.mag
+    }
+
+    /// `true` iff the value is `0`.
+    pub fn is_zero(&self) -> bool {
+        self.mag.is_zero()
+    }
+
+    /// `true` iff the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.neg
+    }
+
+    /// `true` iff the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        !self.neg && !self.mag.is_zero()
+    }
+
+    /// Three-way sign.
+    pub fn sign(&self) -> Sign {
+        if self.mag.is_zero() {
+            Sign::Zero
+        } else if self.neg {
+            Sign::Negative
+        } else {
+            Sign::Positive
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigInt {
+        BigInt { neg: false, mag: self.mag.clone() }
+    }
+
+    /// Converts to `i64`, or `None` if out of range.
+    pub fn to_i64(&self) -> Option<i64> {
+        let m = self.mag.to_u64()?;
+        if self.neg {
+            if m <= i64::MAX as u64 + 1 {
+                Some((m as i64).wrapping_neg())
+            } else {
+                None
+            }
+        } else if m <= i64::MAX as u64 {
+            Some(m as i64)
+        } else {
+            None
+        }
+    }
+
+    /// Converts to `i128`, or `None` if out of range.
+    pub fn to_i128(&self) -> Option<i128> {
+        let m = self.mag.to_u128()?;
+        if self.neg {
+            if m <= i128::MAX as u128 + 1 {
+                Some((m as i128).wrapping_neg())
+            } else {
+                None
+            }
+        } else if m <= i128::MAX as u128 {
+            Some(m as i128)
+        } else {
+            None
+        }
+    }
+
+    /// Nearest `f64` approximation.
+    pub fn to_f64(&self) -> f64 {
+        let m = self.mag.to_f64();
+        if self.neg {
+            -m
+        } else {
+            m
+        }
+    }
+
+    /// Truncating division with remainder: `self = q*d + r`, `|r| < |d|`,
+    /// `r` has the sign of `self` (like Rust's `/` and `%` on primitives).
+    ///
+    /// # Panics
+    /// Panics if `d` is zero.
+    pub fn divrem(&self, d: &BigInt) -> (BigInt, BigInt) {
+        let (q, r) = self.mag.divrem(&d.mag);
+        (
+            BigInt::from_sign_mag(self.neg != d.neg, q),
+            BigInt::from_sign_mag(self.neg, r),
+        )
+    }
+
+    /// `self` raised to the power `exp`.
+    pub fn pow(&self, exp: u32) -> BigInt {
+        BigInt::from_sign_mag(self.neg && exp % 2 == 1, self.mag.pow(exp))
+    }
+}
+
+// ---- conversions ----------------------------------------------------------
+
+impl From<BigUint> for BigInt {
+    fn from(mag: BigUint) -> Self {
+        BigInt { neg: false, mag }
+    }
+}
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> Self {
+                BigInt { neg: false, mag: BigUint::from(v) }
+            }
+        }
+    )*};
+}
+from_unsigned!(u32, u64, u128, usize);
+
+macro_rules! from_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> Self {
+                if v < 0 {
+                    BigInt { neg: true, mag: BigUint::from(v.unsigned_abs() as $u) }
+                } else {
+                    BigInt { neg: false, mag: BigUint::from(v as $u) }
+                }
+            }
+        }
+    )*};
+}
+from_signed!(i32 => u32, i64 => u64, i128 => u128, isize => u64);
+
+// ---- ordering -------------------------------------------------------------
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.neg, other.neg) {
+            (false, true) => Ordering::Greater,
+            (true, false) => Ordering::Less,
+            (false, false) => self.mag.cmp(&other.mag),
+            (true, true) => other.mag.cmp(&self.mag),
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+// ---- arithmetic -------------------------------------------------------------
+
+impl<'b> Add<&'b BigInt> for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &'b BigInt) -> BigInt {
+        if self.neg == rhs.neg {
+            BigInt::from_sign_mag(self.neg, &self.mag + &rhs.mag)
+        } else {
+            // Opposite signs: subtract the smaller magnitude from the larger.
+            match self.mag.cmp(&rhs.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => {
+                    BigInt::from_sign_mag(self.neg, self.mag.checked_sub(&rhs.mag).unwrap())
+                }
+                Ordering::Less => {
+                    BigInt::from_sign_mag(rhs.neg, rhs.mag.checked_sub(&self.mag).unwrap())
+                }
+            }
+        }
+    }
+}
+
+impl<'b> Sub<&'b BigInt> for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &'b BigInt) -> BigInt {
+        self + &(-rhs.clone())
+    }
+}
+
+impl<'b> Mul<&'b BigInt> for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &'b BigInt) -> BigInt {
+        BigInt::from_sign_mag(self.neg != rhs.neg, &self.mag * &rhs.mag)
+    }
+}
+
+impl<'b> Div<&'b BigInt> for &BigInt {
+    type Output = BigInt;
+    fn div(self, rhs: &'b BigInt) -> BigInt {
+        self.divrem(rhs).0
+    }
+}
+
+impl<'b> Rem<&'b BigInt> for &BigInt {
+    type Output = BigInt;
+    fn rem(self, rhs: &'b BigInt) -> BigInt {
+        self.divrem(rhs).1
+    }
+}
+
+macro_rules! forward_owned {
+    ($($trait:ident::$m:ident),*) => {$(
+        impl $trait for BigInt {
+            type Output = BigInt;
+            fn $m(self, rhs: BigInt) -> BigInt {
+                $trait::$m(&self, &rhs)
+            }
+        }
+    )*};
+}
+forward_owned!(Add::add, Sub::sub, Mul::mul, Div::div, Rem::rem);
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: &BigInt) {
+        *self = (&*self) + rhs;
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, rhs: &BigInt) {
+        *self = (&*self) - rhs;
+    }
+}
+
+impl MulAssign<&BigInt> for BigInt {
+    fn mul_assign(&mut self, rhs: &BigInt) {
+        *self = (&*self) * rhs;
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt::from_sign_mag(!self.neg, self.mag)
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        -self.clone()
+    }
+}
+
+// ---- I/O --------------------------------------------------------------------
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.neg {
+            write!(f, "-{}", self.mag)
+        } else {
+            self.mag.fmt(f)
+        }
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+impl FromStr for BigInt {
+    type Err = ParseBigIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (neg, digits) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s.strip_prefix('+').unwrap_or(s)),
+        };
+        Ok(BigInt::from_sign_mag(neg, digits.parse()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: i128) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn sign_normalization() {
+        let z = BigInt::from_sign_mag(true, BigUint::zero());
+        assert!(!z.is_negative());
+        assert_eq!(z, BigInt::zero());
+        assert_eq!(z.sign(), Sign::Zero);
+        assert_eq!(b(-5).sign(), Sign::Negative);
+        assert_eq!(b(5).sign(), Sign::Positive);
+    }
+
+    #[test]
+    fn add_signed_cases() {
+        let cases: [(i128, i128); 10] = [
+            (0, 0),
+            (1, 2),
+            (-1, -2),
+            (5, -3),
+            (3, -5),
+            (-5, 3),
+            (-3, 5),
+            (7, -7),
+            (i64::MAX as i128, i64::MAX as i128),
+            (i64::MIN as i128, -1),
+        ];
+        for (x, y) in cases {
+            assert_eq!((b(x) + b(y)).to_i128(), Some(x + y), "{x}+{y}");
+        }
+    }
+
+    #[test]
+    fn sub_signed_cases() {
+        for (x, y) in [(0i128, 0i128), (1, 2), (-1, -2), (5, -3), (-5, 3), (10, 10)] {
+            assert_eq!((b(x) - b(y)).to_i128(), Some(x - y), "{x}-{y}");
+        }
+    }
+
+    #[test]
+    fn mul_signed_cases() {
+        for (x, y) in [(0i128, 5i128), (-4, 6), (-4, -6), (4, -6), (1 << 40, 1 << 40)] {
+            assert_eq!((b(x) * b(y)).to_i128(), Some(x * y), "{x}*{y}");
+        }
+    }
+
+    #[test]
+    fn divrem_truncates_like_rust() {
+        for (x, y) in [(7i128, 2i128), (-7, 2), (7, -2), (-7, -2), (6, 3), (-6, 3)] {
+            let (q, r) = b(x).divrem(&b(y));
+            assert_eq!(q.to_i128(), Some(x / y), "{x}/{y}");
+            assert_eq!(r.to_i128(), Some(x % y), "{x}%{y}");
+        }
+    }
+
+    #[test]
+    fn ordering_mixed_signs() {
+        assert!(b(-3) < b(2));
+        assert!(b(-3) > b(-4));
+        assert!(b(3) < b(4));
+        assert!(b(0) > b(-1));
+        assert!(b(0) < b(1));
+    }
+
+    #[test]
+    fn neg_involutive() {
+        assert_eq!(-(-b(42)), b(42));
+        assert_eq!(-BigInt::zero(), BigInt::zero());
+    }
+
+    #[test]
+    fn to_i64_bounds() {
+        assert_eq!(b(i64::MAX as i128).to_i64(), Some(i64::MAX));
+        assert_eq!(b(i64::MIN as i128).to_i64(), Some(i64::MIN));
+        assert_eq!(b(i64::MAX as i128 + 1).to_i64(), None);
+        assert_eq!(b(i64::MIN as i128 - 1).to_i64(), None);
+    }
+
+    #[test]
+    fn display_and_parse() {
+        assert_eq!(b(-12345).to_string(), "-12345");
+        assert_eq!("-987654321987654321987".parse::<BigInt>().unwrap().to_string(),
+                   "-987654321987654321987");
+        assert_eq!("+17".parse::<BigInt>().unwrap(), b(17));
+        assert!("--1".parse::<BigInt>().is_err());
+        assert!("".parse::<BigInt>().is_err());
+    }
+
+    #[test]
+    fn pow_sign() {
+        assert_eq!(b(-2).pow(3), b(-8));
+        assert_eq!(b(-2).pow(4), b(16));
+        assert_eq!(b(-2).pow(0), b(1));
+    }
+
+    #[test]
+    fn to_f64_signed() {
+        assert_eq!(b(-12345).to_f64(), -12345.0);
+        assert_eq!(b(0).to_f64(), 0.0);
+    }
+}

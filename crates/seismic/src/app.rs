@@ -1,0 +1,269 @@
+//! The parallel tomography application of §2.2, on `gs-minimpi`.
+//!
+//! The original pseudo-code:
+//!
+//! ```text
+//! if (rank = ROOT)
+//!     raydata <- read n lines from data file;
+//! MPI_Scatter(raydata, n/P, ..., rbuff, ..., ROOT, MPI_COMM_WORLD);
+//! compute_work(rbuff);
+//! ```
+//!
+//! and the paper's transformation: replace `MPI_Scatter` with
+//! `MPI_Scatterv` parameterized by a planned distribution. This module
+//! implements both variants behind [`TomoConfig::strategy`] (the
+//! [`Strategy::Uniform`] plan *is* the original program).
+//!
+//! Ranks are laid out **in scatter order** (rank `i` is the `i`-th
+//! processor the root serves; the root is the last rank), so the runtime's
+//! rank-ordered scatterv reproduces the planned order exactly. Virtual
+//! time replays the platform's heterogeneity; wall time measures the real
+//! ray tracing performed by the host threads.
+
+use std::time::Instant;
+
+use gs_minimpi::{run_world, TimeModel, WorldConfig};
+use gs_scatter::cost::Platform;
+use gs_scatter::ordering::OrderPolicy;
+use gs_scatter::planner::{Plan, Planner, Strategy};
+
+use crate::catalog::{generate_catalog, Event, GeoPoint, WaveType};
+use crate::model::EarthModel;
+use crate::ray::trace_ray;
+
+/// Wire size of one encoded ray description (6 × f64: source lat/lon/depth,
+/// station lat/lon, wave type).
+pub const ITEM_BYTES: usize = 48;
+const F64S_PER_EVENT: usize = 6;
+
+/// Configuration of a tomography run.
+#[derive(Debug, Clone)]
+pub struct TomoConfig {
+    /// The (possibly heterogeneous) platform to emulate.
+    pub platform: Platform,
+    /// Distribution strategy (Uniform = the unmodified application).
+    pub strategy: Strategy,
+    /// Processor ordering policy.
+    pub policy: OrderPolicy,
+    /// Number of rays.
+    pub n_rays: usize,
+    /// Catalog seed.
+    pub seed: u64,
+}
+
+/// Result of a run.
+#[derive(Debug, Clone)]
+pub struct TomoReport {
+    /// The plan that was executed.
+    pub plan: Plan,
+    /// Machine names, in scatter order.
+    pub names: Vec<String>,
+    /// Per-rank virtual finish time (scatter order): Eq. (1) realized by
+    /// the runtime.
+    pub virtual_finish: Vec<f64>,
+    /// Max of `virtual_finish` — the emulated grid's makespan.
+    pub virtual_makespan: f64,
+    /// Sum of all traced travel times (checksum of the real computation).
+    pub checksum: f64,
+    /// Real wall-clock duration of the whole parallel run, seconds.
+    pub wall_seconds: f64,
+    /// Rays traced (= `n_rays`).
+    pub rays_traced: usize,
+}
+
+/// Encodes events as a flat f64 buffer (root side).
+pub fn encode_events(events: &[Event]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(events.len() * F64S_PER_EVENT);
+    for e in events {
+        out.push(e.source.lat_deg);
+        out.push(e.source.lon_deg);
+        out.push(e.source.depth_km);
+        out.push(e.station.lat_deg);
+        out.push(e.station.lon_deg);
+        out.push(if e.wave == WaveType::P { 0.0 } else { 1.0 });
+    }
+    out
+}
+
+/// Decodes a buffer produced by [`encode_events`].
+pub fn decode_events(buf: &[f64]) -> Vec<Event> {
+    assert_eq!(buf.len() % F64S_PER_EVENT, 0, "corrupt ray buffer");
+    buf.chunks_exact(F64S_PER_EVENT)
+        .map(|c| Event {
+            source: GeoPoint { lat_deg: c[0], lon_deg: c[1], depth_km: c[2] },
+            station: GeoPoint { lat_deg: c[3], lon_deg: c[4], depth_km: 0.0 },
+            wave: if c[5] == 0.0 { WaveType::P } else { WaveType::S },
+        })
+        .collect()
+}
+
+/// Runs the parallel tomography application and reports both the virtual
+/// (emulated-grid) schedule and the real computation's checksum.
+pub fn run_tomography(config: &TomoConfig) -> Result<TomoReport, gs_scatter::error::PlanError> {
+    let plan = Planner::new(config.platform.clone())
+        .strategy(config.strategy)
+        .order_policy(config.policy)
+        .plan(config.n_rays)?;
+
+    // Ranks in scatter order: re-index the platform so rank i == the i-th
+    // served processor, root last.
+    let p = config.platform.len();
+    let ordered_procs: Vec<_> = config
+        .platform
+        .ordered(&plan.order)
+        .into_iter()
+        .cloned()
+        .collect();
+    let names: Vec<String> = ordered_procs.iter().map(|pr| pr.name.clone()).collect();
+    let ordered_platform = Platform::new(ordered_procs, p - 1).expect("valid reordering");
+    let time_model = TimeModel::from_platform(&ordered_platform, ITEM_BYTES);
+
+    let counts_items = plan.counts_in_order();
+    let counts_elems: Vec<usize> = counts_items.iter().map(|c| c * F64S_PER_EVENT).collect();
+    let root_rank = p - 1;
+    let n_rays = config.n_rays;
+    let seed = config.seed;
+
+    let start = Instant::now();
+    let per_rank = run_world(p, WorldConfig::with_time(time_model), |comm| {
+        let model = EarthModel::default();
+        // §2.2: the root reads the ray data...
+        let sendbuf: Option<Vec<f64>> = if comm.rank() == root_rank {
+            Some(encode_events(&generate_catalog(n_rays, seed)))
+        } else {
+            None
+        };
+        // ...and scatters it (scatterv with the planned counts; with the
+        // Uniform strategy this is exactly the original MPI_Scatter).
+        let mine = comm.scatterv(root_rank, sendbuf.as_deref(), &counts_elems);
+        let events = decode_events(&mine);
+
+        // compute_work(rbuff): trace every ray. Real work on the host...
+        let mut travel_times = Vec::with_capacity(events.len());
+        for ev in &events {
+            let ray = trace_ray(
+                &model,
+                ev.wave == WaveType::P,
+                ev.source.depth_km,
+                ev.delta().max(0.01),
+            );
+            travel_times.push(ray.travel_time);
+        }
+        // ...and modelled time on the emulated grid machine.
+        comm.model_compute(events.len());
+        let finish = comm.now();
+
+        // Send results home (free on the virtual clock: the root's inbound
+        // link is not the contended resource in the paper's model).
+        let gathered = comm.gatherv(root_rank, &travel_times);
+        let checksum = gathered.map(|all| all.iter().sum::<f64>());
+        (finish, checksum, events.len())
+    });
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    let virtual_finish: Vec<f64> = per_rank.iter().map(|(f, _, _)| *f).collect();
+    let virtual_makespan = virtual_finish.iter().copied().fold(0.0, f64::max);
+    let checksum = per_rank[root_rank].1.expect("root gathered all travel times");
+    let rays_traced: usize = per_rank.iter().map(|(_, _, n)| n).sum();
+    assert_eq!(rays_traced, n_rays, "every ray must be traced exactly once");
+
+    Ok(TomoReport {
+        plan,
+        names,
+        virtual_finish,
+        virtual_makespan,
+        checksum,
+        wall_seconds,
+        rays_traced,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calib::trace_events_sum;
+    use gs_scatter::cost::Processor;
+
+    fn platform() -> Platform {
+        Platform::new(
+            vec![
+                Processor::linear("root", 0.0, 0.010),
+                Processor::linear("fast", 1e-4, 0.004),
+                Processor::linear("slow", 2e-4, 0.016),
+            ],
+            0,
+        )
+        .unwrap()
+    }
+
+    fn config(strategy: Strategy) -> TomoConfig {
+        TomoConfig {
+            platform: platform(),
+            strategy,
+            policy: OrderPolicy::DescendingBandwidth,
+            n_rays: 150,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let events = generate_catalog(25, 9);
+        assert_eq!(decode_events(&encode_events(&events)), events);
+    }
+
+    #[test]
+    fn parallel_checksum_matches_serial() {
+        let report = run_tomography(&config(Strategy::Heuristic)).unwrap();
+        let model = EarthModel::default();
+        let serial = trace_events_sum(&model, &generate_catalog(150, 42));
+        let rel = (report.checksum - serial).abs() / serial;
+        assert!(rel < 1e-12, "parallel {} vs serial {serial}", report.checksum);
+        assert_eq!(report.rays_traced, 150);
+    }
+
+    #[test]
+    fn virtual_schedule_matches_plan_prediction() {
+        let report = run_tomography(&config(Strategy::Heuristic)).unwrap();
+        let predicted = &report.plan.predicted;
+        for (i, (&actual, &expect)) in report
+            .virtual_finish
+            .iter()
+            .zip(&predicted.finish)
+            .enumerate()
+        {
+            // Skip empty shares: Eq. (1) charges their Tcomp(0) = 0 anyway.
+            let tol = 1e-9 * expect.abs().max(1.0);
+            assert!(
+                (actual - expect).abs() < tol,
+                "rank {i}: runtime {actual} vs model {expect}"
+            );
+        }
+        let tol = 1e-9 * report.plan.predicted_makespan.max(1.0);
+        assert!((report.virtual_makespan - report.plan.predicted_makespan).abs() < tol);
+    }
+
+    #[test]
+    fn balanced_beats_uniform_in_virtual_time() {
+        let uniform = run_tomography(&config(Strategy::Uniform)).unwrap();
+        let balanced = run_tomography(&config(Strategy::Heuristic)).unwrap();
+        assert!(
+            balanced.virtual_makespan < uniform.virtual_makespan,
+            "balanced {} vs uniform {}",
+            balanced.virtual_makespan,
+            uniform.virtual_makespan
+        );
+        // Same work either way.
+        let rel = (balanced.checksum - uniform.checksum).abs() / uniform.checksum;
+        assert!(rel < 1e-9, "checksums must agree");
+    }
+
+    #[test]
+    fn names_follow_scatter_order() {
+        let report = run_tomography(&config(Strategy::Heuristic)).unwrap();
+        assert_eq!(report.names.last().unwrap(), "root");
+        assert_eq!(report.names.len(), 3);
+        // Descending bandwidth: fast link (1e-4) before slow link (2e-4).
+        assert_eq!(report.names[0], "fast");
+    }
+}

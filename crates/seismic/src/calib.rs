@@ -1,0 +1,96 @@
+//! Cost calibration: measure the host's per-ray compute cost, the way the
+//! paper benchmarked each grid machine to fill Table 1's `α` column.
+
+use std::time::Instant;
+
+use gs_scatter::cost::CostFn;
+
+use crate::catalog::{generate_catalog, WaveType};
+use crate::model::EarthModel;
+use crate::ray::trace_ray;
+
+/// Traces `events` and returns the summed travel time (the serial
+/// reference used by tests and the calibration loop).
+pub fn trace_events_sum(model: &EarthModel, events: &[crate::catalog::Event]) -> f64 {
+    let mut sum = 0.0;
+    for ev in events {
+        let ray = trace_ray(
+            model,
+            ev.wave == WaveType::P,
+            ev.source.depth_km,
+            ev.delta().max(0.01),
+        );
+        sum += ray.travel_time;
+    }
+    sum
+}
+
+/// Measures the host's average per-ray cost, seconds, over `n_sample`
+/// synthetic rays. This is the `α` of Table 1 for the local machine.
+pub fn measure_alpha(model: &EarthModel, n_sample: usize, seed: u64) -> f64 {
+    assert!(n_sample > 0);
+    let events = generate_catalog(n_sample, seed);
+    let start = Instant::now();
+    let sum = trace_events_sum(model, &events);
+    let elapsed = start.elapsed().as_secs_f64();
+    // Keep the optimizer from deleting the loop.
+    assert!(sum.is_finite());
+    elapsed / n_sample as f64
+}
+
+/// Builds a measured, tabulated compute-cost function by timing batches of
+/// several sizes — the "benchmark-driven" general cost model usable with
+/// the exact DPs (the paper's Algorithm 1 makes no shape assumption).
+pub fn measured_comp_cost(model: &EarthModel, sizes: &[usize], seed: u64) -> CostFn {
+    assert!(!sizes.is_empty());
+    let mut points = Vec::with_capacity(sizes.len());
+    for (i, &n) in sizes.iter().enumerate() {
+        assert!(n > 0, "batch sizes must be positive");
+        let events = generate_catalog(n, seed.wrapping_add(i as u64));
+        let start = Instant::now();
+        let sum = trace_events_sum(model, &events);
+        assert!(sum.is_finite());
+        points.push((n, start.elapsed().as_secs_f64()));
+    }
+    points.sort_by_key(|&(n, _)| n);
+    points.dedup_by_key(|&mut (n, _)| n);
+    // Enforce monotonicity (timing jitter can locally invert): cumulative
+    // max keeps the table usable by Algorithm 2.
+    let mut running = 0.0f64;
+    for p in &mut points {
+        running = running.max(p.1);
+        p.1 = running;
+    }
+    CostFn::table(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_is_positive_and_finite() {
+        let m = EarthModel::default();
+        let a = measure_alpha(&m, 20, 1);
+        assert!(a.is_finite() && a > 0.0);
+        // Tracing a ray takes less than a second even in debug builds.
+        assert!(a < 1.0, "alpha = {a}");
+    }
+
+    #[test]
+    fn measured_cost_is_increasing_table() {
+        let m = EarthModel::default();
+        let cost = measured_comp_cost(&m, &[5, 10, 20], 3);
+        assert!(cost.probably_increasing(20));
+        assert!(cost.eval(20) >= cost.eval(5));
+        assert!(cost.eval(1) >= 0.0);
+    }
+
+    #[test]
+    fn serial_sum_deterministic() {
+        let m = EarthModel::default();
+        let ev = generate_catalog(30, 5);
+        assert_eq!(trace_events_sum(&m, &ev), trace_events_sum(&m, &ev));
+        assert!(trace_events_sum(&m, &ev) > 0.0);
+    }
+}

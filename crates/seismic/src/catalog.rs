@@ -1,0 +1,245 @@
+//! Synthetic seismic-event catalogs.
+//!
+//! The paper traces "the full set of seismic events of year 1999"
+//! (817,101 rays from the ISC catalog). That catalog is not
+//! redistributable here, so this module generates a synthetic one with the
+//! same *structure*: epicentres clustered on great-circle "seismic belts"
+//! (plus a diffuse background), mostly shallow depths with a deep-focus
+//! tail, recorded at a fixed global station network, P- and S-wave picks.
+//! Everything is seeded and deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A point on/inside the Earth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoPoint {
+    /// Latitude, degrees, `[-90, 90]`.
+    pub lat_deg: f64,
+    /// Longitude, degrees, `[-180, 180)`.
+    pub lon_deg: f64,
+    /// Depth below the surface, km (0 for stations).
+    pub depth_km: f64,
+}
+
+impl GeoPoint {
+    /// Epicentral distance to another point, radians (spherical law of
+    /// cosines, depth ignored — the tracer handles depth separately).
+    pub fn epicentral_distance(&self, other: &GeoPoint) -> f64 {
+        let (f1, f2) = (self.lat_deg.to_radians(), other.lat_deg.to_radians());
+        let dl = (self.lon_deg - other.lon_deg).to_radians();
+        let c = f1.sin() * f2.sin() + f1.cos() * f2.cos() * dl.cos();
+        c.clamp(-1.0, 1.0).acos()
+    }
+}
+
+/// Seismic phase type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaveType {
+    /// Compressional wave.
+    P,
+    /// Shear wave.
+    S,
+}
+
+/// One ray to trace: an event recorded at a station.
+///
+/// Matches the paper's description of an input item: "a pair of 3D
+/// coordinates (the coordinates of the earthquake source and those of the
+/// receiving captor) plus the wave type" (§2.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Earthquake hypocentre.
+    pub source: GeoPoint,
+    /// Receiving station (depth 0).
+    pub station: GeoPoint,
+    /// Phase.
+    pub wave: WaveType,
+}
+
+impl Event {
+    /// Source→station epicentral distance, radians.
+    pub fn delta(&self) -> f64 {
+        self.source.epicentral_distance(&self.station)
+    }
+}
+
+/// A fixed global station network (name, lat, lon) — a coarse subset of
+/// real networks (GSN-like coverage).
+pub const STATIONS: &[(&str, f64, f64)] = &[
+    ("ANMO", 34.95, -106.46),
+    ("COLA", 64.87, -147.86),
+    ("HRV", 42.51, -71.56),
+    ("PFO", 33.61, -116.46),
+    ("TUC", 32.31, -110.78),
+    ("SJG", 18.11, -66.15),
+    ("PTGA", -0.73, -59.97),
+    ("NNA", -11.99, -76.84),
+    ("LPAZ", -16.29, -68.13),
+    ("PLCA", -40.73, -70.55),
+    ("ESK", 55.33, -3.21),
+    ("KONO", 59.65, 9.60),
+    ("GRFO", 49.69, 11.22),
+    ("PAB", 39.55, -4.35),
+    ("TAM", 22.79, 5.53),
+    ("KMBO", -1.13, 37.25),
+    ("LSZ", -15.28, 28.19),
+    ("SUR", -32.38, 20.81),
+    ("KIV", 43.96, 42.69),
+    ("AAK", 42.64, 74.49),
+    ("ABKT", 37.93, 58.12),
+    ("CHTO", 18.81, 98.94),
+    ("HYB", 17.42, 78.55),
+    ("ENH", 30.28, 109.49),
+    ("BJT", 40.02, 116.17),
+    ("INCN", 37.48, 126.62),
+    ("MAJO", 36.54, 138.21),
+    ("ERM", 42.02, 143.16),
+    ("GUMO", 13.59, 144.87),
+    ("DAV", 7.07, 125.58),
+    ("COCO", -12.19, 96.83),
+    ("NWAO", -32.93, 117.24),
+    ("CTAO", -20.09, 146.25),
+    ("SNZO", -41.31, 174.70),
+    ("RAR", -21.21, -159.77),
+    ("KIP", 21.42, -158.02),
+    ("PTCN", -25.07, -130.10),
+    ("RPN", -27.13, -109.33),
+    ("SBA", -77.85, 166.76),
+    ("SPA", -90.00, 0.00),
+];
+
+/// A `(lat, lon)` pair in degrees.
+type LatLon = (f64, f64);
+
+/// Parametric "seismic belts": (start lat/lon, end lat/lon) great-circle
+/// segments roughly sketching the circum-Pacific and Alpide belts and the
+/// mid-Atlantic ridge.
+const BELTS: &[(LatLon, LatLon)] = &[
+    // Circum-Pacific west: Kamchatka → Japan → Philippines → New Zealand
+    ((55.0, 160.0), (-40.0, 175.0)),
+    // Circum-Pacific east: Alaska → California → Chile
+    ((60.0, -150.0), (-35.0, -72.0)),
+    // Alpide: Mediterranean → Himalaya → Indonesia
+    ((38.0, 15.0), (-5.0, 125.0)),
+    // Mid-Atlantic ridge
+    ((60.0, -25.0), (-40.0, -15.0)),
+];
+
+/// Generates `n` events with the given RNG seed. Deterministic: the same
+/// `(n, seed)` always produces the same catalog.
+pub fn generate_catalog(n: usize, seed: u64) -> Vec<Event> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let source = random_hypocentre(&mut rng);
+        let (_, slat, slon) = STATIONS[rng.gen_range(0..STATIONS.len())];
+        let station = GeoPoint { lat_deg: slat, lon_deg: slon, depth_km: 0.0 };
+        // ~72% of picks are P (first arrivals dominate real bulletins).
+        let wave = if rng.gen_bool(0.72) { WaveType::P } else { WaveType::S };
+        let ev = Event { source, station, wave };
+        // Keep distances the tracer accepts: skip near-zero separations.
+        if ev.delta() > 0.01 {
+            out.push(ev);
+        }
+    }
+    out
+}
+
+fn random_hypocentre(rng: &mut StdRng) -> GeoPoint {
+    // 85% on a belt (with ~3° scatter), 15% diffuse background.
+    let (lat, lon) = if rng.gen_bool(0.85) {
+        let ((lat0, lon0), (lat1, lon1)) = BELTS[rng.gen_range(0..BELTS.len())];
+        let t: f64 = rng.gen_range(0.0..1.0);
+        (
+            lat0 + t * (lat1 - lat0) + rng.gen_range(-3.0..3.0),
+            lon0 + t * (lon1 - lon0) + rng.gen_range(-3.0..3.0),
+        )
+    } else {
+        // Uniform on the sphere: lon uniform, sin(lat) uniform.
+        let z: f64 = rng.gen_range(-1.0f64..1.0);
+        (z.asin().to_degrees(), rng.gen_range(-180.0..180.0))
+    };
+    // Depth: mostly shallow (exponential, mean 35 km), 8% deep-focus.
+    let depth = if rng.gen_bool(0.08) {
+        rng.gen_range(300.0..690.0)
+    } else {
+        let u: f64 = rng.gen_range(0.0f64..1.0);
+        (-(1.0 - u).ln() * 35.0).min(290.0)
+    };
+    GeoPoint {
+        lat_deg: lat.clamp(-89.9, 89.9),
+        lon_deg: wrap_lon(lon),
+        depth_km: depth.max(1.0),
+    }
+}
+
+fn wrap_lon(lon: f64) -> f64 {
+    let mut l = (lon + 180.0) % 360.0;
+    if l < 0.0 {
+        l += 360.0;
+    }
+    l - 180.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        assert_eq!(generate_catalog(50, 7), generate_catalog(50, 7));
+        assert_ne!(generate_catalog(50, 7), generate_catalog(50, 8));
+    }
+
+    #[test]
+    fn requested_size() {
+        assert_eq!(generate_catalog(123, 1).len(), 123);
+        assert!(generate_catalog(0, 1).is_empty());
+    }
+
+    #[test]
+    fn fields_in_valid_ranges() {
+        for ev in generate_catalog(500, 42) {
+            assert!((-90.0..=90.0).contains(&ev.source.lat_deg));
+            assert!((-180.0..180.0).contains(&ev.source.lon_deg));
+            assert!((1.0..700.0).contains(&ev.source.depth_km));
+            assert_eq!(ev.station.depth_km, 0.0);
+            assert!(ev.delta() > 0.0 && ev.delta() <= std::f64::consts::PI);
+        }
+    }
+
+    #[test]
+    fn both_wave_types_present() {
+        let cat = generate_catalog(300, 3);
+        let p = cat.iter().filter(|e| e.wave == WaveType::P).count();
+        assert!(p > 150 && p < 290, "P fraction plausible: {p}/300");
+    }
+
+    #[test]
+    fn depth_distribution_mostly_shallow() {
+        let cat = generate_catalog(1000, 11);
+        let shallow = cat.iter().filter(|e| e.source.depth_km < 100.0).count();
+        let deep = cat.iter().filter(|e| e.source.depth_km > 300.0).count();
+        assert!(shallow > 700, "shallow {shallow}");
+        assert!(deep > 30 && deep < 200, "deep {deep}");
+    }
+
+    #[test]
+    fn epicentral_distance_sane() {
+        let np = GeoPoint { lat_deg: 90.0, lon_deg: 0.0, depth_km: 0.0 };
+        let sp = GeoPoint { lat_deg: -90.0, lon_deg: 0.0, depth_km: 0.0 };
+        let eq = GeoPoint { lat_deg: 0.0, lon_deg: 0.0, depth_km: 0.0 };
+        assert!((np.epicentral_distance(&sp) - std::f64::consts::PI).abs() < 1e-12);
+        assert!((np.epicentral_distance(&eq) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert_eq!(eq.epicentral_distance(&eq), 0.0);
+    }
+
+    #[test]
+    fn wrap_lon_normalizes() {
+        assert_eq!(wrap_lon(0.0), 0.0);
+        assert_eq!(wrap_lon(190.0), -170.0);
+        assert_eq!(wrap_lon(-190.0), 170.0);
+        assert_eq!(wrap_lon(360.0), 0.0);
+    }
+}

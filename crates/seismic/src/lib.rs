@@ -1,0 +1,43 @@
+//! # gs-seismic — the motivating workload (§2 of the paper)
+//!
+//! The paper's target application is a seismic-tomography code that
+//! ray-traces the full set of seismic events of year 1999 — 817,101 rays —
+//! in parallel: the root reads the ray descriptions, `MPI_Scatter`s them,
+//! and every processor traces its share independently (the rays are
+//! independent, which is what makes the scatter load-balanceable).
+//!
+//! The original code and the ISC event catalog are not available, so this
+//! crate rebuilds the workload to the fidelity the experiments need:
+//!
+//! * [`model`] — a layered spherical-Earth velocity model (piecewise-linear
+//!   P/S velocity profiles shaped after ak135/PREM);
+//! * [`ray`] — travel-time ray tracing in that model: for a
+//!   source–receiver pair, find the ray parameter whose ray connects them
+//!   (bisection on the epicentral-distance integral) and integrate its
+//!   travel time. Real, data-dependent floating-point work per ray — the
+//!   property the load balancer exploits;
+//! * [`catalog`] — a seeded synthetic catalog of events on seismic belts
+//!   recorded at a global station set;
+//! * [`calib`] — measures the per-ray compute cost (`α` of Table 1) on the
+//!   host, producing planner cost functions from reality;
+//! * [`app`] — the §2.2 program on [`gs_minimpi`]: read → scatter(v) →
+//!   trace → gather, with the grid's heterogeneity replayed in virtual
+//!   time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod calib;
+pub mod catalog;
+pub mod invert;
+pub mod invert_app;
+pub mod model;
+pub mod ray;
+
+pub use app::{run_tomography, TomoConfig, TomoReport};
+pub use invert::{invert_serial, synthetic_observations, InversionStep, LayerResiduals};
+pub use invert_app::{run_parallel_inversion, InversionConfig, InversionReport};
+pub use catalog::{generate_catalog, Event, GeoPoint, WaveType};
+pub use model::EarthModel;
+pub use ray::{trace_ray, RayPath};

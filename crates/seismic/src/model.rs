@@ -1,0 +1,237 @@
+//! Layered spherical-Earth velocity model.
+//!
+//! Velocities are piecewise linear in radius within named layers, with the
+//! P and S profiles loosely following ak135 — close enough that rays
+//! behave like rays (turning points deepen with distance, S slower than P,
+//! the core shadows S) while staying a few dozen lines of data.
+
+/// Mean Earth radius, kilometres.
+pub const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// One spherical shell with linear velocity profiles.
+#[derive(Debug, Clone)]
+pub struct Layer {
+    /// Layer name (for reports).
+    pub name: &'static str,
+    /// Inner radius, km.
+    pub r_bottom: f64,
+    /// Outer radius, km.
+    pub r_top: f64,
+    /// P velocity at the bottom/top of the layer, km/s.
+    pub vp: (f64, f64),
+    /// S velocity at the bottom/top, km/s (0 in the fluid outer core).
+    pub vs: (f64, f64),
+}
+
+/// A radially symmetric velocity model: concentric [`Layer`]s covering
+/// `0..EARTH_RADIUS_KM`.
+#[derive(Debug, Clone)]
+pub struct EarthModel {
+    layers: Vec<Layer>,
+}
+
+impl EarthModel {
+    /// A simplified ak135-flavoured model: inner core, outer core (fluid),
+    /// lower/upper mantle, crust.
+    pub fn ak135_simplified() -> Self {
+        // (bottom_r, top_r, vp_bottom, vp_top, vs_bottom, vs_top)
+        let layers = vec![
+            Layer {
+                name: "inner core",
+                r_bottom: 0.0,
+                r_top: 1217.5,
+                vp: (11.26, 11.03),
+                vs: (3.67, 3.50),
+            },
+            Layer {
+                name: "outer core",
+                r_bottom: 1217.5,
+                r_top: 3479.5,
+                vp: (10.29, 8.00),
+                vs: (0.0, 0.0), // fluid: no shear waves
+            },
+            Layer {
+                name: "lower mantle",
+                r_bottom: 3479.5,
+                r_top: 5711.0,
+                vp: (13.66, 10.20),
+                vs: (7.28, 5.61),
+            },
+            Layer {
+                name: "upper mantle",
+                r_bottom: 5711.0,
+                r_top: 6336.0,
+                vp: (10.20, 8.04),
+                vs: (5.61, 4.48),
+            },
+            Layer {
+                name: "crust",
+                r_bottom: 6336.0,
+                r_top: EARTH_RADIUS_KM,
+                vp: (6.50, 5.80),
+                vs: (3.85, 3.46),
+            },
+        ];
+        EarthModel { layers }
+    }
+
+    /// The layers, from the centre outwards.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// P-wave velocity at radius `r` km.
+    pub fn vp(&self, r: f64) -> f64 {
+        self.velocity(r, true)
+    }
+
+    /// S-wave velocity at radius `r` km (0 inside the fluid outer core).
+    pub fn vs(&self, r: f64) -> f64 {
+        self.velocity(r, false)
+    }
+
+    fn velocity(&self, r: f64, p_wave: bool) -> f64 {
+        let r = r.clamp(0.0, EARTH_RADIUS_KM);
+        let layer = self
+            .layers
+            .iter()
+            .find(|l| r >= l.r_bottom && r <= l.r_top)
+            .expect("layers cover the whole radius range");
+        let (v_bot, v_top) = if p_wave { layer.vp } else { layer.vs };
+        if layer.r_top == layer.r_bottom {
+            return v_top;
+        }
+        let t = (r - layer.r_bottom) / (layer.r_top - layer.r_bottom);
+        v_bot + t * (v_top - v_bot)
+    }
+
+    /// Slowness parameter `η(r) = r / v(r)` in s·km/km... i.e. seconds per
+    /// radian when `r` is in km and `v` in km/s. Returns `f64::INFINITY`
+    /// where the velocity vanishes (S in the outer core), which naturally
+    /// blocks S rays from bottoming there.
+    pub fn eta(&self, r: f64, p_wave: bool) -> f64 {
+        let v = self.velocity(r, p_wave);
+        if v <= 0.0 {
+            f64::INFINITY
+        } else {
+            r / v
+        }
+    }
+}
+
+impl EarthModel {
+    /// Returns a copy with each layer's velocities multiplied by the
+    /// corresponding factor (one per layer, centre outwards). This is the
+    /// parameterization the tomographic inversion updates.
+    ///
+    /// # Panics
+    /// Panics if the factor count does not match the layer count or a
+    /// factor is not positive.
+    pub fn scaled(&self, layer_factors: &[f64]) -> EarthModel {
+        assert_eq!(
+            layer_factors.len(),
+            self.layers.len(),
+            "one factor per layer"
+        );
+        let layers = self
+            .layers
+            .iter()
+            .zip(layer_factors)
+            .map(|(l, &f)| {
+                assert!(f.is_finite() && f > 0.0, "invalid layer factor {f}");
+                Layer {
+                    vp: (l.vp.0 * f, l.vp.1 * f),
+                    vs: (l.vs.0 * f, l.vs.1 * f),
+                    ..l.clone()
+                }
+            })
+            .collect();
+        EarthModel { layers }
+    }
+
+    /// Index of the layer containing radius `r` (clamped into range).
+    pub fn layer_of(&self, r: f64) -> usize {
+        let r = r.clamp(0.0, EARTH_RADIUS_KM);
+        self.layers
+            .iter()
+            .position(|l| r >= l.r_bottom && r <= l.r_top)
+            .expect("layers cover the whole range")
+    }
+}
+
+impl Default for EarthModel {
+    fn default() -> Self {
+        EarthModel::ak135_simplified()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layers_tile_the_earth() {
+        let m = EarthModel::default();
+        let ls = m.layers();
+        assert_eq!(ls[0].r_bottom, 0.0);
+        assert_eq!(ls.last().unwrap().r_top, EARTH_RADIUS_KM);
+        for w in ls.windows(2) {
+            assert_eq!(w[0].r_top, w[1].r_bottom, "no gaps or overlaps");
+        }
+    }
+
+    #[test]
+    fn velocities_are_physical() {
+        let m = EarthModel::default();
+        for r in [0.0, 500.0, 2000.0, 4000.0, 6000.0, 6371.0] {
+            let vp = m.vp(r);
+            let vs = m.vs(r);
+            assert!(vp > 0.0, "vp > 0 at r={r}");
+            assert!(vs >= 0.0);
+            assert!(vs < vp, "S slower than P at r={r}");
+        }
+    }
+
+    #[test]
+    fn outer_core_is_fluid() {
+        let m = EarthModel::default();
+        assert_eq!(m.vs(2000.0), 0.0);
+        assert!(m.vp(2000.0) > 0.0);
+        assert_eq!(m.eta(2000.0, false), f64::INFINITY);
+    }
+
+    #[test]
+    fn velocity_interpolates_within_layer() {
+        let m = EarthModel::default();
+        // Crust: 6336 → 6371 km, vp 6.5 → 5.8.
+        let mid = m.vp((6336.0 + EARTH_RADIUS_KM) / 2.0);
+        assert!((mid - 6.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn surface_velocities_match_table() {
+        let m = EarthModel::default();
+        assert!((m.vp(EARTH_RADIUS_KM) - 5.8).abs() < 1e-12);
+        assert!((m.vs(EARTH_RADIUS_KM) - 3.46).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let m = EarthModel::default();
+        assert_eq!(m.vp(-5.0), m.vp(0.0));
+        assert_eq!(m.vp(1e9), m.vp(EARTH_RADIUS_KM));
+    }
+
+    #[test]
+    fn eta_increases_outward_in_mantle() {
+        // dη/dr > 0 in the mantle: rays have unique turning points there.
+        let m = EarthModel::default();
+        let mut prev = m.eta(3500.0, true);
+        for i in 1..=50 {
+            let r = 3500.0 + i as f64 * (6300.0 - 3500.0) / 50.0;
+            let e = m.eta(r, true);
+            assert!(e > prev, "eta monotone at r={r}");
+            prev = e;
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # gs-transform — the "software tool" of the paper's introduction
+//!
+//! §1 of the paper: *"In term of source code rewriting, the transformation
+//! of such operations does not require a deep source code re-organization,
+//! and it can easily be automated in a software tool."* This crate is that
+//! tool: it rewrites `MPI_Scatter` calls in C source into `MPI_Scatterv`
+//! calls parameterized by a plan from [`gs_scatter`], and generates the C
+//! initialization code for the `counts`/`displs` arrays.
+//!
+//! The paper's own example (§2.2):
+//!
+//! ```c
+//! MPI_Scatter(raydata, n/P, MPI_DOUBLE, rbuff, n/P, MPI_DOUBLE, ROOT, MPI_COMM_WORLD);
+//! ```
+//!
+//! becomes
+//!
+//! ```c
+//! MPI_Scatterv(raydata, gs_counts, gs_displs, MPI_DOUBLE,
+//!              rbuff, gs_counts[gs_rank], MPI_DOUBLE, ROOT, MPI_COMM_WORLD);
+//! ```
+//!
+//! plus a generated block defining `gs_counts`/`gs_displs` from the
+//! planner's distribution.
+//!
+//! The rewriter is deliberately lexical (no C parser): it matches call
+//! sites with balanced-parenthesis argument splitting, skips string
+//! literals and comments, and leaves everything else byte-identical —
+//! the "as little modification as possible" philosophy of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codegen;
+mod rewrite;
+
+pub use codegen::{emit_plan_arrays, CodegenOptions};
+pub use rewrite::{transform_source, Rewrite, TransformReport};

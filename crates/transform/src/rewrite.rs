@@ -1,0 +1,359 @@
+//! Lexical rewriting of `MPI_Scatter` call sites.
+
+use std::fmt;
+
+/// One rewritten call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rewrite {
+    /// Byte offset of the original call in the input.
+    pub offset: usize,
+    /// 1-based line number of the call.
+    pub line: usize,
+    /// The original call text.
+    pub original: String,
+    /// The replacement text.
+    pub replacement: String,
+}
+
+/// Result of a transformation pass.
+#[derive(Debug, Clone)]
+pub struct TransformReport {
+    /// The transformed source.
+    pub source: String,
+    /// Call sites rewritten, in order of appearance.
+    pub rewrites: Vec<Rewrite>,
+    /// Call sites that looked like `MPI_Scatter` but could not be parsed
+    /// (wrong arity); left untouched.
+    pub skipped: Vec<usize>,
+}
+
+impl fmt::Display for TransformReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} call(s) rewritten, {} skipped",
+            self.rewrites.len(),
+            self.skipped.len()
+        )?;
+        for r in &self.rewrites {
+            writeln!(f, "  line {}: MPI_Scatter -> MPI_Scatterv", r.line)?;
+        }
+        Ok(())
+    }
+}
+
+/// Names used by the generated code.
+pub(crate) const COUNTS_VAR: &str = "gs_counts";
+pub(crate) const DISPLS_VAR: &str = "gs_displs";
+pub(crate) const RANK_VAR: &str = "gs_rank";
+
+/// Rewrites every `MPI_Scatter(...)` call in `source` into the
+/// corresponding `MPI_Scatterv(...)` call using the generated
+/// `gs_counts`/`gs_displs` arrays (see [`crate::emit_plan_arrays`]).
+///
+/// ```
+/// use gs_transform::transform_source;
+/// let report = transform_source(
+///     "MPI_Scatter(buf, n/P, T, r, n/P, T, 0, COMM);",
+/// );
+/// assert_eq!(report.rewrites.len(), 1);
+/// assert!(report.source.starts_with("MPI_Scatterv(buf, gs_counts, gs_displs,"));
+/// ```
+///
+/// `MPI_Scatter` takes
+/// `(sendbuf, sendcount, sendtype, recvbuf, recvcount, recvtype, root, comm)`;
+/// the rewrite preserves every argument except the two counts, exactly as
+/// the paper's minimal-intrusion transformation prescribes. Occurrences
+/// inside string literals, character literals, and `//`/`/* */` comments
+/// are left alone, as are calls that already read `MPI_Scatterv`.
+pub fn transform_source(source: &str) -> TransformReport {
+    let bytes = source.as_bytes();
+    let mut out = String::with_capacity(source.len() + 256);
+    let mut rewrites = Vec::new();
+    let mut skipped = Vec::new();
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        // Skip comments and string/char literals wholesale.
+        if let Some(end) = skip_non_code(source, i) {
+            out.push_str(&source[i..end]);
+            i = end;
+            continue;
+        }
+        if let Some(call) = match_scatter_call(source, i) {
+            match split_args(&source[call.args_start..call.args_end]) {
+                Some(args) if args.len() == 8 => {
+                    let replacement = format!(
+                        "MPI_Scatterv({}, {COUNTS_VAR}, {DISPLS_VAR}, {}, {}, {COUNTS_VAR}[{RANK_VAR}], {}, {}, {})",
+                        args[0].trim(),
+                        args[2].trim(),
+                        args[3].trim(),
+                        args[5].trim(),
+                        args[6].trim(),
+                        args[7].trim(),
+                    );
+                    rewrites.push(Rewrite {
+                        offset: i,
+                        line: line_of(source, i),
+                        original: source[i..call.call_end].to_string(),
+                        replacement: replacement.clone(),
+                    });
+                    out.push_str(&replacement);
+                    i = call.call_end;
+                    continue;
+                }
+                _ => skipped.push(line_of(source, i)),
+            }
+        }
+        // Default: copy one char.
+        let ch_len = source[i..].chars().next().map_or(1, char::len_utf8);
+        out.push_str(&source[i..i + ch_len]);
+        i += ch_len;
+    }
+
+    TransformReport { source: out, rewrites, skipped }
+}
+
+struct CallSite {
+    args_start: usize,
+    args_end: usize,
+    call_end: usize,
+}
+
+/// If `source[i..]` begins an `MPI_Scatter(` call (not `MPI_Scatterv`,
+/// not part of a longer identifier), returns the argument span.
+fn match_scatter_call(source: &str, i: usize) -> Option<CallSite> {
+    const NAME: &str = "MPI_Scatter";
+    if !source[i..].starts_with(NAME) {
+        return None;
+    }
+    // Not preceded by an identifier character.
+    if i > 0 {
+        let prev = source[..i].chars().next_back().unwrap();
+        if prev.is_ascii_alphanumeric() || prev == '_' {
+            return None;
+        }
+    }
+    // Followed (after whitespace) by '(' and not a longer identifier
+    // (e.g. MPI_Scatterv itself).
+    let after = &source[i + NAME.len()..];
+    let next = after.chars().next()?;
+    if next.is_ascii_alphanumeric() || next == '_' {
+        return None;
+    }
+    let ws: usize = after.chars().take_while(|c| c.is_whitespace()).map(char::len_utf8).sum();
+    if !after[ws..].starts_with('(') {
+        return None;
+    }
+    let args_start = i + NAME.len() + ws + 1;
+    let args_end = find_matching_paren(source, args_start - 1)?;
+    Some(CallSite { args_start, args_end, call_end: args_end + 1 })
+}
+
+/// Given the index of a '(', returns the index of its matching ')'.
+fn find_matching_paren(source: &str, open: usize) -> Option<usize> {
+    debug_assert_eq!(&source[open..open + 1], "(");
+    let mut depth = 0i32;
+    let mut j = open;
+    let bytes = source.as_bytes();
+    while j < bytes.len() {
+        if let Some(end) = skip_non_code(source, j) {
+            j = end;
+            continue;
+        }
+        match bytes[j] {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Splits a C argument list at top-level commas (respecting nested parens,
+/// brackets, and literals). Returns `None` on unbalanced input.
+fn split_args(args: &str) -> Option<Vec<String>> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    let bytes = args.as_bytes();
+    let mut j = 0usize;
+    while j < bytes.len() {
+        if let Some(end) = skip_non_code(args, j) {
+            j = end;
+            continue;
+        }
+        match bytes[j] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth -= 1,
+            b',' if depth == 0 => {
+                out.push(args[start..j].to_string());
+                start = j + 1;
+            }
+            _ => {}
+        }
+        if depth < 0 {
+            return None;
+        }
+        j += 1;
+    }
+    if depth != 0 {
+        return None;
+    }
+    out.push(args[start..].to_string());
+    Some(out)
+}
+
+/// If position `i` starts a comment or string/char literal, returns the
+/// index just past it; otherwise `None`.
+fn skip_non_code(source: &str, i: usize) -> Option<usize> {
+    let rest = &source[i..];
+    if rest.starts_with("//") {
+        let end = rest.find('\n').map_or(source.len(), |p| i + p + 1);
+        return Some(end);
+    }
+    if let Some(body) = rest.strip_prefix("/*") {
+        let end = body.find("*/").map_or(source.len(), |p| i + p + 4);
+        return Some(end);
+    }
+    if rest.starts_with('"') || rest.starts_with('\'') {
+        let quote = rest.as_bytes()[0];
+        let bytes = source.as_bytes();
+        let mut j = i + 1;
+        while j < bytes.len() {
+            if bytes[j] == b'\\' {
+                j += 2;
+                continue;
+            }
+            if bytes[j] == quote {
+                return Some(j + 1);
+            }
+            j += 1;
+        }
+        return Some(source.len());
+    }
+    None
+}
+
+fn line_of(source: &str, offset: usize) -> usize {
+    source[..offset].bytes().filter(|&b| b == b'\n').count() + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_SNIPPET: &str = r#"
+if (rank == ROOT)
+    raydata = read_lines(datafile, n);
+MPI_Scatter(raydata, n/P, MPI_DOUBLE, rbuff, n/P, MPI_DOUBLE, ROOT, MPI_COMM_WORLD);
+compute_work(rbuff);
+"#;
+
+    #[test]
+    fn rewrites_the_papers_example() {
+        let report = transform_source(PAPER_SNIPPET);
+        assert_eq!(report.rewrites.len(), 1);
+        assert!(report.source.contains(
+            "MPI_Scatterv(raydata, gs_counts, gs_displs, MPI_DOUBLE, rbuff, gs_counts[gs_rank], MPI_DOUBLE, ROOT, MPI_COMM_WORLD)"
+        ));
+        assert!(!report.source.contains("MPI_Scatter(" ), "original call gone");
+        assert!(report.source.contains("compute_work(rbuff);"), "rest untouched");
+    }
+
+    #[test]
+    fn line_numbers_reported() {
+        let report = transform_source(PAPER_SNIPPET);
+        assert_eq!(report.rewrites[0].line, 4);
+    }
+
+    #[test]
+    fn nested_parens_in_args() {
+        let src = "MPI_Scatter(buf(x, y), f(n, P), T, r, g(n), T, root(0), COMM);";
+        let report = transform_source(src);
+        assert_eq!(report.rewrites.len(), 1);
+        assert!(report.source.contains("MPI_Scatterv(buf(x, y), gs_counts, gs_displs, T, r, gs_counts[gs_rank], T, root(0), COMM)"));
+    }
+
+    #[test]
+    fn leaves_scatterv_alone() {
+        let src = "MPI_Scatterv(a, counts, displs, T, b, c, T, 0, COMM);";
+        let report = transform_source(src);
+        assert!(report.rewrites.is_empty());
+        assert_eq!(report.source, src);
+    }
+
+    #[test]
+    fn leaves_comments_and_strings_alone() {
+        let src = r#"
+// MPI_Scatter(a, b, c, d, e, f, g, h);
+/* MPI_Scatter(a, b, c, d, e, f, g, h); */
+printf("MPI_Scatter(a, b, c, d, e, f, g, h);");
+"#;
+        let report = transform_source(src);
+        assert!(report.rewrites.is_empty());
+        assert_eq!(report.source, src);
+    }
+
+    #[test]
+    fn multiple_calls() {
+        let src = "MPI_Scatter(a,1,T,b,1,T,0,C); x(); MPI_Scatter(c,2,T,d,2,T,0,C);";
+        let report = transform_source(src);
+        assert_eq!(report.rewrites.len(), 2);
+        assert_eq!(report.source.matches("MPI_Scatterv").count(), 2);
+    }
+
+    #[test]
+    fn wrong_arity_is_skipped() {
+        let src = "MPI_Scatter(a, b, c);";
+        let report = transform_source(src);
+        assert!(report.rewrites.is_empty());
+        assert_eq!(report.skipped, vec![1]);
+        assert_eq!(report.source, src);
+    }
+
+    #[test]
+    fn identifier_prefixes_not_matched() {
+        let src = "my_MPI_Scatter(a,1,T,b,1,T,0,C); MPI_Scatter_thing(a,1,T,b,1,T,0,C);";
+        let report = transform_source(src);
+        assert!(report.rewrites.is_empty());
+        assert_eq!(report.source, src);
+    }
+
+    #[test]
+    fn idempotent() {
+        let once = transform_source(PAPER_SNIPPET);
+        let twice = transform_source(&once.source);
+        assert!(twice.rewrites.is_empty());
+        assert_eq!(twice.source, once.source);
+    }
+
+    #[test]
+    fn whitespace_between_name_and_paren() {
+        let src = "MPI_Scatter (a,1,T,b,1,T,0,C);";
+        let report = transform_source(src);
+        assert_eq!(report.rewrites.len(), 1);
+    }
+
+    #[test]
+    fn string_with_escapes() {
+        let src = r#"puts("quote \" MPI_Scatter(x,x,x,x,x,x,x,x) \" end");"#;
+        let report = transform_source(src);
+        assert!(report.rewrites.is_empty());
+        assert_eq!(report.source, src);
+    }
+
+    #[test]
+    fn report_display() {
+        let report = transform_source(PAPER_SNIPPET);
+        let text = report.to_string();
+        assert!(text.contains("1 call(s) rewritten"));
+        assert!(text.contains("line 4"));
+    }
+}

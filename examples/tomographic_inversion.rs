@@ -1,0 +1,64 @@
+//! The full iterative tomography loop of §2.1: trace the catalog, gather
+//! travel-time residuals, update the layered velocity model, broadcast,
+//! repeat — with every iteration's scatter load-balanced on the emulated
+//! Table-1 grid.
+//!
+//! The ground truth has a mantle 3% slower than the starting model; watch
+//! the inversion recover it while the RMS residual falls.
+//!
+//! Run with: `cargo run --release --example tomographic_inversion`
+
+use grid_scatter::prelude::*;
+use grid_scatter::scatter::paper::table1_platform;
+use grid_scatter::scatter::planner::Strategy;
+use grid_scatter::seismic::invert_app::{run_parallel_inversion, InversionConfig};
+
+fn main() {
+    let n_rays: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(5_000);
+
+    let truth = vec![1.0, 1.0, 0.97, 0.97, 1.0]; // mantle 3% slow
+    println!("inverting for a mantle anomaly from {n_rays} rays on the Table-1 grid");
+    println!("ground truth layer factors: {truth:?}\n");
+
+    let report = run_parallel_inversion(&InversionConfig {
+        platform: table1_platform(),
+        strategy: Strategy::Heuristic,
+        policy: OrderPolicy::DescendingBandwidth,
+        n_rays,
+        seed: 1999,
+        iterations: 8,
+        truth_factors: truth.clone(),
+    })
+    .unwrap();
+
+    println!(
+        "{:>5} {:>14} {:>42} {:>14}",
+        "iter", "RMS residual", "layer factors (core..crust)", "virtual t (s)"
+    );
+    for (k, (step, end)) in report.steps.iter().zip(&report.round_ends).enumerate() {
+        let f: Vec<String> = step.factors.iter().map(|v| format!("{v:.4}")).collect();
+        println!(
+            "{:>5} {:>14.6} {:>42} {:>14.1}",
+            k + 1,
+            step.rms_residual,
+            f.join(" "),
+            end
+        );
+    }
+
+    let last = report.steps.last().unwrap();
+    println!(
+        "\nrecovered mantle factors: {:.4} / {:.4} (truth: 0.97)",
+        last.factors[2], last.factors[3]
+    );
+    println!(
+        "residual fell {:.1}x over {} iterations; total emulated time {:.1} s",
+        report.steps[0].rms_residual / last.rms_residual,
+        report.steps.len(),
+        report.virtual_total
+    );
+    assert!(last.rms_residual < report.steps[0].rms_residual);
+}

@@ -1,0 +1,143 @@
+//! Full-pipeline integration: catalog → plan → minimpi execution → results,
+//! across all five crates.
+
+use grid_scatter::minimpi::{run_world, Tag, TimeModel, WorldConfig};
+use grid_scatter::prelude::*;
+use grid_scatter::scatter::paper::table1_platform;
+use grid_scatter::seismic::calib::trace_events_sum;
+use grid_scatter::seismic::generate_catalog;
+
+#[test]
+fn tomography_on_the_table1_grid() {
+    let n = 800;
+    let report = run_tomography(&TomoConfig {
+        platform: table1_platform(),
+        strategy: Strategy::Heuristic,
+        policy: OrderPolicy::DescendingBandwidth,
+        n_rays: n,
+        seed: 2003,
+    })
+    .unwrap();
+    assert_eq!(report.rays_traced, n);
+    assert_eq!(report.names.len(), 16);
+    assert_eq!(report.names.last().unwrap(), "dinadan");
+    // The real computation matches a serial trace.
+    let serial = trace_events_sum(&EarthModel::default(), &generate_catalog(n, 2003));
+    assert!((report.checksum - serial).abs() / serial < 1e-12);
+    // The virtual schedule matches the plan's prediction.
+    assert!(
+        (report.virtual_makespan - report.plan.predicted_makespan).abs()
+            < 1e-9 * report.plan.predicted_makespan.max(1.0)
+    );
+}
+
+#[test]
+fn uniform_vs_balanced_speedup_shape() {
+    // The paper's headline on the emulated grid, end to end.
+    let mk = |strategy| {
+        run_tomography(&TomoConfig {
+            platform: table1_platform(),
+            strategy,
+            policy: OrderPolicy::DescendingBandwidth,
+            n_rays: 1_600,
+            seed: 5,
+        })
+        .unwrap()
+        .virtual_makespan
+    };
+    let uniform = mk(Strategy::Uniform);
+    let balanced = mk(Strategy::Heuristic);
+    let speedup = uniform / balanced;
+    assert!(
+        (1.5..2.7).contains(&speedup),
+        "speedup {speedup} out of the paper's shape (~2x)"
+    );
+}
+
+#[test]
+fn virtual_time_reproduces_the_stair_effect() {
+    // Equal blocks over identical links: arrival times must be an
+    // arithmetic progression (Fig. 1's stair).
+    let beta = 1e-3;
+    let model = TimeModel {
+        link: vec![
+            CostFn::Linear { slope: beta },
+            CostFn::Linear { slope: beta },
+            CostFn::Linear { slope: beta },
+            CostFn::Zero, // root
+        ],
+        compute: vec![CostFn::Zero; 4],
+    };
+    let arrivals = run_world(4, WorldConfig::with_time(model), |comm| {
+        let root = 3;
+        let data = vec![0u8; 3000];
+        let counts = [1000usize, 1000, 1000, 0];
+        let _mine = comm.scatterv(root, if comm.rank() == root { Some(&data[..]) } else { None }, &counts);
+        comm.now()
+    });
+    assert_eq!(arrivals[0], 1.0);
+    assert_eq!(arrivals[1], 2.0);
+    assert_eq!(arrivals[2], 3.0);
+}
+
+#[test]
+fn minimpi_matches_planner_on_custom_pipeline() {
+    // Hand-rolled scatter/compute over minimpi (not via the tomography
+    // app) still lands on the planner's predicted makespan.
+    let platform = Platform::new(
+        vec![
+            Processor::linear("w0", 2e-4, 3e-3),
+            Processor::linear("w1", 1e-4, 6e-3),
+            Processor::linear("root", 0.0, 4e-3),
+        ],
+        2,
+    )
+    .unwrap();
+    let plan = Planner::new(platform.clone())
+        .strategy(Strategy::Exact)
+        .plan(4_000)
+        .unwrap();
+    let ordered: Vec<_> = platform.ordered(&plan.order).into_iter().cloned().collect();
+    let p = ordered.len();
+    let ordered_platform = Platform::new(ordered, p - 1).unwrap();
+    let model = TimeModel::from_platform(&ordered_platform, 1); // 1-byte items
+    let counts = plan.counts_in_order();
+    let finishes = run_world(p, WorldConfig::with_time(model), |comm| {
+        let root = p - 1;
+        let buf = vec![7u8; 4_000];
+        let mine = comm.scatterv(root, if comm.rank() == root { Some(&buf[..]) } else { None }, &counts);
+        comm.model_compute(mine.len());
+        comm.now()
+    });
+    for (rank, (&actual, &expect)) in finishes.iter().zip(&plan.predicted.finish).enumerate() {
+        assert!(
+            (actual - expect).abs() < 1e-9 * expect.max(1.0),
+            "rank {rank}: {actual} vs {expect}"
+        );
+    }
+}
+
+#[test]
+fn point_to_point_stress_many_ranks() {
+    // All-to-all over user tags: no deadlock, no cross-matching.
+    let p = 8;
+    let sums = run_world(p, WorldConfig::default(), |comm| {
+        let me = comm.rank() as u64;
+        for dest in 0..comm.size() {
+            if dest != comm.rank() {
+                comm.send::<u64>(dest, Tag::user(me), &[me * 100]);
+            }
+        }
+        let mut acc = 0u64;
+        for src in 0..comm.size() {
+            if src != comm.rank() {
+                acc += comm.recv::<u64>(src, Tag::user(src as u64))[0];
+            }
+        }
+        acc
+    });
+    let total: u64 = (0..p as u64).map(|r| r * 100).sum();
+    for (rank, s) in sums.iter().enumerate() {
+        assert_eq!(*s, total - rank as u64 * 100);
+    }
+}

@@ -1,0 +1,94 @@
+//! The reproduction contract: every table/figure of the paper regenerates
+//! with the right *shape* (who wins, by what factor, where crossovers
+//! fall). Runs the gs-bench experiment functions at scaled sizes.
+
+use gs_bench::experiments::{ablation, figures, ordering, roots, runtimes, tomo};
+use gs_scatter::paper::N_RAYS_1999;
+
+/// Figures 2/3 at full paper scale: absolute numbers land in the
+/// reported ranges (the analytic model *is* Table 1, so this is close).
+#[test]
+fn fig2_fig3_full_scale_ranges() {
+    let f2 = figures::fig2(N_RAYS_1999);
+    // Paper: 259 s .. 853 s. We have no background load, so allow slack.
+    assert!((200.0..330.0).contains(&f2.min_finish), "fig2 min {}", f2.min_finish);
+    assert!((700.0..1000.0).contains(&f2.max_finish), "fig2 max {}", f2.max_finish);
+
+    let f3 = figures::fig3(N_RAYS_1999);
+    // Paper: 405 s .. 430 s.
+    assert!((380.0..460.0).contains(&f3.max_finish), "fig3 max {}", f3.max_finish);
+    assert!(f3.imbalance < 0.02, "fig3 imbalance {}", f3.imbalance);
+
+    // Headline: ~2x.
+    let speedup = f2.max_finish / f3.max_finish;
+    assert!((1.7..2.4).contains(&speedup), "speedup {speedup}");
+}
+
+#[test]
+fn fig4_full_scale_penalty() {
+    let f3 = figures::fig3(N_RAYS_1999);
+    let f4 = figures::fig4(N_RAYS_1999, false);
+    let penalty = f4.max_finish - f3.max_finish;
+    // Paper: +56 s, of which much was the sekhmet load peak; the pure
+    // model attributes ~10 s to ordering alone. Same sign, same order.
+    assert!((5.0..120.0).contains(&penalty), "penalty {penalty}");
+    // With the sekhmet spike, imbalance grows toward the paper's ~10%.
+    let spiked = figures::fig4(N_RAYS_1999, true);
+    assert!(spiked.imbalance > f4.imbalance);
+    assert!(spiked.imbalance > 0.02, "spiked imbalance {}", spiked.imbalance);
+}
+
+#[test]
+fn heuristic_error_matches_papers_order_of_magnitude() {
+    // Paper: < 6e-6 at n = 817,101. Test at 50k (same platform): the
+    // error scales like 1/n, so the bound here is ~1e-4.
+    let rows = runtimes::heuristic_error(&[50_000]);
+    assert!(rows[0].rel_error < 1e-4, "rel err {}", rows[0].rel_error);
+    assert!(rows[0].within_bound);
+}
+
+#[test]
+fn algorithm2_dominates_algorithm1() {
+    let rows = runtimes::algo_runtimes(&[3_000], 3_000);
+    let r = &rows[0];
+    let speedup = r.basic.unwrap() / r.optimized;
+    assert!(speedup > 5.0, "Alg.2 only {speedup}x faster than Alg.1");
+    // (The heuristic's runtime is ~constant in n — the LP sees only p —
+    // so comparing it to Alg.1 at small n is meaningless; the paper's
+    // "instantaneous vs 2 days" contrast is at n = 817,101, covered by
+    // the criterion benches.)
+}
+
+#[test]
+fn ordering_policy_always_optimal_on_random_linear_platforms() {
+    let s = ordering::ordering_study(30, 5, 50_000, 99);
+    assert_eq!(s.desc_optimal, s.trials, "Theorem 3 must hold: {s:?}");
+    assert!(s.mean_gap_asc > 0.0, "ascending must lose somewhere");
+}
+
+#[test]
+fn root_selection_full_scale() {
+    let choice = roots::root_selection(N_RAYS_1999);
+    assert_eq!(choice.candidates.len(), 16);
+    // Every non-dinadan candidate pays a transfer; totals are consistent.
+    for c in &choice.candidates {
+        if c.root != 0 {
+            assert!(c.transfer > 0.0);
+        }
+        assert!(choice.total_time <= c.total + 1e-9);
+    }
+}
+
+#[test]
+fn ablation_shapes() {
+    let rows = ablation::strategy_ablation(8, 10_000, &[1.0, 8.0]);
+    // Homogeneous: uniform is already near-optimal. Heterogeneous: not.
+    assert!(rows[0].available_speedup < 1.3);
+    assert!(rows[1].available_speedup > 1.5);
+}
+
+#[test]
+fn tomography_speedup_shape() {
+    let cmp = tomo::tomo_e2e(1_500, 17);
+    assert!((1.5..2.7).contains(&cmp.speedup), "speedup {}", cmp.speedup);
+}

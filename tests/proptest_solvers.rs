@@ -1,0 +1,120 @@
+//! Property tests over random platforms: the paper's guarantees must hold
+//! on *every* valid input, not just the testbed.
+
+use grid_scatter::prelude::{OrderPolicy, Planner, Platform, Processor};
+use grid_scatter::scatter::brute::{best_order_exhaustive, brute_force_distribution};
+use grid_scatter::scatter::closed_form::closed_form_distribution;
+use grid_scatter::scatter::dp_basic::optimal_distribution_basic;
+use grid_scatter::scatter::dp_optimized::optimal_distribution;
+use grid_scatter::scatter::heuristic::heuristic_distribution;
+use grid_scatter::scatter::ordering::scatter_order;
+use grid_scatter::scatter::planner::Strategy as PlanStrategy;
+use proptest::prelude::*;
+
+// Silence the unused-import lint for Plan (used in type positions only on
+// some configurations).
+#[allow(unused_imports)]
+use grid_scatter::prelude::Plan as _Plan;
+
+/// Random linear platform: root first (beta 0), then workers.
+fn platform_strategy(max_p: usize) -> impl Strategy<Value = Platform> {
+    let worker = (1u32..=300, 1u32..=300).prop_map(|(b, a)| (b as f64 * 1e-3, a as f64 * 1e-2));
+    (proptest::collection::vec(worker, 1..max_p), 1u32..=300).prop_map(|(workers, root_a)| {
+        let mut procs = vec![Processor::linear("root", 0.0, root_a as f64 * 1e-2)];
+        for (i, (b, a)) in workers.into_iter().enumerate() {
+            procs.push(Processor::linear(format!("w{i}"), b, a));
+        }
+        Platform::new(procs, 0).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Algorithm 2 ≡ Algorithm 1 ≡ exhaustive enumeration (small n).
+    #[test]
+    fn dp_algorithms_are_optimal(platform in platform_strategy(4), n in 0usize..=14) {
+        let order = scatter_order(&platform, OrderPolicy::DescendingBandwidth);
+        let view = platform.ordered(&order);
+        let basic = optimal_distribution_basic(&view, n).unwrap();
+        let opt = optimal_distribution(&view, n).unwrap();
+        let brute = brute_force_distribution(&view, n);
+        prop_assert!((basic.makespan - brute.makespan).abs() < 1e-9,
+                     "basic {} vs brute {}", basic.makespan, brute.makespan);
+        prop_assert!((opt.makespan - brute.makespan).abs() < 1e-9,
+                     "optimized {} vs brute {}", opt.makespan, brute.makespan);
+        prop_assert_eq!(basic.counts.iter().sum::<usize>(), n);
+        prop_assert_eq!(opt.counts.iter().sum::<usize>(), n);
+    }
+
+    /// The Eq. (4) sandwich: T_rat <= T_opt <= T' <= T_rat + Σβ·1 + max α·1.
+    #[test]
+    fn heuristic_guarantee_always_holds(platform in platform_strategy(5), n in 1usize..=400) {
+        let order = scatter_order(&platform, OrderPolicy::DescendingBandwidth);
+        let view = platform.ordered(&order);
+        let h = heuristic_distribution(&view, n).unwrap();
+        let exact = optimal_distribution(&view, n).unwrap();
+        prop_assert!(h.rational_makespan.to_f64() <= exact.makespan * (1.0 + 1e-12) + 1e-12);
+        prop_assert!(exact.makespan <= h.makespan * (1.0 + 1e-12) + 1e-12);
+        prop_assert!(h.makespan <= h.guarantee_bound * (1.0 + 1e-12) + 1e-12,
+                     "Eq.(4) violated: {} > {}", h.makespan, h.guarantee_bound);
+    }
+
+    /// Closed form and LP agree exactly on linear platforms, and the
+    /// closed-form shares realize simultaneous endings.
+    #[test]
+    fn closed_form_equals_lp(platform in platform_strategy(5), n in 1usize..=100_000) {
+        let order = scatter_order(&platform, OrderPolicy::DescendingBandwidth);
+        let view = platform.ordered(&order);
+        let cf = closed_form_distribution(&view, n).unwrap();
+        let h = heuristic_distribution(&view, n).unwrap();
+        prop_assert_eq!(&cf.duration, &h.rational_makespan,
+                        "closed form and LP must find the same optimum");
+        let share_sum = cf.shares.iter().fold(gs_numeric::Rational::zero(), |a, s| a + s);
+        prop_assert_eq!(share_sum, gs_numeric::Rational::from(n));
+    }
+
+    /// Theorem 3 (integer form): descending bandwidth is never beaten by
+    /// more than the rounding slack by any other ordering.
+    #[test]
+    fn descending_order_is_best_up_to_rounding(platform in platform_strategy(4), n in 50usize..=200) {
+        let desc_order = scatter_order(&platform, OrderPolicy::DescendingBandwidth);
+        let view = platform.ordered(&desc_order);
+        let desc = optimal_distribution(&view, n).unwrap();
+        let best = best_order_exhaustive(&platform, n);
+        // Integer effects can make another order win by at most one item's
+        // worth of comm + comp (the §4.4 guarantee band).
+        let slack: f64 = platform.procs().iter().map(|p| p.comm.eval(1)).sum::<f64>()
+            + platform.procs().iter().map(|p| p.comp.eval(1)).fold(0.0, f64::max);
+        prop_assert!(desc.makespan <= best.makespan + slack + 1e-9,
+                     "desc {} vs best {} (+slack {slack})", desc.makespan, best.makespan);
+    }
+
+    /// The planner always conserves items and produces valid displacements.
+    #[test]
+    fn plans_are_well_formed(platform in platform_strategy(6), n in 0usize..=10_000) {
+        for strategy in [PlanStrategy::Uniform, PlanStrategy::Heuristic, PlanStrategy::ClosedForm] {
+            let plan = Planner::new(platform.clone()).strategy(strategy).plan(n).unwrap();
+            prop_assert_eq!(plan.total_items(), n);
+            let p = platform.len();
+            let mut covered = vec![false; n];
+            for i in 0..p {
+                for slot in covered[plan.displs[i]..plan.displs[i] + plan.counts[i]].iter_mut() {
+                    prop_assert!(!*slot, "overlapping blocks");
+                    *slot = true;
+                }
+            }
+            prop_assert!(covered.into_iter().all(|c| c), "gaps in the layout");
+        }
+    }
+
+    /// Makespan monotonicity: more items never finish earlier (exact DP).
+    #[test]
+    fn makespan_monotone_in_n(platform in platform_strategy(4), n in 1usize..=60) {
+        let order = scatter_order(&platform, OrderPolicy::DescendingBandwidth);
+        let view = platform.ordered(&order);
+        let small = optimal_distribution(&view, n).unwrap();
+        let big = optimal_distribution(&view, n + 1).unwrap();
+        prop_assert!(big.makespan >= small.makespan - 1e-9);
+    }
+}
