@@ -1,0 +1,32 @@
+//! Three-way observability run on the Table-1 grid: predicted vs
+//! simulated vs executed traces of one balanced scatter, exported as
+//! JSON/CSV for `gs report`.
+use gs_bench::experiments::obsexp::{export_traces, observe_three_ways};
+use gs_bench::util::arg_usize;
+
+fn main() {
+    let n = arg_usize("--rays", 817_101);
+    let item_bytes = arg_usize("--item-bytes", 8) as u64;
+    let cmp = observe_three_ways(n, item_bytes);
+    let dir = std::path::Path::new("target/obs-traces");
+    let files = export_traces(&cmp, dir).expect("writable output directory");
+    println!("three-way observability, n = {n} items ({item_bytes} B each)");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>14}",
+        "source", "makespan(s)", "busy(s)", "idle(s)", "bytes moved"
+    );
+    for s in &cmp.summaries {
+        let busy: f64 = s.ranks.iter().map(|r| r.busy).sum();
+        println!(
+            "{:<10} {:>12.4} {:>12.4} {:>12.4} {:>14}",
+            s.source.as_str(),
+            s.makespan,
+            busy,
+            s.total_idle,
+            s.total_bytes
+        );
+    }
+    println!("max |finish(executed) - finish(predicted)| = {:.6} s", cmp.max_drift);
+    println!("{files} trace files written to {}", dir.display());
+    println!("render with: gs report {0}/predicted.json {0}/simulated.json {0}/executed.json", dir.display());
+}

@@ -6,6 +6,7 @@ pub mod figures;
 pub mod installmentexp;
 pub mod gatherexp;
 pub mod multiport;
+pub mod obsexp;
 pub mod ordering;
 pub mod roots;
 pub mod runtimes;

@@ -3,8 +3,12 @@
 
 use gs_gridsim::chart::{figure_rows, render_figure, summary_line};
 use gs_gridsim::export::to_csv;
+use gs_gridsim::gantt::{legend, render_gantt};
 use gs_gridsim::sim::simulate_plan;
+use gs_minimpi::{executed_trace, run_world, TimeModel, WorldConfig};
 use gs_scatter::cost::Platform;
+use gs_scatter::obs::json::{trace_from_json, trace_to_json};
+use gs_scatter::obs::{Trace, TraceSummary};
 use gs_scatter::ordering::OrderPolicy;
 use gs_scatter::planner::{Plan, Planner, Strategy};
 use gs_transform::{emit_plan_arrays, transform_source, CodegenOptions};
@@ -157,6 +161,186 @@ pub fn cmd_table1() -> String {
     render_platform(&gs_scatter::paper::table1_platform())
 }
 
+/// `gs trace`: plans, then emits the schedule of one of the three
+/// execution paths as schema-versioned JSON (`docs/observability.md`).
+///
+/// * `predicted` — the planner's analytic Eq. (1) timeline;
+/// * `simulated` — the gs-gridsim discrete-event run;
+/// * `executed` — an actual gs-minimpi run (threads + virtual clocks),
+///   with ranks renumbered into scatter order so a rank-ordered
+///   `scatterv` realizes the planned order.
+pub fn cmd_trace(
+    platform_text: &str,
+    opts: &PlanOptions,
+    source: &str,
+    item_bytes: usize,
+) -> Result<String, CliError> {
+    if item_bytes == 0 {
+        return Err(CliError("--item-bytes must be positive".into()));
+    }
+    let platform = parse_platform(platform_text)?;
+    let plan = make_plan(&platform, opts)?;
+    let names: Vec<&str> = plan
+        .order
+        .iter()
+        .map(|&i| platform.procs()[i].name.as_str())
+        .collect();
+    let counts = plan.counts_in_order();
+    let trace = match source {
+        "predicted" => plan.predicted_trace(&platform, item_bytes as u64),
+        "simulated" => {
+            simulate_plan(&platform, &plan, &[]).trace(&names, &counts, item_bytes as u64)
+        }
+        "executed" => run_executed(&platform, &plan, &names, &counts, item_bytes),
+        other => {
+            return Err(CliError(format!(
+                "unknown trace source `{other}` (try predicted|simulated|executed)"
+            )))
+        }
+    };
+    Ok(trace_to_json(&trace))
+}
+
+/// Runs the plan on the gs-minimpi runtime and merges the per-rank
+/// records into an executed trace. World rank `r` plays the processor at
+/// scatter position `r` (root last), so the runtime's rank-ordered
+/// single-port scatter reproduces the planned order.
+fn run_executed(
+    platform: &Platform,
+    plan: &Plan,
+    names: &[&str],
+    counts: &[usize],
+    item_bytes: usize,
+) -> Trace {
+    let model = TimeModel::from_platform(platform, item_bytes).reordered(&plan.order);
+    let p = platform.len();
+    let root = p - 1;
+    let counts_bytes: Vec<usize> = counts.iter().map(|c| c * item_bytes).collect();
+    let total_bytes: usize = counts_bytes.iter().sum();
+    let records = run_world(p, WorldConfig::with_time(model), move |c| {
+        c.enable_tracing();
+        let buf = vec![0u8; total_bytes];
+        let mine = c.scatterv(
+            root,
+            if c.rank() == root { Some(&buf) } else { None },
+            &counts_bytes,
+        );
+        c.model_compute(mine.len() / item_bytes);
+        c.take_trace()
+    });
+    executed_trace(names, item_bytes as u64, &records)
+}
+
+/// `gs report`: ingests 1–3 exported JSON traces, validates them, and
+/// renders for each a summary table plus a Fig.-1-style Gantt chart;
+/// with several traces it appends a per-processor comparison (the
+/// predicted-vs-simulated-vs-executed diff), aligned by processor name
+/// and occurrence (platforms may repeat names).
+pub fn cmd_report(trace_texts: &[String], width: usize) -> Result<String, CliError> {
+    if trace_texts.is_empty() {
+        return Err(CliError("report needs at least one trace file".into()));
+    }
+    if trace_texts.len() > 3 {
+        return Err(CliError("report compares at most three traces".into()));
+    }
+    let mut traces = Vec::new();
+    for (i, text) in trace_texts.iter().enumerate() {
+        let trace = trace_from_json(text)
+            .map_err(|e| CliError(format!("trace {}: {e}", i + 1)))?;
+        trace
+            .validate()
+            .map_err(|e| CliError(format!("trace {}: {e}", i + 1)))?;
+        traces.push(trace);
+    }
+    let mut out = String::new();
+    for trace in &traces {
+        let summary = TraceSummary::from_trace(trace);
+        out.push_str(&summary.render());
+        let names: Vec<&str> = trace.names.iter().map(String::as_str).collect();
+        out.push_str(&render_gantt(&names, &trace.to_timeline(), width));
+        out.push_str(&legend());
+        out.push('\n');
+    }
+    if traces.len() > 1 {
+        out.push_str(&render_comparison(&traces));
+    }
+    Ok(out)
+}
+
+/// Per-processor finish times side by side, plus makespans and the
+/// largest deviation of each trace from the first one.
+///
+/// Rows align by *(name, occurrence)*: platforms like the paper's
+/// Table 1 list several identically-named nodes (eight `leda` CPUs), so
+/// the k-th `leda` of one trace pairs with the k-th `leda` of the
+/// others, whatever their rank numbers are.
+fn render_comparison(traces: &[Trace]) -> String {
+    let summaries: Vec<TraceSummary> = traces.iter().map(TraceSummary::from_trace).collect();
+    // Per summary: (name, occurrence) → finish.
+    let keyed: Vec<Vec<((&str, usize), f64)>> = summaries
+        .iter()
+        .map(|s| {
+            let mut seen = std::collections::HashMap::new();
+            s.ranks
+                .iter()
+                .map(|r| {
+                    let k = seen.entry(r.name.as_str()).or_insert(0usize);
+                    let key = (r.name.as_str(), *k);
+                    *k += 1;
+                    (key, r.finish)
+                })
+                .collect()
+        })
+        .collect();
+    let mut rows: Vec<(&str, usize)> = keyed[0].iter().map(|(k, _)| *k).collect();
+    for k in &keyed[1..] {
+        for (key, _) in k {
+            if !rows.contains(key) {
+                rows.push(*key);
+            }
+        }
+    }
+    let lookup = |ki: usize, key: &(&str, usize)| {
+        keyed[ki].iter().find(|(k, _)| k == key).map(|(_, f)| *f)
+    };
+
+    let name_w = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(9).max(9);
+    let mut out = String::from("finish-time comparison (s):\n");
+    out.push_str(&format!("{:<name_w$}", "processor"));
+    for s in &summaries {
+        out.push_str(&format!(" {:>12}", s.source.as_str()));
+    }
+    out.push('\n');
+    for key in &rows {
+        out.push_str(&format!("{:<name_w$}", key.0));
+        for ki in 0..summaries.len() {
+            match lookup(ki, key) {
+                Some(f) => out.push_str(&format!(" {f:>12.4}")),
+                None => out.push_str(&format!(" {:>12}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:<name_w$}", "makespan"));
+    for s in &summaries {
+        out.push_str(&format!(" {:>12.4}", s.makespan));
+    }
+    out.push('\n');
+    for (ki, s) in summaries.iter().enumerate().skip(1) {
+        let max_dev = rows
+            .iter()
+            .filter_map(|key| Some((lookup(ki, key)? - lookup(0, key)?).abs()))
+            .fold(0.0f64, f64::max);
+        out.push_str(&format!(
+            "max |finish deviation| of {} vs {}: {:.6} s\n",
+            s.source.as_str(),
+            summaries[0].source.as_str(),
+            max_dev
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,6 +413,59 @@ mod tests {
             o.strategy = s.into();
             assert!(cmd_plan(PLATFORM, &o, false).is_ok(), "{s}");
         }
+    }
+
+    #[test]
+    fn trace_sources_agree_on_makespan() {
+        // Predicted, simulated and executed traces of the same plan must
+        // tell the same story (ideal conditions, same cost model).
+        let pred = cmd_trace(PLATFORM, &opts(1000), "predicted", 8).unwrap();
+        let sim = cmd_trace(PLATFORM, &opts(1000), "simulated", 8).unwrap();
+        let exec = cmd_trace(PLATFORM, &opts(1000), "executed", 8).unwrap();
+        let makespan = |text: &str| {
+            gs_scatter::obs::json::trace_from_json(text).unwrap().makespan()
+        };
+        let (mp, ms, me) = (makespan(&pred), makespan(&sim), makespan(&exec));
+        assert_eq!(mp, ms, "simulation reproduces the analytic schedule");
+        assert!((mp - me).abs() < 1e-9, "executed {me} vs predicted {mp}");
+    }
+
+    #[test]
+    fn trace_rejects_bad_inputs() {
+        assert!(cmd_trace(PLATFORM, &opts(100), "guessed", 8).is_err());
+        assert!(cmd_trace(PLATFORM, &opts(100), "predicted", 0).is_err());
+    }
+
+    #[test]
+    fn report_renders_single_trace() {
+        let json = cmd_trace(PLATFORM, &opts(1000), "predicted", 8).unwrap();
+        let out = cmd_report(&[json], 40).unwrap();
+        assert!(out.contains("predicted trace"));
+        assert!(out.contains('#'), "gantt chart rendered");
+        assert!(!out.contains("comparison"), "no diff for a single trace");
+    }
+
+    #[test]
+    fn report_renders_three_way_diff() {
+        let texts: Vec<String> = ["predicted", "simulated", "executed"]
+            .iter()
+            .map(|s| cmd_trace(PLATFORM, &opts(1000), s, 8).unwrap())
+            .collect();
+        let out = cmd_report(&texts, 40).unwrap();
+        assert!(out.contains("finish-time comparison"));
+        for source in ["predicted", "simulated", "executed"] {
+            assert!(out.contains(source), "{source} column present");
+        }
+        assert!(out.contains("max |finish deviation|"));
+        assert!(out.contains("makespan"));
+    }
+
+    #[test]
+    fn report_rejects_garbage_and_too_many() {
+        assert!(cmd_report(&[], 40).is_err());
+        assert!(cmd_report(&["not json".into()], 40).is_err());
+        let json = cmd_trace(PLATFORM, &opts(100), "predicted", 8).unwrap();
+        assert!(cmd_report(&vec![json; 4], 40).is_err());
     }
 
     #[test]

@@ -3,7 +3,9 @@
 
 use std::process::ExitCode;
 
-use gs_cli::commands::{cmd_plan, cmd_simulate, cmd_table1, cmd_transform, PlanOptions};
+use gs_cli::commands::{
+    cmd_plan, cmd_report, cmd_simulate, cmd_table1, cmd_trace, cmd_transform, PlanOptions,
+};
 use gs_cli::CliError;
 
 const USAGE: &str = "\
@@ -15,13 +17,24 @@ USAGE:
   gs plan <platform> --items N --emit-c         ... as C arrays for MPI_Scatterv
   gs simulate <platform> --items N [opts]       simulate and render the schedule
   gs simulate <platform> --items N --csv        ... as CSV
+  gs trace <platform> --items N --source S      export a run as observability JSON
+  gs report <trace.json> [<t2.json> <t3.json>]  summary + Gantt per trace; diff if several
   gs transform <file.c> <platform> --items N    rewrite MPI_Scatter call sites
 
 OPTIONS:
-  --items N          number of data items (required for plan/simulate/transform)
+  --items N          number of data items (required for plan/simulate/trace/transform)
   --strategy S       uniform | exact | exact-basic | heuristic (default) | closed-form
   --order O          desc (default) | asc | as-is | cpu
-  --width W          chart width for simulate (default 60)
+  --width W          chart width for simulate/report (default 60)
+  --source S         trace to export: predicted (default) | simulated | executed
+  --item-bytes B     wire size of one item for trace (default 8)
+
+The trace JSON schema is documented in docs/observability.md; a typical
+three-way check is:
+  gs trace grid.platform --items 817101 --source predicted > pred.json
+  gs trace grid.platform --items 817101 --source simulated > sim.json
+  gs trace grid.platform --items 817101 --source executed  > exec.json
+  gs report pred.json sim.json exec.json
 ";
 
 fn main() -> ExitCode {
@@ -45,6 +58,8 @@ fn run(args: &[String]) -> Result<String, CliError> {
     let mut emit_c = false;
     let mut csv = false;
     let mut width = 60usize;
+    let mut source = "predicted".to_string();
+    let mut item_bytes = 8usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -54,6 +69,11 @@ fn run(args: &[String]) -> Result<String, CliError> {
             "--strategy" => opts.strategy = next_value(args, &mut i)?,
             "--order" => opts.order = next_value(args, &mut i)?,
             "--width" => width = next_value(args, &mut i)?.parse().map_err(|_| bad("--width"))?,
+            "--source" => source = next_value(args, &mut i)?,
+            "--item-bytes" => {
+                item_bytes =
+                    next_value(args, &mut i)?.parse().map_err(|_| bad("--item-bytes"))?;
+            }
             "--emit-c" => emit_c = true,
             "--csv" => csv = true,
             "--help" | "-h" => return Ok(USAGE.to_string()),
@@ -75,6 +95,17 @@ fn run(args: &[String]) -> Result<String, CliError> {
         "simulate" => {
             let platform = read_file(positional.get(1))?;
             cmd_simulate(&platform, &opts, width, csv)
+        }
+        "trace" => {
+            let platform = read_file(positional.get(1))?;
+            cmd_trace(&platform, &opts, &source, item_bytes)
+        }
+        "report" => {
+            let texts: Vec<String> = positional[1..]
+                .iter()
+                .map(|p| read_file(Some(p)))
+                .collect::<Result<_, _>>()?;
+            cmd_report(&texts, width)
         }
         "transform" => {
             let source = read_file(positional.get(1))?;

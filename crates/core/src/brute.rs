@@ -61,7 +61,7 @@ pub struct BestOrder {
 
 /// Tries **every** ordering of the non-root processors (root stays last,
 /// per §3.1), solving each with the exact DP, and returns the best — the
-/// exhaustive procedure §4.4 calls "theoretically possible [but]
+/// exhaustive procedure §4.4 calls "theoretically possible \[but\]
 /// unrealistic" for large `p`. `(p-1)!` DP solves: keep `p <= 8` or so.
 pub fn best_order_exhaustive(platform: &Platform, n: usize) -> BestOrder {
     let p = platform.len();

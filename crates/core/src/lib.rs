@@ -61,7 +61,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod analysis;
 pub mod brute;
@@ -74,6 +74,7 @@ pub mod error;
 pub mod gather;
 pub mod heuristic;
 pub mod multiround;
+pub mod obs;
 pub mod ordering;
 pub mod paper;
 pub mod planner;
@@ -89,6 +90,7 @@ pub mod prelude {
     pub use crate::dp_optimized::optimal_distribution;
     pub use crate::error::PlanError;
     pub use crate::heuristic::{heuristic_distribution, HeuristicSolution};
+    pub use crate::obs::{Event, EventKind, Trace, TraceSource, TraceSummary};
     pub use crate::ordering::{scatter_order, OrderPolicy};
     pub use crate::planner::{Plan, Planner, Strategy};
     pub use crate::root::select_root;

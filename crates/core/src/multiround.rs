@@ -4,7 +4,7 @@
 //! update the model, re-scatter (§2.1's "new velocity model" step). This
 //! module plans a *sequence* of scatter+compute rounds, optionally
 //! re-querying the platform before each round — the monitoring-daemon
-//! usage §3 sketches ("a monitor daemon process (like [NWS]) running aside
+//! usage §3 sketches ("a monitor daemon process (like \[NWS\]) running aside
 //! the application could be queried just before a scatter operation to
 //! retrieve the instantaneous grid characteristics").
 

@@ -1,0 +1,109 @@
+//! CSV export of traces and summaries, for spreadsheets and plotting
+//! tools. Column meanings are documented in `docs/observability.md`.
+
+use super::{Trace, TraceSummary};
+
+/// Minimal CSV field escaping (RFC 4180: quote fields containing `,`,
+/// `"` or newlines).
+fn escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// One row per event, header
+/// `t,kind,rank,name,peer,item_lo,item_hi,bytes`. Optional fields are
+/// left empty when absent.
+pub fn trace_to_csv(trace: &Trace) -> String {
+    let mut out = String::from("t,kind,rank,name,peer,item_lo,item_hi,bytes\n");
+    for e in &trace.events {
+        let (lo, hi) = match e.items {
+            Some((lo, hi)) => (lo.to_string(), hi.to_string()),
+            None => (String::new(), String::new()),
+        };
+        out.push_str(&format!(
+            "{},{},{},{},{},{lo},{hi},{}\n",
+            e.t,
+            e.kind.as_str(),
+            e.rank,
+            escape(trace.names.get(e.rank).map(String::as_str).unwrap_or("")),
+            e.peer.map(|p| p.to_string()).unwrap_or_default(),
+            e.bytes
+        ));
+    }
+    out
+}
+
+/// One row per rank, header
+/// `rank,name,recv,send,compute,busy,idle,finish,bytes_in,bytes_out`
+/// (times in seconds).
+pub fn summary_to_csv(summary: &TraceSummary) -> String {
+    let mut out =
+        String::from("rank,name,recv,send,compute,busy,idle,finish,bytes_in,bytes_out\n");
+    for r in &summary.ranks {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{}\n",
+            r.rank,
+            escape(&r.name),
+            r.recv,
+            r.send,
+            r.compute,
+            r.busy,
+            r.idle,
+            r.finish,
+            r.bytes_in,
+            r.bytes_out
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Trace, TraceSource};
+    use super::*;
+    use crate::cost::Processor;
+    use crate::distribution::timeline;
+
+    fn sample() -> Trace {
+        let procs = [
+            Processor::linear("w,orker", 1.0, 2.0),
+            Processor::linear("root", 0.0, 1.0),
+        ];
+        let view: Vec<&Processor> = procs.iter().collect();
+        let counts = vec![3usize, 1];
+        let tl = timeline(&view, &counts);
+        Trace::from_timeline(TraceSource::Predicted, &["w,orker", "root"], &counts, 4, &tl)
+    }
+
+    #[test]
+    fn trace_csv_shape() {
+        let csv = trace_to_csv(&sample());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t,kind,rank,name,peer,item_lo,item_hi,bytes");
+        // 2 ranks × (2 send + 2 compute) + idle markers.
+        assert!(lines.len() > 8);
+        assert!(csv.contains("\"w,orker\""), "comma-bearing names are quoted");
+        assert!(csv.contains("send_start"));
+    }
+
+    #[test]
+    fn idle_rows_have_empty_optional_fields() {
+        let csv = trace_to_csv(&sample());
+        let idle = csv.lines().find(|l| l.contains(",idle,")).unwrap();
+        // peer, item_lo, item_hi empty: `...,name,,,,0`.
+        assert!(idle.ends_with(",,,0"), "{idle}");
+    }
+
+    #[test]
+    fn summary_csv_shape() {
+        let summary = sample().summarize().unwrap();
+        let csv = summary_to_csv(&summary);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 ranks
+        assert!(lines[0].starts_with("rank,name,recv,"));
+        assert!(lines[1].starts_with("0,\"w,orker\","));
+    }
+}

@@ -1,0 +1,489 @@
+//! Versioned JSON serialization of traces (schema v1, no external
+//! dependencies — the writer and the recursive-descent parser are
+//! hand-rolled and cover exactly the JSON subset the schema uses).
+//!
+//! The document layout is described normatively in
+//! `docs/observability.md`; in short:
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "source": "predicted",
+//!   "item_bytes": 8,
+//!   "names": ["p1", "p2", "root"],
+//!   "events": [
+//!     {"t": 0.0, "kind": "send_start", "rank": 0, "peer": 2,
+//!      "item_lo": 0, "item_hi": 3, "bytes": 24}
+//!   ]
+//! }
+//! ```
+//!
+//! Optional event fields (`peer`, `item_lo`, `item_hi`) are omitted when
+//! absent. Integers are written without a fractional part; the parser
+//! reads all numbers as `f64`, which is exact for the magnitudes the
+//! schema produces (counts and byte totals below 2⁵³).
+
+use super::{Event, EventKind, Trace, TraceError, TraceSource, SCHEMA_VERSION};
+
+// ---- writer ---------------------------------------------------------------
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(out: &mut String, x: f64) {
+    // Rust's `Display` for f64 is the shortest representation that
+    // round-trips, which is exactly what a trace wants.
+    out.push_str(&format!("{x}"));
+}
+
+/// Serializes a trace as a schema-v1 JSON document (one event per line,
+/// so the output diffs well under version control).
+pub fn trace_to_json(trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": {SCHEMA_VERSION},\n"));
+    out.push_str(&format!("  \"source\": \"{}\",\n", trace.source.as_str()));
+    out.push_str(&format!("  \"item_bytes\": {},\n", trace.item_bytes));
+    out.push_str("  \"names\": [");
+    for (i, name) in trace.names.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        push_escaped(&mut out, name);
+    }
+    out.push_str("],\n  \"events\": [");
+    for (i, e) in trace.events.iter().enumerate() {
+        out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+        out.push_str("{\"t\": ");
+        push_f64(&mut out, e.t);
+        out.push_str(&format!(", \"kind\": \"{}\", \"rank\": {}", e.kind.as_str(), e.rank));
+        if let Some(peer) = e.peer {
+            out.push_str(&format!(", \"peer\": {peer}"));
+        }
+        if let Some((lo, hi)) = e.items {
+            out.push_str(&format!(", \"item_lo\": {lo}, \"item_hi\": {hi}"));
+        }
+        out.push_str(&format!(", \"bytes\": {}}}", e.bytes));
+    }
+    if trace.events.is_empty() {
+        out.push_str("]\n}\n");
+    } else {
+        out.push_str("\n  ]\n}\n");
+    }
+    out
+}
+
+// ---- generic JSON values --------------------------------------------------
+
+/// A parsed JSON value (the subset the schema needs; numbers are `f64`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer (rejects fractional parts).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 2f64.powi(53) => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document.
+pub fn parse(text: &str) -> Result<Json, TraceError> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(TraceError(format!("trailing garbage at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), TraceError> {
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(TraceError(format!("expected `{}` at byte {}", c as char, *pos)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, TraceError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_obj(bytes, pos),
+        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err(TraceError("unexpected end of input".into())),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, TraceError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(TraceError(format!("bad literal at byte {}", *pos)))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, TraceError> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| TraceError("non-utf8 number".into()))?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| TraceError(format!("bad number `{text}` at byte {start}")))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, TraceError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(TraceError("unterminated string".into())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| TraceError("truncated \\u escape".into()))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| TraceError(format!("bad \\u escape `{hex}`")))?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| TraceError(format!("bad code point {code}")))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(TraceError("bad escape".into())),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one full UTF-8 character.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| TraceError("non-utf8 string".into()))?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, TraceError> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(TraceError(format!("expected `,` or `]` at byte {}", *pos))),
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, TraceError> {
+    expect(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return Err(TraceError(format!("expected `,` or `}}` at byte {}", *pos))),
+        }
+    }
+}
+
+// ---- trace decoding -------------------------------------------------------
+
+fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, TraceError> {
+    obj.get(key)
+        .ok_or_else(|| TraceError(format!("missing field `{key}`")))
+}
+
+fn usize_field(obj: &Json, key: &str) -> Result<usize, TraceError> {
+    field(obj, key)?
+        .as_u64()
+        .map(|x| x as usize)
+        .ok_or_else(|| TraceError(format!("field `{key}` must be a non-negative integer")))
+}
+
+/// Deserializes a schema-v1 JSON document back into a [`Trace`].
+///
+/// Rejects documents with a different `schema` number, unknown event
+/// kinds, or structurally invalid values. The decoded trace itself is
+/// *not* semantically validated — call [`Trace::validate`] if the
+/// document comes from outside the process.
+pub fn trace_from_json(text: &str) -> Result<Trace, TraceError> {
+    let doc = parse(text)?;
+    let schema = usize_field(&doc, "schema")? as u32;
+    if schema != SCHEMA_VERSION {
+        return Err(TraceError(format!(
+            "unsupported schema version {schema} (this build reads {SCHEMA_VERSION})"
+        )));
+    }
+    let source_name = field(&doc, "source")?
+        .as_str()
+        .ok_or_else(|| TraceError("field `source` must be a string".into()))?;
+    let source = TraceSource::parse(source_name)
+        .ok_or_else(|| TraceError(format!("unknown trace source `{source_name}`")))?;
+    let item_bytes = field(&doc, "item_bytes")?
+        .as_u64()
+        .ok_or_else(|| TraceError("field `item_bytes` must be an integer".into()))?;
+    let names: Vec<String> = field(&doc, "names")?
+        .as_arr()
+        .ok_or_else(|| TraceError("field `names` must be an array".into()))?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(String::from)
+                .ok_or_else(|| TraceError("names must be strings".into()))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut trace = Trace::new(source, item_bytes, names);
+    for (i, ev) in field(&doc, "events")?
+        .as_arr()
+        .ok_or_else(|| TraceError("field `events` must be an array".into()))?
+        .iter()
+        .enumerate()
+    {
+        let t = field(ev, "t")?
+            .as_f64()
+            .ok_or_else(|| TraceError(format!("event {i}: `t` must be a number")))?;
+        let kind_name = field(ev, "kind")?
+            .as_str()
+            .ok_or_else(|| TraceError(format!("event {i}: `kind` must be a string")))?;
+        let kind = EventKind::parse(kind_name)
+            .ok_or_else(|| TraceError(format!("event {i}: unknown kind `{kind_name}`")))?;
+        let rank = usize_field(ev, "rank").map_err(|e| TraceError(format!("event {i}: {e}")))?;
+        let peer = match ev.get("peer") {
+            Some(v) => Some(v.as_u64().map(|x| x as usize).ok_or_else(|| {
+                TraceError(format!("event {i}: `peer` must be an integer"))
+            })?),
+            None => None,
+        };
+        let items = match (ev.get("item_lo"), ev.get("item_hi")) {
+            (Some(lo), Some(hi)) => {
+                let lo = lo.as_u64().ok_or_else(|| {
+                    TraceError(format!("event {i}: `item_lo` must be an integer"))
+                })?;
+                let hi = hi.as_u64().ok_or_else(|| {
+                    TraceError(format!("event {i}: `item_hi` must be an integer"))
+                })?;
+                Some((lo, hi))
+            }
+            (None, None) => None,
+            _ => {
+                return Err(TraceError(format!(
+                    "event {i}: `item_lo` and `item_hi` must appear together"
+                )))
+            }
+        };
+        let bytes = field(ev, "bytes")?
+            .as_u64()
+            .ok_or_else(|| TraceError(format!("event {i}: `bytes` must be an integer")))?;
+        trace.push(Event { t, kind, rank, peer, items, bytes });
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::TraceSource;
+    use super::*;
+    use crate::cost::Processor;
+    use crate::distribution::timeline;
+
+    fn sample() -> Trace {
+        let procs = [
+            Processor::linear("p,1", 1.0, 2.0), // comma exercises escaping paths
+            Processor::linear("p\"2", 2.0, 1.0),
+            Processor::linear("root", 0.0, 1.0),
+        ];
+        let view: Vec<&Processor> = procs.iter().collect();
+        let counts = vec![3usize, 2, 1];
+        let tl = timeline(&view, &counts);
+        Trace::from_timeline(TraceSource::Simulated, &["p,1", "p\"2", "root"], &counts, 8, &tl)
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let trace = sample();
+        let text = trace_to_json(&trace);
+        let back = trace_from_json(&text).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let trace = Trace::new(TraceSource::Executed, 0, vec![]);
+        let back = trace_from_json(&trace_to_json(&trace)).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn schema_version_is_embedded_and_checked() {
+        let text = trace_to_json(&sample());
+        assert!(text.contains("\"schema\": 1"));
+        let wrong = text.replace("\"schema\": 1", "\"schema\": 999");
+        let err = trace_from_json(&wrong).unwrap_err();
+        assert!(err.0.contains("unsupported schema version 999"), "{err}");
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let text = trace_to_json(&sample()).replace("send_start", "teleport");
+        assert!(trace_from_json(&text).unwrap_err().0.contains("unknown kind"));
+    }
+
+    #[test]
+    fn missing_field_is_rejected() {
+        assert!(trace_from_json("{}").unwrap_err().0.contains("missing field"));
+        assert!(trace_from_json("not json at all").is_err());
+        assert!(trace_from_json("{\"schema\": 1} trailing").is_err());
+    }
+
+    #[test]
+    fn parser_handles_scalars_and_nesting() {
+        let doc = parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": true, "d": null}, "e": "x\ny"}"#)
+            .unwrap();
+        assert_eq!(doc.get("a").unwrap().as_arr().unwrap()[2], Json::Num(-300.0));
+        assert_eq!(doc.get("b").unwrap().get("c"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("b").unwrap().get("d"), Some(&Json::Null));
+        assert_eq!(doc.get("e").unwrap().as_str(), Some("x\ny"));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let trace = Trace::new(
+            TraceSource::Predicted,
+            1,
+            vec!["tab\there".into(), "uni\u{00e9}".into(), "quote\"q".into()],
+        );
+        let back = trace_from_json(&trace_to_json(&trace)).unwrap();
+        assert_eq!(back.names, trace.names);
+    }
+
+    #[test]
+    fn as_u64_rejects_fractions_and_negatives() {
+        assert_eq!(Json::Num(3.5).as_u64(), None);
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+        assert_eq!(Json::Num(42.0).as_u64(), Some(42));
+    }
+}

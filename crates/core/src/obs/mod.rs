@@ -1,0 +1,597 @@
+//! Unified observability: one event schema for predicted, simulated and
+//! executed scatters.
+//!
+//! The paper compares three views of the same operation: the schedule the
+//! planner *predicts* from Eq. (1), the schedule a discrete-event
+//! simulation *derives* from the same cost model, and the schedule a run
+//! of the (mini-)MPI program actually *executes*. This module gives all
+//! three a common trace format so they can be aggregated, exported and
+//! diffed by the same code:
+//!
+//! * [`Event`] / [`EventKind`] — one timestamped occurrence on one rank
+//!   (send start/end, compute start/end, idle);
+//! * [`Trace`] — a full run: event list plus rank names, item size and
+//!   provenance ([`TraceSource`]);
+//! * [`TraceSummary`] — per-rank busy/idle/comm breakdowns, per-link byte
+//!   totals and the makespan, derived from any trace;
+//! * [`json`] / [`csv`] — versioned serialization (see
+//!   `docs/observability.md` for the normative schema description).
+//!
+//! The schema is versioned: [`SCHEMA_VERSION`] is embedded in every JSON
+//! export and checked on import.
+//!
+//! ## Mapping to paper quantities
+//!
+//! For a trace built from an Eq. (1) timeline (see
+//! [`Trace::from_timeline`]):
+//!
+//! * the largest event time is the makespan `T` of Eq. (2);
+//! * a rank's receive interval `[SendStart, SendEnd]` is its
+//!   `Tcomm(i, n_i)` term, and its compute interval is `Tcomp(i, n_i)`;
+//! * idle time before the first `SendStart` is the per-processor "stair
+//!   effect" of Fig. 1.
+
+use std::fmt;
+
+use crate::distribution::Timeline;
+
+pub mod csv;
+pub mod json;
+mod summary;
+
+pub use summary::{LinkBytes, RankSummary, TraceSummary};
+
+/// Version of the trace schema emitted by [`json::trace_to_json`] and
+/// accepted by [`json::trace_from_json`]. Bumped on any incompatible
+/// change; see `docs/observability.md` for the change policy.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// What happened at an [`Event`]'s timestamp.
+///
+/// Send events are recorded on the **receiving** rank (`Event::rank`),
+/// with the sender in `Event::peer` — a transfer occupies the sender's
+/// port and the receiver's link for the same interval, and aggregation
+/// charges both sides from the one event pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// The sender's port starts transmitting this rank's block.
+    SendStart,
+    /// The block has fully arrived (sender's port is free again).
+    SendEnd,
+    /// The rank starts computing on its block.
+    ComputeStart,
+    /// The rank finished computing.
+    ComputeEnd,
+    /// The rank is idle from this timestamp until its next event (or the
+    /// end of the trace). Idle events are informative markers emitted by
+    /// trace builders; aggregation re-derives idle time from the gaps
+    /// between busy intervals and does not trust them blindly.
+    Idle,
+}
+
+impl EventKind {
+    /// The schema's wire name for this kind (`send_start`, `send_end`,
+    /// `compute_start`, `compute_end`, `idle`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::SendStart => "send_start",
+            EventKind::SendEnd => "send_end",
+            EventKind::ComputeStart => "compute_start",
+            EventKind::ComputeEnd => "compute_end",
+            EventKind::Idle => "idle",
+        }
+    }
+
+    /// Parses a wire name back into a kind.
+    pub fn parse(s: &str) -> Option<EventKind> {
+        Some(match s {
+            "send_start" => EventKind::SendStart,
+            "send_end" => EventKind::SendEnd,
+            "compute_start" => EventKind::ComputeStart,
+            "compute_end" => EventKind::ComputeEnd,
+            "idle" => EventKind::Idle,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One timestamped occurrence on one rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Virtual time, seconds from the start of the operation.
+    pub t: f64,
+    /// What happened.
+    pub kind: EventKind,
+    /// The rank the event concerns. For send events this is the
+    /// **receiver** (the rank whose block is on the wire).
+    pub rank: usize,
+    /// The other endpoint of a transfer (the sender, for send events).
+    /// `None` for compute and idle events. A send whose `peer` equals
+    /// `rank` is the root keeping its own block: zero wire time, but the
+    /// bytes still count towards conservation totals.
+    pub peer: Option<usize>,
+    /// Half-open range `[lo, hi)` of global item indices this event
+    /// concerns, when known (blocks are laid out contiguously in scatter
+    /// order, so a block is always one range).
+    pub items: Option<(u64, u64)>,
+    /// Payload size in bytes for send events; 0 for compute and idle.
+    pub bytes: u64,
+}
+
+impl Event {
+    /// A send-phase event (start or end) on receiver `rank` from `peer`.
+    pub fn send(kind: EventKind, t: f64, rank: usize, peer: usize, bytes: u64) -> Event {
+        debug_assert!(matches!(kind, EventKind::SendStart | EventKind::SendEnd));
+        Event { t, kind, rank, peer: Some(peer), items: None, bytes }
+    }
+
+    /// A compute-phase event (start or end) on `rank`.
+    pub fn compute(kind: EventKind, t: f64, rank: usize) -> Event {
+        debug_assert!(matches!(kind, EventKind::ComputeStart | EventKind::ComputeEnd));
+        Event { t, kind, rank, peer: None, items: None, bytes: 0 }
+    }
+
+    /// An idle marker on `rank` starting at `t`.
+    pub fn idle(t: f64, rank: usize) -> Event {
+        Event { t, kind: EventKind::Idle, rank, peer: None, items: None, bytes: 0 }
+    }
+
+    /// Sets the item range (builder style).
+    pub fn with_items(mut self, lo: u64, hi: u64) -> Event {
+        self.items = Some((lo, hi));
+        self
+    }
+}
+
+/// Which layer produced a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceSource {
+    /// The planner's analytic Eq. (1) schedule.
+    Predicted,
+    /// The gs-gridsim discrete-event simulation.
+    Simulated,
+    /// A real run on the gs-minimpi runtime (virtual clocks).
+    Executed,
+}
+
+impl TraceSource {
+    /// The schema's wire name (`predicted`, `simulated`, `executed`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceSource::Predicted => "predicted",
+            TraceSource::Simulated => "simulated",
+            TraceSource::Executed => "executed",
+        }
+    }
+
+    /// Parses a wire name back into a source.
+    pub fn parse(s: &str) -> Option<TraceSource> {
+        Some(match s {
+            "predicted" => TraceSource::Predicted,
+            "simulated" => TraceSource::Simulated,
+            "executed" => TraceSource::Executed,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TraceSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A malformed trace (or trace serialization).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError(pub String);
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A complete trace of one scatter + compute operation.
+///
+/// Events are kept globally sorted by time (stable, so the per-rank
+/// emission order survives ties); [`Trace::push`] maintains this lazily
+/// and [`Trace::sort_events`] restores it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Which layer produced the trace.
+    pub source: TraceSource,
+    /// Size of one data item in bytes (0 when unknown). When non-zero,
+    /// a send event carrying an item range must satisfy
+    /// `bytes == (hi − lo) · item_bytes` — validated by
+    /// [`Trace::validate`].
+    pub item_bytes: u64,
+    /// Display name of each rank; `names.len()` is the rank count and
+    /// every event's `rank`/`peer` must index into it.
+    pub names: Vec<String>,
+    /// The events, sorted by time.
+    pub events: Vec<Event>,
+}
+
+impl Trace {
+    /// An empty trace over the given ranks.
+    pub fn new(source: TraceSource, item_bytes: u64, names: Vec<String>) -> Trace {
+        Trace { source, item_bytes, names, events: Vec::new() }
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Appends an event (call [`Trace::sort_events`] after out-of-order
+    /// pushes).
+    pub fn push(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// Restores global time order (stable: ties keep insertion order, so
+    /// emit each rank's events in causal order).
+    pub fn sort_events(&mut self) {
+        self.events
+            .sort_by(|a, b| a.t.partial_cmp(&b.t).expect("event times must not be NaN"));
+    }
+
+    /// The trace's makespan: the largest event timestamp (0 if empty).
+    pub fn makespan(&self) -> f64 {
+        self.events.iter().map(|e| e.t).fold(0.0, f64::max)
+    }
+
+    /// Events concerning `rank` (in time order).
+    pub fn events_for_rank(&self, rank: usize) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(move |e| e.rank == rank)
+    }
+
+    /// Builds the trace of an Eq. (1) [`Timeline`].
+    ///
+    /// `names` and `counts` are in scatter order (root last, as produced
+    /// by the planner); blocks are laid out contiguously in that order,
+    /// which fixes each rank's item range. The root's own block appears
+    /// as a zero-duration self-send so that byte totals conserve:
+    /// Σ link bytes = Σ counts · `item_bytes`.
+    pub fn from_timeline(
+        source: TraceSource,
+        names: &[&str],
+        counts: &[usize],
+        item_bytes: u64,
+        tl: &Timeline,
+    ) -> Trace {
+        assert_eq!(names.len(), counts.len(), "one count per rank");
+        assert_eq!(names.len(), tl.finish.len(), "one timeline row per rank");
+        let p = names.len();
+        let root = p.saturating_sub(1); // scatter order puts the root last
+        let makespan = tl.makespan();
+        let mut trace =
+            Trace::new(source, item_bytes, names.iter().map(|s| s.to_string()).collect());
+        let mut offset = 0u64;
+        for (i, &count) in counts.iter().enumerate() {
+            let lo = offset;
+            let hi = lo + count as u64;
+            offset = hi;
+            let bytes = (count as u64) * item_bytes;
+            if tl.comm_start[i] > 0.0 {
+                trace.push(Event::idle(0.0, i));
+            }
+            trace.push(
+                Event::send(EventKind::SendStart, tl.comm_start[i], i, root, bytes)
+                    .with_items(lo, hi),
+            );
+            trace.push(
+                Event::send(EventKind::SendEnd, tl.comm_end[i], i, root, bytes)
+                    .with_items(lo, hi),
+            );
+            trace.push(
+                Event::compute(EventKind::ComputeStart, tl.comm_end[i], i).with_items(lo, hi),
+            );
+            trace.push(Event::compute(EventKind::ComputeEnd, tl.finish[i], i).with_items(lo, hi));
+            if tl.finish[i] < makespan {
+                trace.push(Event::idle(tl.finish[i], i));
+            }
+        }
+        trace.sort_events();
+        trace
+    }
+
+    /// Reconstructs a [`Timeline`] view of the trace: per rank, the first
+    /// send interval and the last compute end. Lossy for traces with
+    /// several phases per rank (multi-round runs); exact for traces built
+    /// by [`Trace::from_timeline`] and for single-scatter runs.
+    pub fn to_timeline(&self) -> Timeline {
+        let p = self.num_ranks();
+        let mut comm_start = vec![f64::NAN; p];
+        let mut comm_end = vec![f64::NAN; p];
+        let mut finish = vec![f64::NAN; p];
+        for e in &self.events {
+            match e.kind {
+                EventKind::SendStart if comm_start[e.rank].is_nan() => comm_start[e.rank] = e.t,
+                EventKind::SendEnd if comm_end[e.rank].is_nan() => comm_end[e.rank] = e.t,
+                EventKind::ComputeEnd => finish[e.rank] = e.t,
+                _ => {}
+            }
+        }
+        // Ranks with no events of a kind fall back sensibly: a rank that
+        // never received starts at 0; one that never computed finishes
+        // when its block arrived.
+        for i in 0..p {
+            if comm_start[i].is_nan() {
+                comm_start[i] = 0.0;
+            }
+            if comm_end[i].is_nan() {
+                comm_end[i] = comm_start[i];
+            }
+            if finish[i].is_nan() {
+                finish[i] = comm_end[i];
+            }
+        }
+        Timeline { comm_start, comm_end, finish }
+    }
+
+    /// Checks every schema-v1 invariant (documented in
+    /// `docs/observability.md`):
+    ///
+    /// 1. timestamps are finite and non-negative;
+    /// 2. `rank` and `peer` index into `names`;
+    /// 3. item ranges satisfy `lo ≤ hi`, and send bytes equal
+    ///    `(hi − lo) · item_bytes` when both are known;
+    /// 4. per rank, timestamps are non-decreasing;
+    /// 5. per rank, send and compute intervals are properly bracketed
+    ///    (every end closes a matching open start, nothing left open) and
+    ///    an end carries the same `peer`/`bytes` as its start;
+    /// 6. idle markers never fall strictly inside one of that rank's
+    ///    send or compute intervals.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        let p = self.num_ranks();
+        let err = |msg: String| Err(TraceError(msg));
+        let mut last_t = vec![0.0f64; p];
+        let mut open_send: Vec<Option<&Event>> = vec![None; p];
+        let mut open_compute: Vec<Option<&Event>> = vec![None; p];
+        for (i, e) in self.events.iter().enumerate() {
+            if !e.t.is_finite() || e.t < 0.0 {
+                return err(format!("event {i}: bad timestamp {}", e.t));
+            }
+            if e.rank >= p {
+                return err(format!("event {i}: rank {} out of range (p={p})", e.rank));
+            }
+            if let Some(peer) = e.peer {
+                if peer >= p {
+                    return err(format!("event {i}: peer {peer} out of range (p={p})"));
+                }
+            }
+            if let Some((lo, hi)) = e.items {
+                if lo > hi {
+                    return err(format!("event {i}: item range {lo}..{hi} is inverted"));
+                }
+                let is_send = matches!(e.kind, EventKind::SendStart | EventKind::SendEnd);
+                if is_send && self.item_bytes > 0 && e.bytes != (hi - lo) * self.item_bytes {
+                    return err(format!(
+                        "event {i}: {} bytes but {} items of {} bytes each",
+                        e.bytes,
+                        hi - lo,
+                        self.item_bytes
+                    ));
+                }
+            }
+            if e.t < last_t[e.rank] {
+                return err(format!(
+                    "event {i}: rank {} goes back in time ({} < {})",
+                    e.rank, e.t, last_t[e.rank]
+                ));
+            }
+            last_t[e.rank] = e.t;
+            match e.kind {
+                EventKind::SendStart => {
+                    if open_send[e.rank].is_some() {
+                        return err(format!("event {i}: rank {} opens a nested send", e.rank));
+                    }
+                    open_send[e.rank] = Some(e);
+                }
+                EventKind::SendEnd => match open_send[e.rank].take() {
+                    None => return err(format!("event {i}: rank {} ends an unopened send", e.rank)),
+                    Some(start) => {
+                        if start.peer != e.peer || start.bytes != e.bytes {
+                            return err(format!(
+                                "event {i}: send end does not match its start \
+                                 (peer {:?}/{:?}, bytes {}/{})",
+                                start.peer, e.peer, start.bytes, e.bytes
+                            ));
+                        }
+                    }
+                },
+                EventKind::ComputeStart => {
+                    if open_compute[e.rank].is_some() {
+                        return err(format!("event {i}: rank {} opens a nested compute", e.rank));
+                    }
+                    open_compute[e.rank] = Some(e);
+                }
+                EventKind::ComputeEnd => {
+                    if open_compute[e.rank].take().is_none() {
+                        return err(format!(
+                            "event {i}: rank {} ends an unopened compute",
+                            e.rank
+                        ));
+                    }
+                }
+                EventKind::Idle => {
+                    let inside_send =
+                        open_send[e.rank].is_some_and(|s| e.t > s.t);
+                    let inside_compute =
+                        open_compute[e.rank].is_some_and(|s| e.t > s.t);
+                    if inside_send || inside_compute {
+                        return err(format!(
+                            "event {i}: rank {} idle inside a busy interval",
+                            e.rank
+                        ));
+                    }
+                }
+            }
+        }
+        for r in 0..p {
+            if open_send[r].is_some() {
+                return err(format!("rank {r}: send never ends"));
+            }
+            if open_compute[r].is_some() {
+                return err(format!("rank {r}: compute never ends"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates, then aggregates into a [`TraceSummary`].
+    pub fn summarize(&self) -> Result<TraceSummary, TraceError> {
+        self.validate()?;
+        Ok(TraceSummary::from_trace(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Processor;
+    use crate::distribution::timeline;
+
+    fn sample_timeline() -> (Vec<Processor>, Vec<usize>, Timeline) {
+        let procs = vec![
+            Processor::linear("p1", 1.0, 2.0),
+            Processor::linear("p2", 2.0, 1.0),
+            Processor::linear("root", 0.0, 1.0),
+        ];
+        let view: Vec<&Processor> = procs.iter().collect();
+        let counts = vec![3usize, 2, 1];
+        let tl = timeline(&view, &counts);
+        (procs, counts, tl)
+    }
+
+    fn sample_trace() -> Trace {
+        let (_procs, counts, tl) = sample_timeline();
+        Trace::from_timeline(TraceSource::Predicted, &["p1", "p2", "root"], &counts, 8, &tl)
+    }
+
+    #[test]
+    fn from_timeline_is_valid_and_sorted() {
+        let trace = sample_trace();
+        trace.validate().unwrap();
+        assert!(trace.events.windows(2).all(|w| w[0].t <= w[1].t));
+        assert_eq!(trace.makespan(), 9.0);
+    }
+
+    #[test]
+    fn from_timeline_round_trips_to_timeline() {
+        let (_procs, counts, tl) = sample_timeline();
+        let trace =
+            Trace::from_timeline(TraceSource::Predicted, &["p1", "p2", "root"], &counts, 8, &tl);
+        assert_eq!(trace.to_timeline(), tl);
+    }
+
+    #[test]
+    fn item_ranges_tile_the_buffer() {
+        let trace = sample_trace();
+        let mut ranges: Vec<(u64, u64)> = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::SendEnd)
+            .map(|e| e.items.unwrap())
+            .collect();
+        ranges.sort();
+        assert_eq!(ranges, vec![(0, 3), (3, 5), (5, 6)]);
+        let total: u64 = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::SendEnd)
+            .map(|e| e.bytes)
+            .sum();
+        assert_eq!(total, 6 * 8);
+    }
+
+    #[test]
+    fn kind_and_source_wire_names_round_trip() {
+        for k in [
+            EventKind::SendStart,
+            EventKind::SendEnd,
+            EventKind::ComputeStart,
+            EventKind::ComputeEnd,
+            EventKind::Idle,
+        ] {
+            assert_eq!(EventKind::parse(k.as_str()), Some(k));
+        }
+        for s in [TraceSource::Predicted, TraceSource::Simulated, TraceSource::Executed] {
+            assert_eq!(TraceSource::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(EventKind::parse("warp"), None);
+        assert_eq!(TraceSource::parse("dreamt"), None);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_rank() {
+        let mut trace = sample_trace();
+        trace.events[0].rank = 99;
+        assert!(trace.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_byte_count() {
+        let mut trace = sample_trace();
+        let i = trace
+            .events
+            .iter()
+            .position(|e| e.kind == EventKind::SendStart)
+            .unwrap();
+        trace.events[i].bytes += 1;
+        assert!(trace.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unbalanced_intervals() {
+        let mut trace = Trace::new(TraceSource::Executed, 0, vec!["a".into()]);
+        trace.push(Event::send(EventKind::SendStart, 0.0, 0, 0, 10));
+        assert!(trace.validate().unwrap_err().0.contains("never ends"));
+        trace.push(Event::send(EventKind::SendEnd, 1.0, 0, 0, 10));
+        trace.validate().unwrap();
+        trace.push(Event::compute(EventKind::ComputeEnd, 2.0, 0));
+        assert!(trace.validate().unwrap_err().0.contains("unopened compute"));
+    }
+
+    #[test]
+    fn validate_rejects_time_travel() {
+        let mut trace = Trace::new(TraceSource::Executed, 0, vec!["a".into()]);
+        trace.push(Event::compute(EventKind::ComputeStart, 5.0, 0));
+        trace.push(Event::compute(EventKind::ComputeEnd, 3.0, 0));
+        assert!(trace.validate().unwrap_err().0.contains("back in time"));
+    }
+
+    #[test]
+    fn validate_rejects_idle_inside_busy() {
+        let mut trace = Trace::new(TraceSource::Executed, 0, vec!["a".into()]);
+        trace.push(Event::compute(EventKind::ComputeStart, 0.0, 0));
+        trace.push(Event::idle(1.0, 0));
+        trace.push(Event::compute(EventKind::ComputeEnd, 2.0, 0));
+        assert!(trace.validate().unwrap_err().0.contains("idle inside"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let trace = Trace::new(TraceSource::Predicted, 8, vec![]);
+        trace.validate().unwrap();
+        assert_eq!(trace.makespan(), 0.0);
+    }
+
+    #[test]
+    fn events_for_rank_filters() {
+        let trace = sample_trace();
+        assert!(trace.events_for_rank(1).all(|e| e.rank == 1));
+        // p2 waits (idle), receives, computes, and finishes at the
+        // makespan: idle + 2 send + 2 compute events.
+        assert_eq!(trace.events_for_rank(1).count(), 5);
+    }
+}

@@ -1,0 +1,324 @@
+//! Aggregation of a [`Trace`] into per-rank and per-link metrics.
+
+use std::fmt::Write as _;
+
+use super::{Event, EventKind, Trace, TraceSource};
+
+/// Per-rank breakdown of one trace.
+///
+/// Times relate as `busy + idle = makespan` for every rank (enforced by
+/// computing `busy` as the length of the *union* of the rank's busy
+/// intervals, so overlapping phases are not double-counted).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankSummary {
+    /// Rank index (into `Trace::names`).
+    pub rank: usize,
+    /// Display name.
+    pub name: String,
+    /// Seconds spent receiving (send intervals where this rank is the
+    /// receiver) — the `Tcomm` terms of Eq. (1).
+    pub recv: f64,
+    /// Seconds this rank's outgoing port spent transmitting (send
+    /// intervals where this rank is the `peer`); the root's stair of
+    /// Fig. 1 shows up here.
+    pub send: f64,
+    /// Seconds spent computing — the `Tcomp` term of Eq. (1).
+    pub compute: f64,
+    /// Length of the union of all busy (send/recv/compute) intervals.
+    pub busy: f64,
+    /// `makespan − busy`: waiting before data arrives (the stair
+    /// effect), plus any wait after finishing.
+    pub idle: f64,
+    /// Bytes received by this rank.
+    pub bytes_in: u64,
+    /// Bytes sent by this rank (as the `peer` of send events).
+    pub bytes_out: u64,
+    /// Timestamp of this rank's last non-idle event (its finish time
+    /// `T_i` in Eq. 1 terms).
+    pub finish: f64,
+}
+
+/// Total bytes moved over one (sender, receiver) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkBytes {
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+    /// Total payload bytes, summed over all transfers on the link.
+    pub bytes: u64,
+}
+
+/// Aggregate view of a [`Trace`]: makespan, per-rank breakdowns, link
+/// totals.
+///
+/// Construct with [`TraceSummary::from_trace`] (or the validating
+/// [`Trace::summarize`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Provenance of the underlying trace.
+    pub source: TraceSource,
+    /// Largest event timestamp (Eq. 2 when the trace covers one
+    /// scatter + compute phase).
+    pub makespan: f64,
+    /// One row per rank, in rank order.
+    pub ranks: Vec<RankSummary>,
+    /// Bytes per (sender, receiver) pair, ordered by (src, dst). The
+    /// root's kept block appears as a self-link (`src == dst`).
+    pub links: Vec<LinkBytes>,
+    /// Σ over links — with item-carrying traces this equals
+    /// Σ counts · item_bytes (byte conservation).
+    pub total_bytes: u64,
+    /// Σ of per-rank receive seconds.
+    pub total_recv: f64,
+    /// Σ of per-rank compute seconds.
+    pub total_compute: f64,
+    /// Σ of per-rank idle seconds.
+    pub total_idle: f64,
+}
+
+/// Sum of interval lengths after merging overlaps.
+fn union_length(intervals: &mut [(f64, f64)]) -> f64 {
+    intervals.sort_by(|a, b| a.partial_cmp(b).expect("no NaN interval bounds"));
+    let mut total = 0.0;
+    let mut current: Option<(f64, f64)> = None;
+    for &(s, e) in intervals.iter() {
+        match current {
+            Some((cs, ce)) if s <= ce => current = Some((cs, ce.max(e))),
+            Some((cs, ce)) => {
+                total += ce - cs;
+                current = Some((s, e));
+            }
+            None => current = Some((s, e)),
+        }
+    }
+    if let Some((cs, ce)) = current {
+        total += ce - cs;
+    }
+    total
+}
+
+impl TraceSummary {
+    /// Aggregates a trace. Assumes the trace is well-formed (run
+    /// [`Trace::validate`] first, or use [`Trace::summarize`]); a
+    /// malformed trace yields unspecified numbers, never a panic.
+    pub fn from_trace(trace: &Trace) -> TraceSummary {
+        let p = trace.num_ranks();
+        let makespan = trace.makespan();
+        let mut recv = vec![0.0f64; p];
+        let mut send = vec![0.0f64; p];
+        let mut compute = vec![0.0f64; p];
+        let mut bytes_in = vec![0u64; p];
+        let mut bytes_out = vec![0u64; p];
+        let mut finish = vec![0.0f64; p];
+        let mut busy_iv: Vec<Vec<(f64, f64)>> = vec![Vec::new(); p];
+        let mut open_send: Vec<Option<&Event>> = vec![None; p];
+        let mut open_compute: Vec<Option<f64>> = vec![None; p];
+        let mut link_totals: std::collections::BTreeMap<(usize, usize), u64> =
+            std::collections::BTreeMap::new();
+
+        for e in &trace.events {
+            if e.kind != EventKind::Idle {
+                finish[e.rank] = finish[e.rank].max(e.t);
+            }
+            match e.kind {
+                EventKind::SendStart => open_send[e.rank] = Some(e),
+                EventKind::SendEnd => {
+                    let start = match open_send[e.rank].take() {
+                        Some(s) => s.t,
+                        None => continue, // unmatched end: skip, not crash
+                    };
+                    let dur = e.t - start;
+                    let sender = e.peer.unwrap_or(e.rank);
+                    recv[e.rank] += dur;
+                    bytes_in[e.rank] += e.bytes;
+                    busy_iv[e.rank].push((start, e.t));
+                    if sender != e.rank {
+                        send[sender] += dur;
+                        bytes_out[sender] += e.bytes;
+                        busy_iv[sender].push((start, e.t));
+                        finish[sender] = finish[sender].max(e.t);
+                    } else {
+                        // Self-link (root keeping its block): one side only.
+                        bytes_out[sender] += e.bytes;
+                    }
+                    *link_totals.entry((sender, e.rank)).or_insert(0) += e.bytes;
+                }
+                EventKind::ComputeStart => open_compute[e.rank] = Some(e.t),
+                EventKind::ComputeEnd => {
+                    let start = match open_compute[e.rank].take() {
+                        Some(s) => s,
+                        None => continue,
+                    };
+                    compute[e.rank] += e.t - start;
+                    busy_iv[e.rank].push((start, e.t));
+                }
+                EventKind::Idle => {}
+            }
+        }
+
+        let ranks: Vec<RankSummary> = (0..p)
+            .map(|r| {
+                let busy = union_length(&mut busy_iv[r]);
+                RankSummary {
+                    rank: r,
+                    name: trace.names[r].clone(),
+                    recv: recv[r],
+                    send: send[r],
+                    compute: compute[r],
+                    busy,
+                    idle: makespan - busy,
+                    bytes_in: bytes_in[r],
+                    bytes_out: bytes_out[r],
+                    finish: finish[r],
+                }
+            })
+            .collect();
+        let links: Vec<LinkBytes> = link_totals
+            .into_iter()
+            .map(|((src, dst), bytes)| LinkBytes { src, dst, bytes })
+            .collect();
+        TraceSummary {
+            source: trace.source,
+            makespan,
+            total_bytes: links.iter().map(|l| l.bytes).sum(),
+            total_recv: ranks.iter().map(|r| r.recv).sum(),
+            total_compute: ranks.iter().map(|r| r.compute).sum(),
+            total_idle: ranks.iter().map(|r| r.idle).sum(),
+            ranks,
+            links,
+        }
+    }
+
+    /// Renders the summary as a fixed-width text table.
+    pub fn render(&self) -> String {
+        let name_w = self
+            .ranks
+            .iter()
+            .map(|r| r.name.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let mut out = format!(
+            "{} trace: {} ranks, makespan {:.4} s, {} bytes moved\n",
+            self.source,
+            self.ranks.len(),
+            self.makespan,
+            self.total_bytes
+        );
+        let _ = writeln!(
+            out,
+            "{:<name_w$} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12}",
+            "rank", "recv (s)", "send (s)", "comp (s)", "idle (s)", "finish", "bytes in"
+        );
+        for r in &self.ranks {
+            let _ = writeln!(
+                out,
+                "{:<name_w$} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>12}",
+                r.name, r.recv, r.send, r.compute, r.idle, r.finish, r.bytes_in
+            );
+        }
+        let _ = writeln!(
+            out,
+            "totals: recv {:.4} s, compute {:.4} s, idle {:.4} s over {} links",
+            self.total_recv,
+            self.total_compute,
+            self.total_idle,
+            self.links.len()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Trace, TraceSource};
+    use super::*;
+    use crate::cost::Processor;
+    use crate::distribution::timeline;
+
+    fn sample() -> (Trace, crate::distribution::Timeline) {
+        let procs = [
+            Processor::linear("p1", 1.0, 2.0),
+            Processor::linear("p2", 2.0, 1.0),
+            Processor::linear("root", 0.0, 1.0),
+        ];
+        let view: Vec<&Processor> = procs.iter().collect();
+        let counts = vec![3usize, 2, 1];
+        let tl = timeline(&view, &counts);
+        let trace =
+            Trace::from_timeline(TraceSource::Predicted, &["p1", "p2", "root"], &counts, 8, &tl);
+        (trace, tl)
+    }
+
+    #[test]
+    fn per_rank_breakdown_matches_eq1_terms() {
+        // Timeline: p1 comm [0,3] finish 9; p2 comm [3,7] finish 9;
+        // root comm [7,7] finish 8; makespan 9.
+        let (trace, _) = sample();
+        let s = trace.summarize().unwrap();
+        assert_eq!(s.makespan, 9.0);
+        let p1 = &s.ranks[0];
+        assert_eq!((p1.recv, p1.compute), (3.0, 6.0));
+        assert_eq!(p1.idle, 0.0);
+        let p2 = &s.ranks[1];
+        assert_eq!((p2.recv, p2.compute), (4.0, 2.0));
+        assert_eq!(p2.idle, 3.0); // waits [0,3] for the port
+        let root = &s.ranks[2];
+        assert_eq!(root.send, 7.0); // transmits [0,7]
+        assert_eq!(root.compute, 1.0);
+        assert_eq!(root.idle, 1.0); // finished at 8, makespan 9
+    }
+
+    #[test]
+    fn busy_plus_idle_is_makespan_for_every_rank() {
+        let (trace, _) = sample();
+        let s = trace.summarize().unwrap();
+        for r in &s.ranks {
+            assert!((r.busy + r.idle - s.makespan).abs() < 1e-12, "rank {}", r.rank);
+        }
+    }
+
+    #[test]
+    fn bytes_conserve() {
+        let (trace, _) = sample();
+        let s = trace.summarize().unwrap();
+        assert_eq!(s.total_bytes, 6 * 8);
+        assert_eq!(s.links.len(), 3);
+        // Root (rank 2) sends everything, including its self-link block.
+        assert_eq!(s.ranks[2].bytes_out, 48);
+        let self_link = s.links.iter().find(|l| l.src == 2 && l.dst == 2).unwrap();
+        assert_eq!(self_link.bytes, 8);
+    }
+
+    #[test]
+    fn union_length_merges_overlaps() {
+        let mut iv = vec![(0.0, 2.0), (1.0, 3.0), (5.0, 6.0)];
+        assert_eq!(union_length(&mut iv), 4.0);
+        let mut empty: Vec<(f64, f64)> = vec![];
+        assert_eq!(union_length(&mut empty), 0.0);
+        let mut touching = vec![(0.0, 1.0), (1.0, 2.0)];
+        assert_eq!(union_length(&mut touching), 2.0);
+    }
+
+    #[test]
+    fn render_mentions_all_ranks() {
+        let (trace, _) = sample();
+        let text = trace.summarize().unwrap().render();
+        for name in ["p1", "p2", "root"] {
+            assert!(text.contains(name), "{text}");
+        }
+        assert!(text.contains("makespan 9.0000"));
+    }
+
+    #[test]
+    fn finish_matches_timeline() {
+        let (trace, tl) = sample();
+        let s = trace.summarize().unwrap();
+        // Workers finish when their compute ends; the root also stays
+        // "on the hook" until its last transfer completes.
+        assert_eq!(s.ranks[0].finish, tl.finish[0]);
+        assert_eq!(s.ranks[1].finish, tl.finish[1]);
+        assert_eq!(s.ranks[2].finish, tl.finish[2].max(tl.comm_end[1]));
+    }
+}

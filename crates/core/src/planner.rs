@@ -4,6 +4,7 @@
 use crate::cost::Platform;
 use crate::distribution::{self, Timeline};
 use crate::error::PlanError;
+use crate::obs::{Trace, TraceSource};
 use crate::ordering::{scatter_order, OrderPolicy};
 
 /// Which distribution algorithm to run.
@@ -48,6 +49,22 @@ impl Plan {
     /// Total number of items distributed.
     pub fn total_items(&self) -> usize {
         self.counts.iter().sum()
+    }
+
+    /// The predicted Eq. (1) schedule as an observability [`Trace`]
+    /// (source [`TraceSource::Predicted`]), ranked in scatter order with
+    /// the platform's processor names. `item_bytes` is the size of one
+    /// data item, used to fill in per-transfer byte counts.
+    pub fn predicted_trace(&self, platform: &Platform, item_bytes: u64) -> Trace {
+        let names: Vec<&str> =
+            self.order.iter().map(|&i| platform.procs()[i].name.as_str()).collect();
+        Trace::from_timeline(
+            TraceSource::Predicted,
+            &names,
+            &self.counts_in_order(),
+            item_bytes,
+            &self.predicted,
+        )
     }
 }
 
@@ -232,6 +249,21 @@ mod tests {
         let in_order = plan.counts_in_order();
         for (pos, &idx) in plan.order.iter().enumerate() {
             assert_eq!(in_order[pos], plan.counts[idx]);
+        }
+    }
+
+    #[test]
+    fn predicted_trace_reflects_the_plan() {
+        let plat = platform();
+        let plan = Planner::new(plat.clone()).strategy(Strategy::Exact).plan(5000).unwrap();
+        let trace = plan.predicted_trace(&plat, 8);
+        trace.validate().unwrap();
+        assert_eq!(trace.makespan(), plan.predicted_makespan);
+        let summary = trace.summarize().unwrap();
+        assert_eq!(summary.total_bytes, 5000 * 8);
+        // Scatter order and names line up.
+        for (pos, &idx) in plan.order.iter().enumerate() {
+            assert_eq!(trace.names[pos], plat.procs()[idx].name);
         }
     }
 

@@ -1,10 +1,12 @@
-//! Machine-readable export of run results (CSV), for plotting the figures
-//! with external tools.
+//! Machine-readable export of run results (CSV and observability-trace
+//! JSON), for plotting the figures with external tools and for
+//! `gs report`.
 
 use std::io::{self, Write};
 use std::path::Path;
 
 use gs_scatter::distribution::Timeline;
+use gs_scatter::obs::{json, Trace};
 
 /// Serializes a run (scatter order) as CSV with header
 /// `pos,name,data,comm_start,comm_end,finish`.
@@ -35,6 +37,19 @@ pub fn write_csv(
 ) -> io::Result<()> {
     let mut f = std::fs::File::create(path)?;
     f.write_all(to_csv(names, counts, tl).as_bytes())
+}
+
+/// Writes a trace as a schema-versioned JSON document (the
+/// `docs/observability.md` format, readable by `gs report`).
+pub fn write_trace_json(path: impl AsRef<Path>, trace: &Trace) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(json::trace_to_json(trace).as_bytes())
+}
+
+/// Writes a trace as per-event CSV (`gs_scatter::obs::csv` columns).
+pub fn write_trace_csv(path: impl AsRef<Path>, trace: &Trace) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(gs_scatter::obs::csv::trace_to_csv(trace).as_bytes())
 }
 
 /// Minimal CSV field escaping (quotes fields containing `,` or `"`).
@@ -72,6 +87,25 @@ mod tests {
         assert_eq!(escape("plain"), "plain");
         assert_eq!(escape("a,b"), "\"a,b\"");
         assert_eq!(escape("q\"q"), "\"q\"\"q\"");
+    }
+
+    #[test]
+    fn write_trace_json_round_trips() {
+        use gs_scatter::obs::{json::trace_from_json, Trace, TraceSource};
+        let trace =
+            Trace::from_timeline(TraceSource::Simulated, &["a", "b"], &[3, 1], 8, &tl());
+        let dir = std::env::temp_dir().join("gs_gridsim_test_trace");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("trace.json");
+        write_trace_json(&path, &trace).unwrap();
+        let back = trace_from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back, trace);
+        let csv_path = dir.join("trace.csv");
+        write_trace_csv(&csv_path, &trace).unwrap();
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        assert!(csv.starts_with("t,kind,rank,name,"));
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(csv_path);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Summary metrics for a simulated (or analytic) run.
 
 use gs_scatter::distribution::Timeline;
+use gs_scatter::obs::Trace;
 
 /// Aggregate metrics of one scatter + compute phase.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +57,13 @@ impl RunMetrics {
     pub fn speedup_over(&self, baseline_makespan: f64) -> f64 {
         baseline_makespan / self.makespan
     }
+
+    /// Computes metrics from an observability [`Trace`] (any source),
+    /// via its per-rank timeline view — so predicted, simulated and
+    /// executed runs all reduce to the same numbers.
+    pub fn from_trace(trace: &Trace) -> Self {
+        RunMetrics::from_timeline(&trace.to_timeline())
+    }
 }
 
 #[cfg(test)]
@@ -86,6 +94,15 @@ mod tests {
     fn speedup() {
         let m = RunMetrics::from_timeline(&tl());
         assert_eq!(m.speedup_over(20.0), 2.0);
+    }
+
+    #[test]
+    fn from_trace_matches_from_timeline() {
+        use gs_scatter::obs::{Trace, TraceSource};
+        let tl = tl();
+        let trace =
+            Trace::from_timeline(TraceSource::Simulated, &["a", "b", "c"], &[2, 3, 0], 1, &tl);
+        assert_eq!(RunMetrics::from_trace(&trace), RunMetrics::from_timeline(&tl));
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::rc::Rc;
 
 use gs_scatter::cost::{Platform, Processor};
 use gs_scatter::distribution::Timeline;
+use gs_scatter::obs::{Event, EventKind, Trace, TraceSource};
 use gs_scatter::planner::Plan;
 
 use crate::engine::{Engine, SimEvent, SimEventKind};
@@ -39,6 +40,67 @@ pub struct ScatterSim {
     pub events: Vec<SimEvent>,
     /// Overall makespan.
     pub makespan: f64,
+}
+
+impl ScatterSim {
+    /// Converts the engine's raw event stream into an observability
+    /// [`Trace`] (source [`TraceSource::Simulated`]).
+    ///
+    /// `names` and `counts` are in scatter order (root last), matching
+    /// the arguments the simulation ran with; `item_bytes` sizes one
+    /// data item. The engine records *what happened when*; this adds the
+    /// schema's metadata — transfer bytes, contiguous item ranges, the
+    /// sending peer — and explicit idle markers for the stair waits and
+    /// post-finish gaps.
+    pub fn trace(&self, names: &[&str], counts: &[usize], item_bytes: u64) -> Trace {
+        assert_eq!(names.len(), counts.len(), "one count per processor");
+        assert_eq!(names.len(), self.timeline.finish.len(), "names must match the run");
+        let p = names.len();
+        let root = p.saturating_sub(1);
+        let offsets: Vec<u64> = counts
+            .iter()
+            .scan(0u64, |acc, &c| {
+                let lo = *acc;
+                *acc += c as u64;
+                Some(lo)
+            })
+            .collect();
+        let mut trace = Trace::new(
+            TraceSource::Simulated,
+            item_bytes,
+            names.iter().map(|s| s.to_string()).collect(),
+        );
+        for e in &self.events {
+            let i = e.proc;
+            let (lo, hi) = (offsets[i], offsets[i] + counts[i] as u64);
+            trace.push(match e.kind {
+                SimEventKind::SendStart => {
+                    Event::send(EventKind::SendStart, e.time, i, root, counts[i] as u64 * item_bytes)
+                        .with_items(lo, hi)
+                }
+                SimEventKind::SendEnd => {
+                    Event::send(EventKind::SendEnd, e.time, i, root, counts[i] as u64 * item_bytes)
+                        .with_items(lo, hi)
+                }
+                SimEventKind::ComputeStart => {
+                    Event::compute(EventKind::ComputeStart, e.time, i).with_items(lo, hi)
+                }
+                SimEventKind::ComputeEnd => {
+                    Event::compute(EventKind::ComputeEnd, e.time, i).with_items(lo, hi)
+                }
+            });
+        }
+        for i in 0..p {
+            if self.timeline.comm_start[i] > 0.0 {
+                trace.push(Event::idle(0.0, i));
+            }
+            if self.timeline.finish[i] < self.makespan {
+                trace.push(Event::idle(self.timeline.finish[i], i));
+            }
+        }
+        trace.sort_events();
+        trace
+    }
 }
 
 struct SimState {
@@ -379,6 +441,40 @@ mod tests {
         // Each round: comm 2 s + compute 2*4 = 8 s => 10 s per round.
         assert_eq!(sims[0].makespan, 10.0);
         assert_eq!(sims[1].makespan, 20.0);
+    }
+
+    #[test]
+    fn obs_trace_matches_analytic_trace_when_unperturbed() {
+        use gs_scatter::obs::{Trace, TraceSource};
+        let ps = procs();
+        let view: Vec<&Processor> = ps.iter().collect();
+        let counts = vec![3usize, 2, 1];
+        let names = ["a", "b", "root"];
+        let sim = simulate_scatter(&view, &counts, &SimConfig::ideal());
+        let simulated = sim.trace(&names, &counts, 8);
+        simulated.validate().unwrap();
+        // Without perturbation, the event-derived trace coincides with
+        // the analytic Eq. (1) trace (modulo provenance).
+        let analytic =
+            Trace::from_timeline(TraceSource::Simulated, &names, &counts, 8, &timeline(&view, &counts));
+        assert_eq!(simulated, analytic);
+    }
+
+    #[test]
+    fn obs_trace_reflects_background_load() {
+        let ps = procs();
+        let view: Vec<&Processor> = ps.iter().collect();
+        let counts = vec![3usize, 2, 1];
+        let loads =
+            vec![LoadTrace::spike(3.0, 9.0, 2.0), LoadTrace::none(), LoadTrace::none()];
+        let sim = simulate_scatter(&view, &counts, &SimConfig::with_loads(loads));
+        let trace = sim.trace(&["a", "b", "root"], &counts, 8);
+        trace.validate().unwrap();
+        let summary = trace.summarize().unwrap();
+        assert_eq!(summary.makespan, 12.0); // victim slowed from 9 to 12
+        // The victim's compute interval stretched to 9 s; others idle more.
+        assert_eq!(summary.ranks[0].compute, 9.0);
+        assert_eq!(summary.ranks[1].idle, 12.0 - 6.0);
     }
 
     #[test]

@@ -89,9 +89,26 @@ impl Comm {
 
     /// Advances the clock by the model's compute time for `items` on this
     /// rank. No-op without a time model.
+    ///
+    /// When tracing is enabled the phase is recorded as a
+    /// [`crate::trace::CommOp::Compute`] record (peer = own rank,
+    /// bytes = 0), so executed traces carry compute intervals alongside
+    /// transfers. Explicit [`Comm::advance`] calls are *not* recorded —
+    /// they model externally measured time, not necessarily computation.
     pub fn model_compute(&mut self, items: usize) {
         if let Some(m) = &self.model {
+            let start = self.clock;
             self.clock += m.compute_time(self.rank, items);
+            let (rank, end) = (self.rank, self.clock);
+            if let Some(t) = &mut self.trace {
+                t.push(crate::trace::CommRecord {
+                    op: crate::trace::CommOp::Compute,
+                    peer: rank,
+                    bytes: 0,
+                    start,
+                    end,
+                });
+            }
         }
     }
 
@@ -253,6 +270,17 @@ impl Comm {
                 let block = &buf[offset..offset + counts[r]];
                 if r == root {
                     // The root keeps its block; no transfer, no port time.
+                    // Traced as a zero-duration self-send so that byte
+                    // totals conserve (Σ link bytes = buffer size).
+                    if let Some(t) = &mut self.trace {
+                        t.push(crate::trace::CommRecord {
+                            op: crate::trace::CommOp::Send,
+                            peer: root,
+                            bytes: block.len() * T::WIDTH,
+                            start: self.clock,
+                            end: self.clock,
+                        });
+                    }
                     own = Some(block.to_vec());
                 } else {
                     self.send(r, tag, block);

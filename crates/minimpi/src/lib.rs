@@ -57,5 +57,5 @@ pub use datum::Datum;
 pub use message::Tag;
 pub use nonblocking::RecvRequest;
 pub use time::TimeModel;
-pub use trace::{CommOp, CommRecord};
+pub use trace::{executed_trace, CommOp, CommRecord};
 pub use world::{run_world, WorldConfig};

@@ -41,6 +41,26 @@ impl TimeModel {
         TimeModel { link, compute }
     }
 
+    /// A model with ranks permuted: new rank `i` gets the costs of old
+    /// rank `order[i]`. This is how a planner's scatter order (a
+    /// permutation of platform indices, root last) becomes a world where
+    /// scatter-by-rank-order realizes the planned schedule.
+    ///
+    /// # Panics
+    /// Panics if `order` is not a permutation of `0..len`.
+    pub fn reordered(&self, order: &[usize]) -> Self {
+        assert_eq!(order.len(), self.len(), "order must cover every rank");
+        let mut seen = vec![false; self.len()];
+        for &i in order {
+            assert!(!seen[i], "rank {i} appears twice in the order");
+            seen[i] = true;
+        }
+        TimeModel {
+            link: order.iter().map(|&i| self.link[i].clone()).collect(),
+            compute: order.iter().map(|&i| self.compute[i].clone()).collect(),
+        }
+    }
+
     /// Number of ranks the model covers.
     pub fn len(&self) -> usize {
         self.link.len()
@@ -111,6 +131,25 @@ mod tests {
         assert_eq!(tm.link_time(1, 12345), 0.0);
         assert_eq!(tm.compute_time(1, 10), 20.0);
         assert_eq!(tm.len(), 2);
+    }
+
+    #[test]
+    fn reordered_permutes_ranks() {
+        let tm = TimeModel::compute_only(vec![
+            CostFn::Linear { slope: 1.0 },
+            CostFn::Linear { slope: 2.0 },
+            CostFn::Linear { slope: 3.0 },
+        ]);
+        let r = tm.reordered(&[2, 0, 1]);
+        assert_eq!(r.compute_time(0, 1), 3.0);
+        assert_eq!(r.compute_time(1, 1), 1.0);
+        assert_eq!(r.compute_time(2, 1), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn reordered_rejects_non_permutations() {
+        TimeModel::compute_only(vec![CostFn::Zero, CostFn::Zero]).reordered(&[0, 0]);
     }
 
     #[test]

@@ -50,6 +50,31 @@
 //!          plan.counts, plan.predicted_makespan);
 //! ```
 //!
+//! ## Observability
+//!
+//! Every execution path — planner prediction, discrete-event simulation,
+//! minimpi run — emits the same versioned trace format (schema in
+//! `docs/observability.md`). Building a plan and printing its predicted
+//! timeline as a trace summary:
+//!
+//! ```
+//! use grid_scatter::prelude::*;
+//!
+//! let platform = Platform::new(vec![
+//!     Processor::linear("root", 0.0,    0.01),
+//!     Processor::linear("w1",   1e-4,   0.005),
+//!     Processor::linear("w2",   2e-4,   0.004),
+//! ], 0).unwrap();
+//! let plan = Planner::new(platform.clone()).plan(10_000).unwrap();
+//!
+//! // The planner's Eq. (1) schedule as an observability trace (8-B items).
+//! let trace = plan.predicted_trace(&platform, 8);
+//! let summary = TraceSummary::from_trace(&trace);
+//! println!("{}", summary.render());          // per-rank busy/idle/bytes table
+//! assert_eq!(summary.makespan, plan.predicted_makespan);
+//! assert_eq!(summary.total_bytes, 10_000 * 8);
+//! ```
+//!
 //! See `examples/` for runnable programs and the `gs-bench` crate for the
 //! experiment harness regenerating every table and figure of the paper.
 

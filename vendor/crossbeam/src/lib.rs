@@ -1,0 +1,177 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of the crossbeam 0.8 API it uses: unbounded channels
+//! ([`channel::unbounded`], [`channel::Sender`], [`channel::Receiver`])
+//! and scoped threads ([`thread::scope`]). Both delegate to the standard
+//! library (`std::sync::mpsc`, `std::thread::scope`), which since Rust
+//! 1.63 covers everything `gs-minimpi` needs: cloneable senders,
+//! blocking receives, and environment-borrowing spawned threads.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Multi-producer single-consumer channels (crossbeam-channel subset).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// The sending half of an unbounded channel. Cloneable and `Send`.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// All senders disconnected and the buffer is drained.
+        Disconnected,
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message; never blocks (the channel is unbounded).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender disconnects.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+/// Scoped threads (crossbeam-utils subset).
+pub mod thread {
+    use std::any::Any;
+
+    /// A handle for spawning threads that may borrow from the caller's
+    /// stack frame. Wraps [`std::thread::Scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. Matching crossbeam's
+        /// signature, the closure receives the scope handle (so it could
+        /// spawn siblings), which std's closure does not.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Runs `f` with a scope handle; all spawned threads are joined before
+    /// this returns. Crossbeam returns `Err` with a panic payload when an
+    /// *unjoined* child panicked; with std's scope such panics re-raise
+    /// instead, so the `Ok` arm is the only one ever produced — callers
+    /// that `.unwrap()`/`.expect()` the result behave identically.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_round_trip() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+        drop((tx, tx2));
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3];
+        let mut results = vec![0u64; 3];
+        thread::scope(|s| {
+            let mut handles = Vec::new();
+            for (i, slot) in results.iter_mut().enumerate() {
+                let data = &data;
+                handles.push(s.spawn(move |_| {
+                    *slot = data[i] * 10;
+                    i
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        })
+        .unwrap();
+        assert_eq!(results, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn panic_propagates_through_join() {
+        let caught = std::panic::catch_unwind(|| {
+            thread::scope(|s| {
+                let h = s.spawn(|_| panic!("boom"));
+                if let Err(e) = h.join() {
+                    std::panic::resume_unwind(e);
+                }
+            })
+            .unwrap();
+        });
+        assert!(caught.is_err());
+    }
+}
