@@ -1,10 +1,23 @@
-//! §5.2 solver-runtime comparison (Algorithm 1 vs 2 vs heuristic).
-use gs_bench::experiments::runtimes::{algo_runtimes, extrapolate_quadratic};
-use gs_bench::util::{arg_usize, fmt_secs};
+//! §5.2 solver-runtime comparison (Algorithm 1 vs 2 vs heuristic), plus
+//! the machine-readable engine perf trajectory (`BENCH_dp.json`):
+//! serial vs parallel vs pruned Algorithm 2 across `(n, p)` points, so
+//! the planning-cost story is comparable PR-over-PR.
+//!
+//! Flags: `--basic-cap N` (Algorithm-1 size cap), `--max-n N`,
+//! `--threads T` (parallel variants), `--json PATH` (trajectory output,
+//! default `BENCH_dp.json`), `--smoke` (tiny sizes for CI).
+use gs_bench::experiments::runtimes::{
+    algo_runtimes, dp_perf_json, dp_perf_trajectory, extrapolate_quadratic,
+};
+use gs_bench::util::{arg_flag, arg_str, arg_usize, fmt_secs};
 use gs_scatter::paper::N_RAYS_1999;
+
 fn main() {
-    let cap = arg_usize("--basic-cap", 20_000);
-    let max_n = arg_usize("--max-n", 100_000);
+    let smoke = arg_flag("--smoke");
+    let cap = arg_usize("--basic-cap", if smoke { 2_000 } else { 20_000 });
+    let max_n = arg_usize("--max-n", if smoke { 5_000 } else { 100_000 });
+    let threads = arg_usize("--threads", 4);
+    let json_path = arg_str("--json", "BENCH_dp.json");
     let mut ns = vec![1_000usize, 5_000, 20_000, 50_000, 100_000];
     ns.retain(|&n| n <= max_n);
     println!("solver runtimes on the Table-1 platform (p = 16), release-build recommended");
@@ -27,4 +40,33 @@ fn main() {
         );
     }
     println!("paper reported at n = {N_RAYS_1999}: Alg. 1 > 2 days, Alg. 2 = 6 min (PIII/933), heuristic instantaneous");
+
+    // Engine perf trajectory: serial vs parallel vs pruned Algorithm 2.
+    let cases: &[(usize, usize)] = if smoke {
+        &[(2_000, 4), (2_000, 16)]
+    } else {
+        &[(10_000, 4), (10_000, 16), (100_000, 4), (100_000, 16)]
+    };
+    println!("\nAlgorithm-2 engine variants ({threads} threads for parallel):");
+    println!(
+        "{:>9} {:>4} {:>12} {:>12} {:>12} {:>14} {:>10}",
+        "n", "p", "serial", "parallel", "pruned", "par+pruned", "identical"
+    );
+    let perf = dp_perf_trajectory(cases, threads);
+    for r in &perf {
+        println!(
+            "{:>9} {:>4} {:>12} {:>12} {:>12} {:>14} {:>10}",
+            r.n,
+            r.p,
+            fmt_secs(r.serial_secs),
+            fmt_secs(r.parallel_secs),
+            fmt_secs(r.pruned_secs),
+            fmt_secs(r.parallel_pruned_secs),
+            r.identical,
+        );
+        assert!(r.identical, "engine variants diverged at n={} p={}", r.n, r.p);
+    }
+    let json = dp_perf_json(&perf, threads);
+    std::fs::write(&json_path, &json).unwrap_or_else(|e| panic!("write {json_path}: {e}"));
+    println!("\nperf trajectory written to {json_path}");
 }

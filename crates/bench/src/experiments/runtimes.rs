@@ -5,11 +5,14 @@
 use std::time::Instant;
 
 use gs_scatter::closed_form::closed_form_distribution;
-use gs_scatter::dp_basic::optimal_distribution_basic;
-use gs_scatter::dp_optimized::optimal_distribution;
+use gs_scatter::cost::Platform;
+use gs_scatter::cost_table::CostTable;
+use gs_scatter::dp_basic::optimal_distribution_basic_with;
+use gs_scatter::dp_optimized::optimal_distribution_with;
 use gs_scatter::heuristic::heuristic_distribution;
 use gs_scatter::ordering::{scatter_order, OrderPolicy};
 use gs_scatter::paper::table1_platform;
+use gs_scatter::parallel::{optimal_distribution_parallel_timed, ParallelOpts};
 
 /// Measured solver runtimes at one problem size.
 #[derive(Debug, Clone)]
@@ -33,16 +36,19 @@ pub fn algo_runtimes(ns: &[usize], basic_cap: usize) -> Vec<RuntimeRow> {
     let platform = table1_platform();
     let order = scatter_order(&platform, OrderPolicy::DescendingBandwidth);
     let view = platform.ordered(&order);
+    // One cost table for the whole sweep: each cost function is tabulated
+    // once at the largest size instead of once per (solver, n) pair.
+    let table = CostTable::new();
     ns.iter()
         .map(|&n| {
             let basic = (n <= basic_cap).then(|| {
                 let t = Instant::now();
-                let s = optimal_distribution_basic(&view, n).unwrap();
+                let s = optimal_distribution_basic_with(&table, &view, n).unwrap();
                 assert_eq!(s.counts.iter().sum::<usize>(), n);
                 t.elapsed().as_secs_f64()
             });
             let t = Instant::now();
-            let s = optimal_distribution(&view, n).unwrap();
+            let s = optimal_distribution_with(&table, &view, n).unwrap();
             assert_eq!(s.counts.iter().sum::<usize>(), n);
             let optimized = t.elapsed().as_secs_f64();
 
@@ -93,9 +99,10 @@ pub fn heuristic_error(ns: &[usize]) -> Vec<ErrorRow> {
     let platform = table1_platform();
     let order = scatter_order(&platform, OrderPolicy::DescendingBandwidth);
     let view = platform.ordered(&order);
+    let table = CostTable::new();
     ns.iter()
         .map(|&n| {
-            let exact = optimal_distribution(&view, n).unwrap();
+            let exact = optimal_distribution_with(&table, &view, n).unwrap();
             let h = heuristic_distribution(&view, n).unwrap();
             let rel_error = (h.makespan - exact.makespan) / exact.makespan;
             ErrorRow {
@@ -108,6 +115,109 @@ pub fn heuristic_error(ns: &[usize]) -> Vec<ErrorRow> {
             }
         })
         .collect()
+}
+
+/// Wall times of the Algorithm-2 engine variants at one `(n, p)` point —
+/// the machine-readable "perf trajectory" recorded in `BENCH_dp.json`
+/// PR-over-PR.
+#[derive(Debug, Clone)]
+pub struct DpPerfRow {
+    /// Problem size (items).
+    pub n: usize,
+    /// Processors (first `p` rows of Table 1, root first).
+    pub p: usize,
+    /// Serial engine (1 thread, no pruning) — the baseline.
+    pub serial_secs: f64,
+    /// Multi-threaded, no pruning.
+    pub parallel_secs: f64,
+    /// Serial with upper-bound pruning.
+    pub pruned_secs: f64,
+    /// Multi-threaded with pruning.
+    pub parallel_pruned_secs: f64,
+    /// Whether all variants returned bit-identical `(counts, makespan)`
+    /// to the serial baseline (must always be `true`).
+    pub identical: bool,
+    /// The optimal makespan at this point.
+    pub makespan: f64,
+}
+
+/// Times the engine variants on Table-1 prefixes. `threads` is the worker
+/// count of the parallel variants; tabulations are pre-warmed through a
+/// shared [`CostTable`] so every variant times the solve, not the setup.
+pub fn dp_perf_trajectory(cases: &[(usize, usize)], threads: usize) -> Vec<DpPerfRow> {
+    let full = table1_platform();
+    let table = CostTable::new();
+    cases
+        .iter()
+        .map(|&(n, p)| {
+            assert!(p <= full.len(), "Table 1 has only {} processors", full.len());
+            let sub = Platform::new(full.procs()[..p].to_vec(), 0).expect("Table-1 prefix");
+            let order = scatter_order(&sub, OrderPolicy::DescendingBandwidth);
+            let view = sub.ordered(&order);
+            // Warm the cache so all variants start from tabulated costs.
+            for pr in &view {
+                table.tabulate(&pr.comm, n);
+                table.tabulate(&pr.comp, n);
+            }
+            let time = |opts: &ParallelOpts| {
+                let t = Instant::now();
+                let (sol, _) =
+                    optimal_distribution_parallel_timed(&table, &view, n, opts).unwrap();
+                (t.elapsed().as_secs_f64(), sol)
+            };
+            let (serial_secs, base) =
+                time(&ParallelOpts { threads: 1, prune: false, chunk: 0 });
+            let (parallel_secs, par) =
+                time(&ParallelOpts { threads, prune: false, chunk: 0 });
+            let (pruned_secs, pru) = time(&ParallelOpts { threads: 1, prune: true, chunk: 0 });
+            let (parallel_pruned_secs, both) =
+                time(&ParallelOpts { threads, prune: true, chunk: 0 });
+            let identical = [&par, &pru, &both].iter().all(|s| {
+                s.counts == base.counts && s.makespan.to_bits() == base.makespan.to_bits()
+            });
+            DpPerfRow {
+                n,
+                p,
+                serial_secs,
+                parallel_secs,
+                pruned_secs,
+                parallel_pruned_secs,
+                identical,
+                makespan: base.makespan,
+            }
+        })
+        .collect()
+}
+
+/// Renders a trajectory as the `BENCH_dp.json` document (hand-rolled,
+/// schema field for PR-over-PR comparability).
+pub fn dp_perf_json(rows: &[DpPerfRow], threads: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"dp_perf\",\n  \"schema\": 1,\n");
+    out.push_str(&format!("  \"threads\": {threads},\n  \"rows\": [\n"));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"p\": {}, \"serial_secs\": {:.6}, \"parallel_secs\": {:.6}, \
+             \"pruned_secs\": {:.6}, \"parallel_pruned_secs\": {:.6}, \
+             \"parallel_speedup\": {:.3}, \"pruned_speedup\": {:.3}, \
+             \"best_speedup\": {:.3}, \"identical\": {}, \"makespan\": {}}}{}\n",
+            r.n,
+            r.p,
+            r.serial_secs,
+            r.parallel_secs,
+            r.pruned_secs,
+            r.parallel_pruned_secs,
+            r.serial_secs / r.parallel_secs.max(1e-12),
+            r.serial_secs / r.pruned_secs.max(1e-12),
+            r.serial_secs
+                / r.parallel_secs.min(r.pruned_secs).min(r.parallel_pruned_secs).max(1e-12),
+            r.identical,
+            r.makespan,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 #[cfg(test)]
@@ -144,6 +254,25 @@ mod tests {
         }];
         assert_eq!(extrapolate_quadratic(&rows, 2000), Some(8.0));
         assert_eq!(extrapolate_quadratic(&[], 10), None);
+    }
+
+    #[test]
+    fn perf_trajectory_is_exact_and_well_formed() {
+        let rows = dp_perf_trajectory(&[(1500, 4), (1500, 8)], 2);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.identical, "n={} p={}: variants must be bit-identical", r.n, r.p);
+            assert!(r.serial_secs > 0.0 && r.parallel_secs > 0.0);
+            assert!(r.makespan > 0.0);
+        }
+        let json = dp_perf_json(&rows, 2);
+        assert!(json.contains("\"bench\": \"dp_perf\""));
+        assert!(json.contains("\"identical\": true"));
+        assert!(json.contains("\"n\": 1500, \"p\": 8"));
+        // Machine-readable: must parse back with the obs JSON parser.
+        let doc = gs_scatter::obs::json::parse(&json).unwrap();
+        assert_eq!(doc.get("threads").unwrap().as_u64(), Some(2));
+        assert_eq!(doc.get("rows").unwrap().as_arr().unwrap().len(), 2);
     }
 
     #[test]

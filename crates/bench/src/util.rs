@@ -19,6 +19,22 @@ pub fn arg_usize(flag: &str, default: usize) -> usize {
     arg_u64(flag, default as u64) as usize
 }
 
+/// Parses a string-valued flag (`--json PATH`), falling back to `default`.
+pub fn arg_str(flag: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == flag {
+            return w[1].clone();
+        }
+    }
+    default.to_string()
+}
+
+/// `true` iff a bare boolean flag (`--smoke`) is present.
+pub fn arg_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
 /// Prints a section header.
 pub fn header(title: &str) {
     println!("\n=== {title} {}", "=".repeat(66usize.saturating_sub(title.len())));

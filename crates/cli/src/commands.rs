@@ -26,6 +26,10 @@ pub struct PlanOptions {
     pub strategy: String,
     /// Ordering name (`desc`, `asc`, `as-is`, `cpu`).
     pub order: String,
+    /// Worker threads for the exact DP strategies (`0` = one per core).
+    pub threads: usize,
+    /// Upper-bound pruning for the `exact` strategy.
+    pub prune: bool,
 }
 
 impl Default for PlanOptions {
@@ -34,6 +38,8 @@ impl Default for PlanOptions {
             items: 0,
             strategy: "heuristic".into(),
             order: "desc".into(),
+            threads: 1,
+            prune: false,
         }
     }
 }
@@ -74,7 +80,35 @@ fn make_plan(platform: &Platform, opts: &PlanOptions) -> Result<Plan, CliError> 
     Ok(Planner::new(platform.clone())
         .strategy(parse_strategy(&opts.strategy)?)
         .order_policy(parse_order(&opts.order)?)
+        .threads(opts.threads)
+        .prune(opts.prune)
         .plan(opts.items)?)
+}
+
+/// One-line rendering of a `PlanTiming` for the text reports.
+fn render_plan_timing(t: &gs_scatter::obs::PlanTiming) -> String {
+    let mut line = format!(
+        "planning: {:.3} ms ({} strategy, {} thread{}",
+        t.total_secs * 1e3,
+        t.strategy,
+        t.threads,
+        if t.threads == 1 { "" } else { "s" },
+    );
+    if t.pruned {
+        line.push_str(", pruned");
+    }
+    line.push(')');
+    if t.cache_hits + t.cache_misses > 0 {
+        line.push_str(&format!(
+            " — tabulate {:.3} ms, solve {:.3} ms, cache {}/{} hits",
+            t.tabulate_secs * 1e3,
+            t.solve_secs * 1e3,
+            t.cache_hits,
+            t.cache_hits + t.cache_misses,
+        ));
+    }
+    line.push('\n');
+    line
 }
 
 /// `gs plan`: prints the distribution and predicted schedule
@@ -106,6 +140,7 @@ pub fn cmd_plan(platform_text: &str, opts: &PlanOptions, emit_c: bool) -> Result
         ));
     }
     out.push_str(&format!("predicted makespan: {:.3} s\n", plan.predicted_makespan));
+    out.push_str(&render_plan_timing(&plan.timing));
     Ok(out)
 }
 
@@ -186,7 +221,7 @@ pub fn cmd_trace(
         .map(|&i| platform.procs()[i].name.as_str())
         .collect();
     let counts = plan.counts_in_order();
-    let trace = match source {
+    let mut trace = match source {
         "predicted" => plan.predicted_trace(&platform, item_bytes as u64),
         "simulated" => {
             simulate_plan(&platform, &plan, &[]).trace(&names, &counts, item_bytes as u64)
@@ -198,6 +233,9 @@ pub fn cmd_trace(
             )))
         }
     };
+    // All three sources stem from the same planning call: attach its
+    // timing so downstream reports can show planning cost.
+    trace.plan_timing = Some(plan.timing.clone());
     Ok(trace_to_json(&trace))
 }
 
@@ -256,6 +294,9 @@ pub fn cmd_report(trace_texts: &[String], width: usize) -> Result<String, CliErr
     for trace in &traces {
         let summary = TraceSummary::from_trace(trace);
         out.push_str(&summary.render());
+        if let Some(timing) = &trace.plan_timing {
+            out.push_str(&render_plan_timing(timing));
+        }
         let names: Vec<&str> = trace.names.iter().map(String::as_str).collect();
         out.push_str(&render_gantt(&names, &trace.to_timeline(), width));
         out.push_str(&legend());
@@ -364,6 +405,49 @@ mod tests {
             .map(|l| l.split_whitespace().nth(1).unwrap().parse::<usize>().unwrap())
             .sum();
         assert_eq!(sum, 1000);
+    }
+
+    #[test]
+    fn plan_prints_planning_time() {
+        let out = cmd_plan(PLATFORM, &opts(1000), false).unwrap();
+        assert!(out.contains("planning:"), "{out}");
+        let mut o = opts(1000);
+        o.strategy = "exact".into();
+        o.threads = 2;
+        o.prune = true;
+        let out = cmd_plan(PLATFORM, &o, false).unwrap();
+        assert!(out.contains("exact strategy, 2 threads, pruned"), "{out}");
+        assert!(out.contains("cache"), "{out}");
+    }
+
+    #[test]
+    fn threads_and_prune_do_not_change_the_printed_plan() {
+        let mut serial = opts(2000);
+        serial.strategy = "exact".into();
+        let base = cmd_plan(PLATFORM, &serial, false).unwrap();
+        let mut tuned = serial.clone();
+        tuned.threads = 4;
+        tuned.prune = true;
+        let fast = cmd_plan(PLATFORM, &tuned, false).unwrap();
+        // Everything up to the timing line is identical.
+        let body = |s: &str| {
+            s.lines().filter(|l| !l.starts_with("planning:")).collect::<Vec<_>>().join("\n")
+        };
+        assert_eq!(body(&base), body(&fast));
+    }
+
+    #[test]
+    fn traces_carry_plan_timing_and_reports_render_it() {
+        for source in ["predicted", "simulated", "executed"] {
+            let json = cmd_trace(PLATFORM, &opts(500), source, 8).unwrap();
+            let trace = trace_from_json(&json).unwrap();
+            let timing = trace.plan_timing.as_ref().unwrap_or_else(|| {
+                panic!("{source} trace must carry plan timing")
+            });
+            assert_eq!(timing.strategy, "heuristic");
+            let report = cmd_report(&[json], 40).unwrap();
+            assert!(report.contains("planning:"), "{source}: {report}");
+        }
     }
 
     #[test]

@@ -25,6 +25,9 @@ OPTIONS:
   --items N          number of data items (required for plan/simulate/trace/transform)
   --strategy S       uniform | exact | exact-basic | heuristic (default) | closed-form
   --order O          desc (default) | asc | as-is | cpu
+  --threads T        worker threads for the exact DPs (default 1, 0 = all cores);
+                     results are bit-identical for any thread count
+  --prune            prune the exact DP with a heuristic upper bound (same results)
   --width W          chart width for simulate/report (default 60)
   --source S         trace to export: predicted (default) | simulated | executed
   --item-bytes B     wire size of one item for trace (default 8)
@@ -68,6 +71,11 @@ fn run(args: &[String]) -> Result<String, CliError> {
             }
             "--strategy" => opts.strategy = next_value(args, &mut i)?,
             "--order" => opts.order = next_value(args, &mut i)?,
+            "--threads" => {
+                opts.threads =
+                    next_value(args, &mut i)?.parse().map_err(|_| bad("--threads"))?;
+            }
+            "--prune" => opts.prune = true,
             "--width" => width = next_value(args, &mut i)?.parse().map_err(|_| bad("--width"))?,
             "--source" => source = next_value(args, &mut i)?,
             "--item-bytes" => {

@@ -1,0 +1,231 @@
+//! Memoized cost-function tabulation shared across DP solves.
+//!
+//! Both dynamic programs start by evaluating every `Tcomm`/`Tcomp` on
+//! `0..=n`. Workflows that solve repeatedly on the same platform — bench
+//! sweeps over `n`, root-selection scans that re-plan once per candidate
+//! root, `gs report` diffs — used to pay that tabulation on every call.
+//! A [`CostTable`] caches each distinct cost function's table and hands
+//! out shared `Arc<[f64]>` slices instead, so each function is evaluated
+//! at most once per size (and platforms with repeated processors, like
+//! the eight `leda` nodes of Table 1, tabulate the shared function once).
+//!
+//! Cached values are *bit-identical* to a fresh tabulation:
+//! `CostFn::eval(x)` does not depend on `n`, so a table grown for a
+//! larger `n` has the exact same prefix as a smaller one.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::cost::CostFn;
+
+/// Identity of a cost function for caching purposes.
+///
+/// Value-like variants (`Zero`, `Linear`, `Affine`) are keyed by their
+/// coefficient bit patterns, so *clones* of the same function hit the
+/// cache (root selection clones the platform per candidate). `Table` and
+/// `Custom` are keyed by the address of their shared `Arc` payload; the
+/// cache pins a clone of the function so the allocation can never be
+/// freed and its address reused while the entry lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum CostKey {
+    Zero,
+    Linear(u64),
+    Affine(u64, u64),
+    Table(usize, usize),
+    Custom(usize),
+}
+
+fn key_of(f: &CostFn) -> CostKey {
+    match f {
+        CostFn::Zero => CostKey::Zero,
+        CostFn::Linear { slope } => CostKey::Linear(slope.to_bits()),
+        CostFn::Affine { intercept, slope } => {
+            CostKey::Affine(intercept.to_bits(), slope.to_bits())
+        }
+        CostFn::Table { points } => CostKey::Table(points.as_ptr() as usize, points.len()),
+        CostFn::Custom(f) => CostKey::Custom(Arc::as_ptr(f) as *const () as usize),
+    }
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    /// Tabulated values on `0..=n` for the largest `n` seen so far.
+    values: Arc<[f64]>,
+    /// Keeps `Arc`-backed cost functions alive so their pointer keys stay
+    /// unique for the lifetime of the entry.
+    _pin: CostFn,
+}
+
+/// A thread-safe cache of tabulated cost functions.
+///
+/// ```
+/// use gs_scatter::cost::CostFn;
+/// use gs_scatter::cost_table::CostTable;
+///
+/// let table = CostTable::new();
+/// let f = CostFn::Linear { slope: 0.5 };
+/// let a = table.tabulate(&f, 10);
+/// let b = table.tabulate(&f.clone(), 5); // clone of the same function
+/// assert_eq!(a[5], 2.5);
+/// assert_eq!(a[..6], b[..6]);
+/// assert_eq!((table.hits(), table.misses()), (1, 1));
+/// ```
+#[derive(Debug, Default)]
+pub struct CostTable {
+    entries: Mutex<HashMap<CostKey, CacheEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CostTable {
+    /// An empty cache.
+    pub fn new() -> CostTable {
+        CostTable::default()
+    }
+
+    /// Returns the values of `f` on `0..=n` (the slice may be longer if a
+    /// larger tabulation is already cached — always index, never assume
+    /// the length).
+    ///
+    /// On a miss the function is evaluated outside the lock, so expensive
+    /// `Custom` closures never block concurrent lookups of other
+    /// functions; concurrent misses on the *same* function may duplicate
+    /// work but agree on the result.
+    pub fn tabulate(&self, f: &CostFn, n: usize) -> Arc<[f64]> {
+        let key = key_of(f);
+        {
+            let map = self.entries.lock().expect("cost table poisoned");
+            if let Some(entry) = map.get(&key) {
+                if entry.values.len() > n {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return entry.values.clone();
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let values: Arc<[f64]> = (0..=n).map(|x| f.eval(x)).collect();
+        let mut map = self.entries.lock().expect("cost table poisoned");
+        match map.get(&key) {
+            // Someone raced us to an equal-or-larger table: keep theirs.
+            Some(entry) if entry.values.len() >= values.len() => entry.values.clone(),
+            _ => {
+                map.insert(key, CacheEntry { values: values.clone(), _pin: f.clone() });
+                values
+            }
+        }
+    }
+
+    /// Number of lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to tabulate.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct cost functions currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cost table poisoned").len()
+    }
+
+    /// `true` iff nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Processor;
+
+    #[test]
+    fn value_keyed_variants_dedupe_across_clones() {
+        let table = CostTable::new();
+        let a = Processor::linear("a", 0.5, 1.0);
+        let b = a.clone();
+        table.tabulate(&a.comm, 100);
+        table.tabulate(&b.comm, 100);
+        assert_eq!((table.hits(), table.misses()), (1, 1));
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn growing_n_retabulates_with_identical_prefix() {
+        let table = CostTable::new();
+        let f = CostFn::Affine { intercept: 0.25, slope: 0.125 };
+        let small = table.tabulate(&f, 10);
+        let large = table.tabulate(&f, 100);
+        assert_eq!(small.len(), 11);
+        assert_eq!(large.len(), 101);
+        for x in 0..=10 {
+            assert_eq!(small[x].to_bits(), large[x].to_bits(), "x={x}");
+        }
+        // The shorter request after the longer one is a hit.
+        let again = table.tabulate(&f, 10);
+        assert_eq!(again.len(), 101);
+        assert_eq!(table.hits(), 1);
+    }
+
+    #[test]
+    fn arc_backed_functions_key_by_identity() {
+        let table = CostTable::new();
+        let t1 = CostFn::table(vec![(10, 1.0), (20, 3.0)]);
+        let t1_clone = t1.clone(); // shares the Arc: same identity
+        let t2 = CostFn::table(vec![(10, 1.0), (20, 3.0)]); // fresh Arc
+        table.tabulate(&t1, 30);
+        table.tabulate(&t1_clone, 30);
+        table.tabulate(&t2, 30);
+        assert_eq!((table.hits(), table.misses()), (1, 2));
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn pinned_functions_survive_caller_drop() {
+        // Dropping the caller's last visible handle must not allow the
+        // allocation to be reused under a live pointer key: the cache
+        // pins a clone.
+        let table = CostTable::new();
+        let values = {
+            let f = CostFn::Custom(Arc::new(|x| x as f64 * 2.0));
+            table.tabulate(&f, 5)
+        };
+        assert_eq!(values[5], 10.0);
+        assert_eq!(table.len(), 1);
+        // A different closure must never alias the cached entry.
+        let g = CostFn::Custom(Arc::new(|x| x as f64 * 3.0));
+        let other = table.tabulate(&g, 5);
+        assert_eq!(other[5], 15.0);
+    }
+
+    #[test]
+    fn matches_direct_eval_bit_for_bit() {
+        let table = CostTable::new();
+        let f = CostFn::table(vec![(7, 0.3), (19, 1.7), (64, 9.1)]);
+        let tab = table.tabulate(&f, 80);
+        for x in 0..=80 {
+            assert_eq!(tab[x].to_bits(), f.eval(x).to_bits(), "x={x}");
+        }
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let table = Arc::new(CostTable::new());
+        let f = CostFn::Linear { slope: 0.25 };
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let table = Arc::clone(&table);
+                let f = f.clone();
+                s.spawn(move || {
+                    let t = table.tabulate(&f, 1000);
+                    assert_eq!(t[1000], 250.0);
+                });
+            }
+        });
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.hits() + table.misses(), 4);
+    }
+}

@@ -9,16 +9,24 @@
 //! ```
 //!
 //! Complexity `O(p·n²)` time, `O(p·n)` space (one `f64` column is kept per
-//! suffix, plus a `u32` choice table for reconstruction). The paper reports
-//! this takes **more than two days** for `n = 817,101`, `p = 16` — use
-//! [`crate::dp_optimized`] (Algorithm 2) or the LP heuristic for large `n`.
+//! suffix, plus a `u32` choice column per processor for reconstruction).
+//! The paper reports this takes **more than two days** for `n = 817,101`,
+//! `p = 16` — use [`crate::dp_optimized`] (Algorithm 2) or the LP heuristic
+//! for large `n`.
+//!
+//! The per-cell work lives in `dp_kernel`, the column sweep in
+//! [`crate::parallel`]; this module is the serial single-call facade.
+//! Multi-threaded solves ([`crate::parallel::optimal_distribution_basic_parallel`])
+//! are bit-identical to this entry point.
 //!
 //! Note on the paper's pseudo-code: Algorithm 1 as printed updates
 //! `solution[d, i]`/`cost[d, i]` *inside* the inner `e`-loop (lines 17–18);
 //! the intended placement — used here — is after the loop.
 
 use crate::cost::Processor;
+use crate::cost_table::CostTable;
 use crate::error::PlanError;
+use crate::parallel::{self, Algo, ParallelOpts};
 
 /// Result of an exact DP solve.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,12 +35,6 @@ pub struct DpSolution {
     pub counts: Vec<usize>,
     /// The optimal makespan (Eq. 2) of `counts`.
     pub makespan: f64,
-}
-
-/// Pre-evaluates a cost function on `0..=n` (the DPs probe each size many
-/// times; `Custom` closures may be arbitrarily expensive).
-pub(crate) fn tabulate(f: &crate::cost::CostFn, n: usize) -> Vec<f64> {
-    (0..=n).map(|x| f.eval(x)).collect()
 }
 
 pub(crate) fn validate_procs(procs: &[&Processor], n: usize) -> Result<(), PlanError> {
@@ -55,51 +57,18 @@ pub fn optimal_distribution_basic(
     procs: &[&Processor],
     n: usize,
 ) -> Result<DpSolution, PlanError> {
-    validate_procs(procs, n)?;
-    let p = procs.len();
-    assert!(n <= u32::MAX as usize, "item count must fit u32");
+    optimal_distribution_basic_with(&CostTable::new(), procs, n)
+}
 
-    // choice[d * p + i]: items given to processor i when d items remain.
-    let mut choice = vec![0u32; (n + 1) * p];
-
-    // Base case: the last processor (the root) takes everything that is left.
-    let comm_last = tabulate(&procs[p - 1].comm, n);
-    let comp_last = tabulate(&procs[p - 1].comp, n);
-    let mut cost: Vec<f64> = (0..=n).map(|d| comm_last[d] + comp_last[d]).collect();
-    for d in 0..=n {
-        choice[d * p + (p - 1)] = d as u32;
-    }
-
-    for i in (0..p - 1).rev() {
-        let comm = tabulate(&procs[i].comm, n);
-        let comp = tabulate(&procs[i].comp, n);
-        let mut new_cost = vec![0.0f64; n + 1];
-        for d in 0..=n {
-            let mut best_e = 0usize;
-            let mut best = f64::INFINITY;
-            for e in 0..=d {
-                let m = comm[e] + f64::max(comp[e], cost[d - e]);
-                if m < best {
-                    best = m;
-                    best_e = e;
-                }
-            }
-            new_cost[d] = best;
-            choice[d * p + i] = best_e as u32;
-        }
-        cost = new_cost;
-    }
-
-    let mut counts = vec![0usize; p];
-    let mut d = n;
-    for i in 0..p {
-        let e = choice[d * p + i] as usize;
-        counts[i] = e;
-        d -= e;
-    }
-    debug_assert_eq!(d, 0, "reconstruction must distribute everything");
-
-    Ok(DpSolution { counts, makespan: cost[n] })
+/// [`optimal_distribution_basic`] with cost tabulations served from (and
+/// stored into) a shared [`CostTable`] — use for repeated solves on the
+/// same platform (bench sweeps, root selection).
+pub fn optimal_distribution_basic_with(
+    table: &CostTable,
+    procs: &[&Processor],
+    n: usize,
+) -> Result<DpSolution, PlanError> {
+    parallel::solve(Algo::Basic, table, procs, n, &ParallelOpts::serial()).map(|(sol, _)| sol)
 }
 
 #[cfg(test)]
@@ -222,6 +191,16 @@ mod tests {
     }
 
     #[test]
+    fn too_large_is_an_error_not_a_panic() {
+        let ps = vec![Processor::linear("root", 0.0, 1.0)];
+        let n = u32::MAX as usize + 1;
+        assert!(matches!(
+            optimal_distribution_basic(&view(&ps), n),
+            Err(PlanError::TooLarge { n: got, max }) if got == n && max == u32::MAX as usize
+        ));
+    }
+
+    #[test]
     fn counts_sum_preserved() {
         let ps = vec![
             Processor::linear("a", 0.1, 0.5),
@@ -231,5 +210,23 @@ mod tests {
         ];
         let sol = optimal_distribution_basic(&view(&ps), 57).unwrap();
         assert_eq!(sol.counts.iter().sum::<usize>(), 57);
+    }
+
+    #[test]
+    fn shared_cost_table_gives_identical_results() {
+        let ps = vec![
+            Processor::linear("a", 0.5, 2.0),
+            Processor::linear("root", 0.0, 3.0),
+        ];
+        let v = view(&ps);
+        let table = CostTable::new();
+        // Largest first: later, smaller solves reuse its tabulations.
+        for n in [21usize, 8, 3] {
+            let fresh = optimal_distribution_basic(&v, n).unwrap();
+            let cached = optimal_distribution_basic_with(&table, &v, n).unwrap();
+            assert_eq!(fresh.counts, cached.counts);
+            assert_eq!(fresh.makespan.to_bits(), cached.makespan.to_bits());
+        }
+        assert!(table.hits() > 0, "repeat solves must reuse tabulations");
     }
 }

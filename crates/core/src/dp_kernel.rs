@@ -1,0 +1,169 @@
+//! Shared per-cell kernels of the two dynamic programs.
+//!
+//! Both Algorithm 1 ([`crate::dp_basic`]) and Algorithm 2
+//! ([`crate::dp_optimized`]) fill a table column by column:
+//! `cost[d, i] = min_e Tcomm(i,e) + max(Tcomp(i,e), cost[d-e, i+1])`,
+//! where column `i` depends only on column `i+1`. The per-cell work is
+//! factored out here so the serial solvers, the multi-threaded engine
+//! ([`crate::parallel`]) and the pruned variant all execute the *same
+//! floating-point operations in the same order* — which is what makes
+//! their results bit-identical, a property the test-suite enforces.
+//!
+//! [`optimized_cell`] generalizes Algorithm 2's cell to a candidate
+//! window `lo..=lim`: with `(lo, lim) = (0, d)` it reduces exactly to the
+//! paper's Algorithm 2, and the upper-bound pruning path narrows the
+//! window without disturbing the operations performed inside it.
+
+/// The largest supported item count: counts are reconstructed through a
+/// `u32` choice table.
+pub(crate) const MAX_ITEMS: usize = u32::MAX as usize;
+
+/// One Algorithm-1 cell: scan every candidate `e ∈ 0..=d`.
+///
+/// Returns `(cost[d, i], choice[d, i])`.
+#[inline]
+pub(crate) fn basic_cell(comm: &[f64], comp: &[f64], prev: &[f64], d: usize) -> (f64, u32) {
+    let mut best_e = 0usize;
+    let mut best = f64::INFINITY;
+    for e in 0..=d {
+        let m = comm[e] + f64::max(comp[e], prev[d - e]);
+        if m < best {
+            best = m;
+            best_e = e;
+        }
+    }
+    (best, best_e as u32)
+}
+
+/// One Algorithm-2 cell over the candidate window `lo..=lim`
+/// (`lo <= lim <= d`); requires `comm`/`comp` non-decreasing.
+///
+/// Structure (identical to the paper's Algorithm 2 when `lo = 0`,
+/// `lim = d`):
+///
+/// 1. if `Tcomp` dominates the suffix even at the smallest candidate, the
+///    candidate value is non-decreasing over the whole window and `lo`
+///    wins outright;
+/// 2. if the suffix dominates even at the largest candidate, start the
+///    downward scan from `lim`;
+/// 3. otherwise binary-search the smallest `e` with
+///    `Tcomp(i,e) >= cost[d-e, i+1]` and scan downward from there, with
+///    the early exit `suffix >= min` (adding `Tcomm >= 0` cannot help).
+#[inline]
+pub(crate) fn optimized_cell(
+    comm: &[f64],
+    comp: &[f64],
+    prev: &[f64],
+    d: usize,
+    lo: usize,
+    lim: usize,
+) -> (f64, u32) {
+    debug_assert!(lo <= lim && lim <= d);
+    let (mut sol, mut min);
+    if comp[lo] >= prev[d - lo] {
+        // Even the smallest candidate computes no sooner than the suffix:
+        // the max is always Tcomp, so the best move is e = lo.
+        return (comm[lo] + comp[lo], lo as u32);
+    } else if comp[lim] < prev[d - lim] {
+        // Even the largest candidate computes faster than the smallest
+        // suffix: the max is always the suffix cost.
+        sol = lim;
+        min = comm[lim] + prev[d - lim];
+    } else {
+        // Binary search for the smallest e with
+        // Tcomp(i,e) >= cost[d-e, i+1]; the invariant holds at the
+        // bounds by the two branches above.
+        let (mut emin, mut emax) = (lo, lim);
+        let mut e = (lo + lim) / 2;
+        while e != emin {
+            if comp[e] < prev[d - e] {
+                emin = e;
+            } else {
+                emax = e;
+            }
+            e = (emin + emax) / 2;
+        }
+        sol = emax;
+        min = comm[emax] + comp[emax];
+    }
+    // Downward scan over the region where the suffix dominates.
+    let mut e = sol;
+    while e > lo {
+        e -= 1;
+        let suffix = prev[d - e];
+        let m = comm[e] + suffix;
+        if m < min {
+            sol = e;
+            min = m;
+        } else if suffix >= min {
+            break;
+        }
+    }
+    (min, sol as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementation of one cell restricted to `lo..=lim`.
+    fn exhaustive_cell(
+        comm: &[f64],
+        comp: &[f64],
+        prev: &[f64],
+        d: usize,
+        lo: usize,
+        lim: usize,
+    ) -> f64 {
+        (lo..=lim)
+            .map(|e| comm[e] + f64::max(comp[e], prev[d - e]))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    #[test]
+    fn optimized_matches_exhaustive_on_windows() {
+        // Non-decreasing comm/comp, non-decreasing prev (as the DP
+        // guarantees); every window must agree with the brute scan.
+        let comm: Vec<f64> = (0..=20).map(|x| 0.3 * x as f64).collect();
+        let comp: Vec<f64> = (0..=20).map(|x| 0.7 * x as f64 + 0.1).collect();
+        let prev: Vec<f64> = (0..=20).map(|x| 0.5 * x as f64 + 2.0).collect();
+        for d in 0..=20usize {
+            for lo in 0..=d {
+                for lim in lo..=d {
+                    let (v, e) = optimized_cell(&comm, &comp, &prev, d, lo, lim);
+                    let want = exhaustive_cell(&comm, &comp, &prev, d, lo, lim);
+                    assert_eq!(v, want, "d={d} lo={lo} lim={lim}");
+                    assert!((lo..=lim).contains(&(e as usize)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn basic_cell_scans_everything() {
+        let comm = [0.0, 1.0, 2.0, 3.0];
+        let comp = [5.0, 1.0, 0.5, 7.0]; // non-monotone is fine for Alg. 1
+        let prev = [0.0, 2.0, 4.0, 6.0];
+        let (v, e) = basic_cell(&comm, &comp, &prev, 3);
+        let want = (0..=3)
+            .map(|e| comm[e] + f64::max(comp[e], prev[3 - e]))
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(v, want);
+        assert_eq!(e, 2);
+    }
+
+    #[test]
+    fn full_window_ties_resolve_like_algorithm_2() {
+        // With equal candidate values the downward scan keeps the first
+        // strictly-smaller candidate; full-window calls must behave like
+        // the original Algorithm 2 cell (lowest index among ties found on
+        // the way down only if strictly better).
+        let comm = [0.0, 0.0, 0.0];
+        let comp = [1.0, 1.0, 1.0];
+        let prev = [1.0, 1.0, 1.0];
+        let (v, e) = optimized_cell(&comm, &comp, &prev, 2, 0, 2);
+        assert_eq!(v, 1.0);
+        // comp[0] >= prev[2] holds, so the first branch fires with e = 0.
+        assert_eq!(e, 0);
+    }
+}

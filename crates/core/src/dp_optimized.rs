@@ -14,10 +14,18 @@
 //!
 //! Worst case `O(p·n²)` like Algorithm 1, best case `O(p·n)`; in practice
 //! the paper measured 6 minutes vs more than 2 days at `n = 817,101`.
+//!
+//! The per-cell work lives in `dp_kernel`, the column sweep in
+//! [`crate::parallel`]; this module is the serial single-call facade.
+//! Multi-threaded and bound-pruned solves
+//! ([`crate::parallel::optimal_distribution_parallel`]) are bit-identical
+//! to this entry point — see `docs/performance.md`.
 
 use crate::cost::Processor;
-use crate::dp_basic::{tabulate, validate_procs, DpSolution};
+use crate::cost_table::CostTable;
+use crate::dp_basic::DpSolution;
 use crate::error::PlanError;
+use crate::parallel::{self, Algo, ParallelOpts};
 
 /// Computes an optimal distribution of `n` items over `procs` (in scatter
 /// order, root last) — Algorithm 2.
@@ -37,97 +45,25 @@ use crate::error::PlanError;
 /// assert!(sol.counts[0] > sol.counts[1]);
 /// ```
 ///
-/// Requires non-decreasing cost functions; this is checked (cheaply, by
-/// sampling for `Custom` functions) and [`PlanError::NotIncreasing`] is
-/// returned on violation. The result is identical to
-/// [`crate::dp_basic::optimal_distribution_basic`] on valid inputs — a
-/// property the test-suite enforces.
+/// Requires non-decreasing cost functions; this is checked (cheaply by
+/// sampling first, then exactly on the tabulated values) and
+/// [`PlanError::NotIncreasing`] is returned on violation. The result is
+/// identical to [`crate::dp_basic::optimal_distribution_basic`] on valid
+/// inputs — a property the test-suite enforces.
 pub fn optimal_distribution(procs: &[&Processor], n: usize) -> Result<DpSolution, PlanError> {
-    validate_procs(procs, n)?;
-    for (i, pr) in procs.iter().enumerate() {
-        if !pr.comm.probably_increasing(n) || !pr.comp.probably_increasing(n) {
-            return Err(PlanError::NotIncreasing { proc: i });
-        }
-    }
-    let p = procs.len();
-    assert!(n <= u32::MAX as usize, "item count must fit u32");
+    optimal_distribution_with(&CostTable::new(), procs, n)
+}
 
-    let mut choice = vec![0u32; (n + 1) * p];
-
-    let comm_last = tabulate(&procs[p - 1].comm, n);
-    let comp_last = tabulate(&procs[p - 1].comp, n);
-    let mut cost: Vec<f64> = (0..=n).map(|d| comm_last[d] + comp_last[d]).collect();
-    for d in 0..=n {
-        choice[d * p + (p - 1)] = d as u32;
-    }
-
-    for i in (0..p - 1).rev() {
-        let comm = tabulate(&procs[i].comm, n);
-        let comp = tabulate(&procs[i].comp, n);
-        // Exact monotonicity check on the tabulated values: Algorithm 2's
-        // correctness depends on it, so sampling is not enough here.
-        if comm.windows(2).any(|w| w[1] < w[0]) || comp.windows(2).any(|w| w[1] < w[0]) {
-            return Err(PlanError::NotIncreasing { proc: i });
-        }
-        let mut new_cost = vec![0.0f64; n + 1];
-        for d in 0..=n {
-            let (mut sol, mut min);
-            if comp[0] >= cost[d] {
-                // Even an empty share computes no sooner than the suffix:
-                // the max is always Tcomp, so the best move is e = 0.
-                sol = 0;
-                min = comm[0] + comp[0];
-            } else if comp[d] < cost[0] {
-                // Even the full share computes faster than an empty
-                // suffix: the max is always the suffix cost.
-                sol = d;
-                min = comm[d] + cost[0];
-            } else {
-                // Binary search for the smallest e with
-                // Tcomp(i,e) >= cost[d-e, i+1]; the invariant holds at the
-                // bounds by the two branches above.
-                let (mut emin, mut emax) = (0usize, d);
-                let mut e = d / 2;
-                while e != emin {
-                    if comp[e] < cost[d - e] {
-                        emin = e;
-                    } else {
-                        emax = e;
-                    }
-                    e = (emin + emax) / 2;
-                }
-                sol = emax;
-                min = comm[emax] + comp[emax];
-            }
-            // Downward scan over the region where the suffix dominates.
-            let mut e = sol;
-            while e > 0 {
-                e -= 1;
-                let suffix = cost[d - e];
-                let m = comm[e] + suffix;
-                if m < min {
-                    sol = e;
-                    min = m;
-                } else if suffix >= min {
-                    break;
-                }
-            }
-            new_cost[d] = min;
-            choice[d * p + i] = sol as u32;
-        }
-        cost = new_cost;
-    }
-
-    let mut counts = vec![0usize; p];
-    let mut d = n;
-    for i in 0..p {
-        let e = choice[d * p + i] as usize;
-        counts[i] = e;
-        d -= e;
-    }
-    debug_assert_eq!(d, 0);
-
-    Ok(DpSolution { counts, makespan: cost[n] })
+/// [`optimal_distribution`] with cost tabulations served from (and stored
+/// into) a shared [`CostTable`] — use for repeated solves on the same
+/// platform (bench sweeps, root selection).
+pub fn optimal_distribution_with(
+    table: &CostTable,
+    procs: &[&Processor],
+    n: usize,
+) -> Result<DpSolution, PlanError> {
+    parallel::solve(Algo::Optimized, table, procs, n, &ParallelOpts::serial())
+        .map(|(sol, _)| sol)
 }
 
 #[cfg(test)]
@@ -231,6 +167,16 @@ mod tests {
         let sol = optimal_distribution(&view(&ps), 4).unwrap();
         assert_eq!(sol.counts, vec![4]);
         assert_eq!(sol.makespan, 6.0);
+    }
+
+    #[test]
+    fn too_large_is_an_error_not_a_panic() {
+        let ps = vec![Processor::linear("root", 0.0, 1.0)];
+        let n = u32::MAX as usize + 1;
+        assert!(matches!(
+            optimal_distribution(&view(&ps), n),
+            Err(PlanError::TooLarge { max, .. }) if max == u32::MAX as usize
+        ));
     }
 
     #[test]

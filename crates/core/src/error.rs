@@ -39,6 +39,14 @@ pub enum PlanError {
         /// The offending value.
         value: f64,
     },
+    /// The item count exceeds what the solvers can represent (counts are
+    /// reconstructed through a `u32` choice table).
+    TooLarge {
+        /// The requested item count.
+        n: usize,
+        /// The largest supported item count.
+        max: usize,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -59,6 +67,9 @@ impl fmt::Display for PlanError {
                 f,
                 "processor {proc} returned invalid cost {value} for {items} items"
             ),
+            PlanError::TooLarge { n, max } => {
+                write!(f, "item count {n} exceeds the supported maximum {max}")
+            }
         }
     }
 }

@@ -67,8 +67,10 @@ pub mod analysis;
 pub mod brute;
 pub mod closed_form;
 pub mod cost;
+pub mod cost_table;
 pub mod distribution;
 pub mod dp_basic;
+mod dp_kernel;
 pub mod dp_optimized;
 pub mod error;
 pub mod gather;
@@ -77,6 +79,7 @@ pub mod multiround;
 pub mod obs;
 pub mod ordering;
 pub mod paper;
+pub mod parallel;
 pub mod planner;
 pub mod root;
 pub mod rounding;
@@ -85,12 +88,16 @@ pub mod rounding;
 pub mod prelude {
     pub use crate::closed_form::{closed_form_distribution, ClosedFormSolution};
     pub use crate::cost::{CostFn, Platform, Processor};
+    pub use crate::cost_table::CostTable;
     pub use crate::distribution::{finish_times, makespan, uniform_distribution, Timeline};
     pub use crate::dp_basic::optimal_distribution_basic;
     pub use crate::dp_optimized::optimal_distribution;
     pub use crate::error::PlanError;
     pub use crate::heuristic::{heuristic_distribution, HeuristicSolution};
-    pub use crate::obs::{Event, EventKind, Trace, TraceSource, TraceSummary};
+    pub use crate::obs::{Event, EventKind, PlanTiming, Trace, TraceSource, TraceSummary};
+    pub use crate::parallel::{
+        optimal_distribution_basic_parallel, optimal_distribution_parallel, ParallelOpts,
+    };
     pub use crate::ordering::{scatter_order, OrderPolicy};
     pub use crate::planner::{Plan, Planner, Strategy};
     pub use crate::root::select_root;

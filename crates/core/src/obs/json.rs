@@ -23,7 +23,7 @@
 //! reads all numbers as `f64`, which is exact for the magnitudes the
 //! schema produces (counts and byte totals below 2⁵³).
 
-use super::{Event, EventKind, Trace, TraceError, TraceSource, SCHEMA_VERSION};
+use super::{Event, EventKind, PlanTiming, Trace, TraceError, TraceSource, SCHEMA_VERSION};
 
 // ---- writer ---------------------------------------------------------------
 
@@ -57,6 +57,21 @@ pub fn trace_to_json(trace: &Trace) -> String {
     out.push_str(&format!("  \"schema\": {SCHEMA_VERSION},\n"));
     out.push_str(&format!("  \"source\": \"{}\",\n", trace.source.as_str()));
     out.push_str(&format!("  \"item_bytes\": {},\n", trace.item_bytes));
+    if let Some(pt) = &trace.plan_timing {
+        out.push_str("  \"plan_timing\": {\"strategy\": ");
+        push_escaped(&mut out, &pt.strategy);
+        out.push_str(&format!(", \"threads\": {}, \"pruned\": {}", pt.threads, pt.pruned));
+        out.push_str(", \"tabulate_secs\": ");
+        push_f64(&mut out, pt.tabulate_secs);
+        out.push_str(", \"solve_secs\": ");
+        push_f64(&mut out, pt.solve_secs);
+        out.push_str(", \"total_secs\": ");
+        push_f64(&mut out, pt.total_secs);
+        out.push_str(&format!(
+            ", \"cache_hits\": {}, \"cache_misses\": {}}},\n",
+            pt.cache_hits, pt.cache_misses
+        ));
+    }
     out.push_str("  \"names\": [");
     for (i, name) in trace.names.iter().enumerate() {
         if i > 0 {
@@ -324,6 +339,37 @@ fn usize_field(obj: &Json, key: &str) -> Result<usize, TraceError> {
         .ok_or_else(|| TraceError(format!("field `{key}` must be a non-negative integer")))
 }
 
+fn f64_field(obj: &Json, key: &str) -> Result<f64, TraceError> {
+    field(obj, key)?
+        .as_f64()
+        .ok_or_else(|| TraceError(format!("field `{key}` must be a number")))
+}
+
+fn plan_timing_from_json(obj: &Json) -> Result<PlanTiming, TraceError> {
+    let strategy = field(obj, "strategy")?
+        .as_str()
+        .ok_or_else(|| TraceError("field `strategy` must be a string".into()))?
+        .to_string();
+    let pruned = match field(obj, "pruned")? {
+        Json::Bool(b) => *b,
+        _ => return Err(TraceError("field `pruned` must be a boolean".into())),
+    };
+    Ok(PlanTiming {
+        strategy,
+        threads: usize_field(obj, "threads")?,
+        pruned,
+        tabulate_secs: f64_field(obj, "tabulate_secs")?,
+        solve_secs: f64_field(obj, "solve_secs")?,
+        total_secs: f64_field(obj, "total_secs")?,
+        cache_hits: field(obj, "cache_hits")?
+            .as_u64()
+            .ok_or_else(|| TraceError("field `cache_hits` must be an integer".into()))?,
+        cache_misses: field(obj, "cache_misses")?
+            .as_u64()
+            .ok_or_else(|| TraceError("field `cache_misses` must be an integer".into()))?,
+    })
+}
+
 /// Deserializes a schema-v1 JSON document back into a [`Trace`].
 ///
 /// Rejects documents with a different `schema` number, unknown event
@@ -357,6 +403,10 @@ pub fn trace_from_json(text: &str) -> Result<Trace, TraceError> {
         })
         .collect::<Result<_, _>>()?;
     let mut trace = Trace::new(source, item_bytes, names);
+    // `plan_timing` is optional: absent in documents from older writers.
+    if let Some(pt) = doc.get("plan_timing") {
+        trace.plan_timing = Some(plan_timing_from_json(pt)?);
+    }
     for (i, ev) in field(&doc, "events")?
         .as_arr()
         .ok_or_else(|| TraceError("field `events` must be an array".into()))?
@@ -428,6 +478,27 @@ mod tests {
         let text = trace_to_json(&trace);
         let back = trace_from_json(&text).unwrap();
         assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn plan_timing_round_trips_exactly() {
+        let mut trace = sample();
+        trace.plan_timing = Some(PlanTiming {
+            strategy: "exact".into(),
+            threads: 4,
+            pruned: true,
+            tabulate_secs: 0.001953125, // dyadic: exact in JSON round-trip
+            solve_secs: 0.125,
+            total_secs: 0.126953125,
+            cache_hits: 3,
+            cache_misses: 9,
+        });
+        let text = trace_to_json(&trace);
+        assert!(text.contains("\"plan_timing\""));
+        let back = trace_from_json(&text).unwrap();
+        assert_eq!(back, trace);
+        // Absent field decodes to None (older writers).
+        assert_eq!(trace_from_json(&trace_to_json(&sample())).unwrap().plan_timing, None);
     }
 
     #[test]

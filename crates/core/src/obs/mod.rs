@@ -187,6 +187,55 @@ impl fmt::Display for TraceSource {
     }
 }
 
+/// How long planning took, and with what solver configuration.
+///
+/// Produced by the planner (and by the parallel DP engine in
+/// `crate::parallel`) and optionally attached to a [`Trace`], so
+/// predicted/simulated/executed reports can show planning cost next to
+/// the makespan they explain. Serialized as the optional `plan_timing`
+/// object of the JSON schema — absent in traces from older writers, which
+/// keeps [`SCHEMA_VERSION`] unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanTiming {
+    /// Which planning strategy ran (`exact`, `exact-basic`, `heuristic`,
+    /// `closed-form`, `uniform`).
+    pub strategy: String,
+    /// Worker threads the DP engine used (1 for serial and for non-DP
+    /// strategies).
+    pub threads: usize,
+    /// Whether upper-bound pruning was active.
+    pub pruned: bool,
+    /// Seconds spent tabulating cost functions (0 for non-DP strategies).
+    pub tabulate_secs: f64,
+    /// Seconds spent in the solve proper.
+    pub solve_secs: f64,
+    /// Total wall-clock seconds for the planning call, including
+    /// validation.
+    pub total_secs: f64,
+    /// Cost-table lookups answered from cache during this solve.
+    pub cache_hits: u64,
+    /// Cost-table lookups that had to tabulate during this solve.
+    pub cache_misses: u64,
+}
+
+impl PlanTiming {
+    /// Timing for a strategy without a tabulate/solve split (the
+    /// heuristic, closed form and uniform strategies): everything counts
+    /// as solve time.
+    pub fn simple(strategy: &str, total_secs: f64) -> PlanTiming {
+        PlanTiming {
+            strategy: strategy.to_string(),
+            threads: 1,
+            pruned: false,
+            tabulate_secs: 0.0,
+            solve_secs: total_secs,
+            total_secs,
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+}
+
 /// A malformed trace (or trace serialization).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceError(pub String);
@@ -218,12 +267,15 @@ pub struct Trace {
     pub names: Vec<String>,
     /// The events, sorted by time.
     pub events: Vec<Event>,
+    /// How long planning took, when known. Optional — traces parsed from
+    /// older exports (or built without a planner) leave it `None`.
+    pub plan_timing: Option<PlanTiming>,
 }
 
 impl Trace {
     /// An empty trace over the given ranks.
     pub fn new(source: TraceSource, item_bytes: u64, names: Vec<String>) -> Trace {
-        Trace { source, item_bytes, names, events: Vec::new() }
+        Trace { source, item_bytes, names, events: Vec::new(), plan_timing: None }
     }
 
     /// Number of ranks.

@@ -1,0 +1,608 @@
+//! Multi-threaded, optionally pruned driver for the exact dynamic
+//! programs (the "parallel planning engine").
+//!
+//! The paper's own measurements make planning the bottleneck: Algorithm 1
+//! needed *more than two days* at `n = 817,101, p = 16`, Algorithm 2
+//! about six minutes. Three independent levers bring that down, all
+//! behind one engine so every combination stays **bit-identical** to the
+//! serial solvers:
+//!
+//! * **Column parallelism.** Column `cost[·, i]` depends only on column
+//!   `i + 1`, so its `n + 1` cells are embarrassingly parallel. The
+//!   engine chunks each column and computes chunks on `crossbeam` scoped
+//!   threads. Each cell runs the exact same operations in the exact same
+//!   order as the serial solver (the shared `dp_kernel`), and chunks write
+//!   disjoint slices, so the outputs are bit-for-bit identical for any
+//!   thread count.
+//! * **Upper-bound pruning** (Algorithm 2 only, opt-in). The solve is
+//!   seeded with the makespan of a feasible distribution — the §4 closed
+//!   form for linear costs, else the §3.3 guaranteed LP heuristic for
+//!   affine costs. Any cell whose value exceeds this bound can never lie
+//!   on the optimal reconstruction path (appending processors only adds
+//!   non-negative `Tcomm` terms, so values along the path are
+//!   non-increasing and the root cell's value is the optimum `<=` the
+//!   bound). Since column values are non-decreasing in `d`, each column
+//!   is computed only up to its first out-of-bound cell, and the
+//!   candidate window of each cell shrinks to the `e` with
+//!   `Tcomm(i, e) <= bound` *and* an in-bound suffix. The bound is
+//!   inflated by one part in 10⁹ so floating-point summation-order noise
+//!   can never exclude the optimal path; if the bound were ever
+//!   inconsistent anyway, the engine falls back to an unpruned solve
+//!   rather than return a wrong answer.
+//! * **Tabulation caching.** Cost tables come from a [`CostTable`], so
+//!   repeated solves (and repeated processors within one platform)
+//!   evaluate each cost function once.
+//!
+//! The timed entry points also report a [`PlanTiming`] block —
+//! tabulation vs solve split, thread count, cache statistics — which the
+//! planner attaches to plans and traces (see `docs/performance.md`).
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::cost::Processor;
+use crate::cost_table::CostTable;
+use crate::dp_basic::{validate_procs, DpSolution};
+use crate::dp_kernel::{self, MAX_ITEMS};
+use crate::error::PlanError;
+use crate::obs::PlanTiming;
+
+/// Which dynamic program the engine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Algo {
+    /// Algorithm 1: full candidate scan, arbitrary non-negative costs.
+    Basic,
+    /// Algorithm 2: binary search + early exit, non-decreasing costs.
+    Optimized,
+}
+
+/// Execution options for the parallel engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParallelOpts {
+    /// Worker threads per column; `0` means one per available core.
+    pub threads: usize,
+    /// Enable upper-bound pruning (Algorithm 2 only; ignored by
+    /// Algorithm 1). Requires linear or affine costs to seed the bound —
+    /// otherwise the solve silently runs unpruned.
+    pub prune: bool,
+    /// Cells per work unit; `0` picks a size balancing scheduling
+    /// overhead against load skew.
+    pub chunk: usize,
+}
+
+impl ParallelOpts {
+    /// Options reproducing the plain serial solvers (one thread, no
+    /// pruning).
+    pub fn serial() -> Self {
+        ParallelOpts { threads: 1, prune: false, chunk: 0 }
+    }
+}
+
+/// One processor's tabulated `(comm, comp)` costs, shared via the cache.
+type TabPair = (Arc<[f64]>, Arc<[f64]>);
+
+/// Resolves `threads: 0` to the number of available cores.
+pub(crate) fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+fn chunk_size(len: usize, threads: usize, requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        (len / (threads.max(1) * 8)).clamp(1024, 16384)
+    }
+}
+
+/// Relative inflation applied to the pruning bound, absorbing the ~1e-14
+/// relative noise between the DP's accumulation order and the Eq. (1)
+/// evaluation of the seeding distribution.
+const BOUND_MARGIN: f64 = 1e-9;
+
+/// Algorithm 2 with explicit engine options.
+///
+/// Bit-identical to [`crate::dp_optimized::optimal_distribution`] for
+/// every option combination (property-tested).
+///
+/// ```
+/// use gs_scatter::cost::Processor;
+/// use gs_scatter::parallel::{optimal_distribution_parallel, ParallelOpts};
+///
+/// let procs = vec![
+///     Processor::linear("worker", 0.1, 1.0),
+///     Processor::linear("root", 0.0, 2.0),
+/// ];
+/// let view: Vec<&Processor> = procs.iter().collect();
+/// let opts = ParallelOpts { threads: 2, prune: true, chunk: 0 };
+/// let sol = optimal_distribution_parallel(&view, 500, &opts).unwrap();
+/// assert_eq!(sol.counts.iter().sum::<usize>(), 500);
+/// ```
+pub fn optimal_distribution_parallel(
+    procs: &[&Processor],
+    n: usize,
+    opts: &ParallelOpts,
+) -> Result<DpSolution, PlanError> {
+    let table = CostTable::new();
+    solve(Algo::Optimized, &table, procs, n, opts).map(|(sol, _)| sol)
+}
+
+/// Algorithm 1 with explicit engine options (pruning is ignored — it
+/// relies on monotonicity Algorithm 1 does not assume).
+pub fn optimal_distribution_basic_parallel(
+    procs: &[&Processor],
+    n: usize,
+    opts: &ParallelOpts,
+) -> Result<DpSolution, PlanError> {
+    let table = CostTable::new();
+    solve(Algo::Basic, &table, procs, n, opts).map(|(sol, _)| sol)
+}
+
+/// Algorithm 2 through a shared [`CostTable`], returning the solve's
+/// [`PlanTiming`] alongside the solution.
+pub fn optimal_distribution_parallel_timed(
+    table: &CostTable,
+    procs: &[&Processor],
+    n: usize,
+    opts: &ParallelOpts,
+) -> Result<(DpSolution, PlanTiming), PlanError> {
+    solve(Algo::Optimized, table, procs, n, opts)
+}
+
+/// Algorithm 1 through a shared [`CostTable`], with timing.
+pub fn optimal_distribution_basic_parallel_timed(
+    table: &CostTable,
+    procs: &[&Processor],
+    n: usize,
+    opts: &ParallelOpts,
+) -> Result<(DpSolution, PlanTiming), PlanError> {
+    solve(Algo::Basic, table, procs, n, opts)
+}
+
+/// Full engine entry point shared by every public solver.
+pub(crate) fn solve(
+    algo: Algo,
+    table: &CostTable,
+    procs: &[&Processor],
+    n: usize,
+    opts: &ParallelOpts,
+) -> Result<(DpSolution, PlanTiming), PlanError> {
+    let start = Instant::now();
+    validate_procs(procs, n)?;
+    if algo == Algo::Optimized {
+        for (i, pr) in procs.iter().enumerate() {
+            if !pr.comm.probably_increasing(n) || !pr.comp.probably_increasing(n) {
+                return Err(PlanError::NotIncreasing { proc: i });
+            }
+        }
+    }
+    if n > MAX_ITEMS {
+        return Err(PlanError::TooLarge { n, max: MAX_ITEMS });
+    }
+    let p = procs.len();
+    let threads = resolve_threads(opts.threads);
+    let hits0 = table.hits();
+    let misses0 = table.misses();
+
+    let t_tab = Instant::now();
+    let tabs: Vec<TabPair> = procs
+        .iter()
+        .map(|pr| (table.tabulate(&pr.comm, n), table.tabulate(&pr.comp, n)))
+        .collect();
+    if algo == Algo::Optimized {
+        // Exact monotonicity check on the tabulated values: Algorithm 2's
+        // correctness depends on it, so sampling is not enough here.
+        for (i, (comm, comp)) in tabs.iter().enumerate() {
+            let dec = |t: &[f64]| t[..=n].windows(2).any(|w| w[1] < w[0]);
+            if dec(comm) || dec(comp) {
+                return Err(PlanError::NotIncreasing { proc: i });
+            }
+        }
+    }
+    let tabulate_secs = t_tab.elapsed().as_secs_f64();
+
+    let t_solve = Instant::now();
+    let ub = if opts.prune && algo == Algo::Optimized { upper_bound(procs, n) } else { None };
+    let engine = Engine {
+        algo,
+        tabs: &tabs,
+        n,
+        p,
+        threads,
+        chunk: chunk_size(n + 1, threads, opts.chunk),
+    };
+    let (counts, makespan) = match engine.run(ub.map(|u| u * (1.0 + BOUND_MARGIN))) {
+        Some(result) => result,
+        // The bound proved inconsistent (cannot happen for a correctly
+        // seeded bound; kept as a correctness net): redo unpruned.
+        None => engine.run(None).expect("unpruned solve is always consistent"),
+    };
+    let solve_secs = t_solve.elapsed().as_secs_f64();
+
+    let timing = PlanTiming {
+        strategy: match algo {
+            Algo::Basic => "exact-basic".into(),
+            Algo::Optimized => "exact".into(),
+        },
+        threads,
+        pruned: ub.is_some(),
+        tabulate_secs,
+        solve_secs,
+        total_secs: start.elapsed().as_secs_f64(),
+        cache_hits: table.hits() - hits0,
+        cache_misses: table.misses() - misses0,
+    };
+    Ok((DpSolution { counts, makespan }, timing))
+}
+
+/// A feasible (hence upper-bounding) makespan for pruning: the closed
+/// form's rounded distribution when every cost is linear, else the LP
+/// heuristic's when every cost is affine, else `None` (no pruning).
+fn upper_bound(procs: &[&Processor], n: usize) -> Option<f64> {
+    let linear =
+        procs.iter().all(|p| p.comm.linear_slope().is_some() && p.comp.linear_slope().is_some());
+    if linear {
+        let sol = crate::closed_form::closed_form_distribution(procs, n).ok()?;
+        return Some(crate::distribution::makespan(procs, &sol.counts));
+    }
+    let affine =
+        procs.iter().all(|p| p.comm.affine_params().is_some() && p.comp.affine_params().is_some());
+    if affine {
+        return Some(crate::heuristic::heuristic_distribution(procs, n).ok()?.makespan);
+    }
+    None
+}
+
+/// One configured solve over pre-tabulated costs.
+struct Engine<'a> {
+    algo: Algo,
+    tabs: &'a [TabPair],
+    n: usize,
+    p: usize,
+    threads: usize,
+    chunk: usize,
+}
+
+impl Engine<'_> {
+    fn tab(&self, i: usize) -> (&[f64], &[f64]) {
+        (&self.tabs[i].0[..=self.n], &self.tabs[i].1[..=self.n])
+    }
+
+    /// Runs the column sweep + reconstruction. `bound` is the inflated
+    /// pruning bound (`None` disables pruning). Returns `None` only when
+    /// a bound turned out inconsistent with the table — the caller then
+    /// retries unpruned.
+    fn run(&self, bound: Option<f64>) -> Option<(Vec<usize>, f64)> {
+        let (n, p) = (self.n, self.p);
+
+        // Base column: the root takes everything that is left.
+        let (comm, comp) = self.tab(p - 1);
+        let mut prev: Vec<f64> = Vec::with_capacity(n + 1);
+        for d in 0..=n {
+            let v = comm[d] + comp[d];
+            if bound.is_some_and(|b| v > b) {
+                break;
+            }
+            prev.push(v);
+        }
+        let mut prev_valid = prev.len().checked_sub(1)?;
+        if p == 1 {
+            return Some((vec![n], *prev.get(n)?));
+        }
+
+        // Middle columns, highest suffix first. `choice_cols[i][d]` is
+        // the share of processor `i` when `d` items remain (column-major,
+        // so parallel chunks write disjoint slices).
+        let mut choice_cols: Vec<Vec<u32>> = vec![Vec::new(); p];
+        for i in (1..p - 1).rev() {
+            let (comm, comp) = self.tab(i);
+            let cap = match bound {
+                Some(b) => comm.partition_point(|&c| c <= b).checked_sub(1)?,
+                None => n,
+            };
+            // Cells past prev_valid + cap have no candidate with both an
+            // in-bound Tcomm and an in-bound suffix — skip them outright.
+            let len = if bound.is_some() { (prev_valid + cap).min(n) + 1 } else { n + 1 };
+            let ctx = ColumnCtx {
+                algo: self.algo,
+                comm,
+                comp,
+                prev: &prev,
+                prev_valid,
+                cap,
+                bound,
+            };
+            let (cost, choice) = self.compute_column(&ctx, len);
+            prev_valid = match bound {
+                Some(b) => match cost.iter().position(|&v| v > b) {
+                    Some(0) => return None,
+                    Some(q) => q - 1,
+                    None => cost.len() - 1,
+                },
+                None => n,
+            };
+            choice_cols[i] = choice;
+            prev = cost;
+        }
+
+        // Top column: reconstruction starts at (d = n, i = 0), so only
+        // that single cell is ever read — compute just it.
+        let (comm, comp) = self.tab(0);
+        let cap = match bound {
+            Some(b) => comm.partition_point(|&c| c <= b).checked_sub(1)?,
+            None => n,
+        };
+        let ctx =
+            ColumnCtx { algo: self.algo, comm, comp, prev: &prev, prev_valid, cap, bound };
+        let (makespan, top_e) = ctx.cell(n);
+        if bound.is_some() && !makespan.is_finite() {
+            return None;
+        }
+
+        // Reconstruction. Every cell on the path has value <= the bound,
+        // so with pruning it was computed, not skipped; the checked
+        // accesses below are the safety net behind the fallback.
+        let mut counts = vec![0usize; p];
+        let mut d = n;
+        counts[0] = top_e as usize;
+        d -= counts[0];
+        for i in 1..p - 1 {
+            let e = *choice_cols[i].get(d)? as usize;
+            counts[i] = e;
+            d = d.checked_sub(e)?;
+        }
+        counts[p - 1] = d;
+        Some((counts, makespan))
+    }
+
+    /// Computes one column of `len` cells, chunked over the worker
+    /// threads. Cells skipped by a pruning early-stop keep the `+inf`
+    /// fill, which downstream logic treats as out-of-bound.
+    fn compute_column(&self, ctx: &ColumnCtx<'_>, len: usize) -> (Vec<f64>, Vec<u32>) {
+        let mut cost = vec![f64::INFINITY; len];
+        let mut choice = vec![0u32; len];
+        if self.threads <= 1 || len <= self.chunk {
+            ctx.run_chunk(0, &mut cost, &mut choice);
+            return (cost, choice);
+        }
+        let jobs: Vec<(usize, &mut [f64], &mut [u32])> = cost
+            .chunks_mut(self.chunk)
+            .zip(choice.chunks_mut(self.chunk))
+            .enumerate()
+            .map(|(k, (c, ch))| (k * self.chunk, c, ch))
+            .collect();
+        let workers = self.threads.min(jobs.len());
+        let queue = Mutex::new(jobs);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|_| loop {
+                    let job = queue.lock().expect("column queue poisoned").pop();
+                    match job {
+                        Some((start, c, ch)) => ctx.run_chunk(start, c, ch),
+                        None => break,
+                    }
+                });
+            }
+        })
+        .expect("column workers do not panic");
+        (cost, choice)
+    }
+}
+
+/// Everything one column's cells need, shareable across worker threads.
+struct ColumnCtx<'a> {
+    algo: Algo,
+    comm: &'a [f64],
+    comp: &'a [f64],
+    prev: &'a [f64],
+    /// Largest `d` of the previous column with an in-bound value
+    /// (`n` when unpruned).
+    prev_valid: usize,
+    /// Largest `e` with `Tcomm(i, e) <= bound` (`n` when unpruned).
+    cap: usize,
+    bound: Option<f64>,
+}
+
+impl ColumnCtx<'_> {
+    #[inline]
+    fn cell(&self, d: usize) -> (f64, u32) {
+        match self.algo {
+            Algo::Basic => dp_kernel::basic_cell(self.comm, self.comp, self.prev, d),
+            Algo::Optimized => {
+                let lo = d.saturating_sub(self.prev_valid);
+                let lim = d.min(self.cap);
+                if lo > lim {
+                    // No candidate has both Tcomm and suffix in bound:
+                    // the true value exceeds the bound.
+                    return (f64::INFINITY, 0);
+                }
+                dp_kernel::optimized_cell(self.comm, self.comp, self.prev, d, lo, lim)
+            }
+        }
+    }
+
+    /// Fills one chunk, ascending. With a pruning bound the chunk stops
+    /// at its first out-of-bound cell (column values are non-decreasing
+    /// in `d`, so everything after it is out of bound too); the remaining
+    /// cells keep their `+inf` fill.
+    fn run_chunk(&self, start: usize, cost: &mut [f64], choice: &mut [u32]) {
+        for (k, (c, ch)) in cost.iter_mut().zip(choice.iter_mut()).enumerate() {
+            let (v, e) = self.cell(start + k);
+            *c = v;
+            *ch = e;
+            if self.bound.is_some_and(|b| v > b) {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CostFn, Processor};
+    use crate::dp_basic::optimal_distribution_basic;
+    use crate::dp_optimized::optimal_distribution;
+    use crate::paper::table1_platform;
+
+    fn view(ps: &[Processor]) -> Vec<&Processor> {
+        ps.iter().collect()
+    }
+
+    fn assert_bit_identical(a: &DpSolution, b: &DpSolution, what: &str) {
+        assert_eq!(a.counts, b.counts, "{what}: counts differ");
+        assert_eq!(
+            a.makespan.to_bits(),
+            b.makespan.to_bits(),
+            "{what}: makespans differ ({} vs {})",
+            a.makespan,
+            b.makespan
+        );
+    }
+
+    fn table1_view(p: usize) -> (crate::cost::Platform, Vec<usize>) {
+        let full = table1_platform();
+        let sub =
+            crate::cost::Platform::new(full.procs()[..p].to_vec(), 0).expect("subset platform");
+        let order =
+            crate::ordering::scatter_order(&sub, crate::ordering::OrderPolicy::DescendingBandwidth);
+        (sub, order)
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_table1() {
+        let (sub, order) = table1_view(8);
+        let v = sub.ordered(&order);
+        for n in [0usize, 1, 17, 500, 3000] {
+            let serial = optimal_distribution(&v, n).unwrap();
+            for threads in [1usize, 2, 5] {
+                let opts = ParallelOpts { threads, prune: false, chunk: 64 };
+                let par = optimal_distribution_parallel(&v, n, &opts).unwrap();
+                assert_bit_identical(&par, &serial, &format!("n={n} threads={threads}"));
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_matches_serial_on_table1() {
+        let (sub, order) = table1_view(16);
+        let v = sub.ordered(&order);
+        for n in [0usize, 1, 100, 2500] {
+            let serial = optimal_distribution(&v, n).unwrap();
+            for threads in [1usize, 3] {
+                let opts = ParallelOpts { threads, prune: true, chunk: 128 };
+                let pruned = optimal_distribution_parallel(&v, n, &opts).unwrap();
+                assert_bit_identical(&pruned, &serial, &format!("n={n} threads={threads}"));
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_matches_serial_on_affine_costs() {
+        let ps = vec![
+            Processor::affine("a", 0.4, 0.5, 0.9, 2.0),
+            Processor::affine("b", 0.2, 1.0, 0.1, 1.0),
+            Processor::affine("root", 0.0, 0.0, 0.0, 3.0),
+        ];
+        let v = view(&ps);
+        for n in 0..=40 {
+            let serial = optimal_distribution(&v, n).unwrap();
+            let opts = ParallelOpts { threads: 2, prune: true, chunk: 4 };
+            let pruned = optimal_distribution_parallel(&v, n, &opts).unwrap();
+            assert_bit_identical(&pruned, &serial, &format!("n={n}"));
+        }
+    }
+
+    #[test]
+    fn prune_without_affine_costs_degrades_gracefully() {
+        // Tabulated costs have no analytic bound seed: the solve must
+        // silently run unpruned and still be exact.
+        let ps = vec![
+            Processor {
+                name: "measured".into(),
+                comm: CostFn::table(vec![(10, 1.0), (100, 8.0)]),
+                comp: CostFn::table(vec![(10, 5.0), (50, 20.0), (100, 60.0)]),
+            },
+            Processor::linear("root", 0.0, 1.0),
+        ];
+        let v = view(&ps);
+        let serial = optimal_distribution(&v, 120).unwrap();
+        let table = CostTable::new();
+        let opts = ParallelOpts { threads: 2, prune: true, chunk: 16 };
+        let (sol, timing) =
+            optimal_distribution_parallel_timed(&table, &v, 120, &opts).unwrap();
+        assert_bit_identical(&sol, &serial, "tabulated");
+        assert!(!timing.pruned, "no bound seed available");
+    }
+
+    #[test]
+    fn basic_parallel_matches_serial() {
+        let ps = vec![
+            Processor::linear("a", 0.5, 2.0),
+            Processor::linear("b", 1.0, 1.0),
+            Processor::linear("root", 0.0, 3.0),
+        ];
+        let v = view(&ps);
+        for n in [0usize, 1, 9, 64, 201] {
+            let serial = optimal_distribution_basic(&v, n).unwrap();
+            for threads in [2usize, 8] {
+                let opts = ParallelOpts { threads, prune: false, chunk: 32 };
+                let par = optimal_distribution_basic_parallel(&v, n, &opts).unwrap();
+                assert_bit_identical(&par, &serial, &format!("basic n={n} threads={threads}"));
+            }
+        }
+    }
+
+    #[test]
+    fn too_large_is_an_error_not_a_panic() {
+        let ps = vec![Processor::linear("root", 0.0, 1.0)];
+        let n = u32::MAX as usize + 1;
+        assert!(matches!(
+            optimal_distribution_parallel(&view(&ps), n, &ParallelOpts::serial()),
+            Err(PlanError::TooLarge { max, .. }) if max == u32::MAX as usize
+        ));
+        assert!(matches!(
+            optimal_distribution_basic_parallel(&view(&ps), n, &ParallelOpts::serial()),
+            Err(PlanError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn timing_block_is_coherent() {
+        let (sub, order) = table1_view(4);
+        let v = sub.ordered(&order);
+        let table = CostTable::new();
+        let opts = ParallelOpts { threads: 2, prune: true, chunk: 0 };
+        let (_, timing) = optimal_distribution_parallel_timed(&table, &v, 800, &opts).unwrap();
+        assert_eq!(timing.strategy, "exact");
+        assert_eq!(timing.threads, 2);
+        assert!(timing.pruned, "linear costs seed a closed-form bound");
+        assert!(timing.total_secs >= timing.solve_secs);
+        assert!(timing.tabulate_secs >= 0.0);
+        assert!(timing.cache_misses > 0, "first solve must tabulate");
+        // Re-solving through the same table is all hits.
+        let (_, timing2) = optimal_distribution_parallel_timed(&table, &v, 800, &opts).unwrap();
+        assert_eq!(timing2.cache_misses, 0);
+        assert!(timing2.cache_hits > 0);
+    }
+
+    #[test]
+    fn pruning_saves_work_but_not_accuracy_at_scale() {
+        let (sub, order) = table1_view(16);
+        let v = sub.ordered(&order);
+        let n = 20_000;
+        let serial = optimal_distribution(&v, n).unwrap();
+        let opts = ParallelOpts { threads: 1, prune: true, chunk: 0 };
+        let pruned = optimal_distribution_parallel(&v, n, &opts).unwrap();
+        assert_bit_identical(&pruned, &serial, "n=20000 pruned");
+    }
+
+    #[test]
+    fn thread_count_zero_resolves_to_cores() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

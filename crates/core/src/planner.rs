@@ -1,11 +1,16 @@
 //! High-level planner: picks an ordering, runs a distribution strategy,
 //! and emits `MPI_Scatterv`-ready `counts`/`displs`.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use crate::cost::Platform;
+use crate::cost_table::CostTable;
 use crate::distribution::{self, Timeline};
 use crate::error::PlanError;
-use crate::obs::{Trace, TraceSource};
+use crate::obs::{PlanTiming, Trace, TraceSource};
 use crate::ordering::{scatter_order, OrderPolicy};
+use crate::parallel::{self, Algo, ParallelOpts};
 
 /// Which distribution algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +43,9 @@ pub struct Plan {
     pub predicted: Timeline,
     /// Predicted makespan (Eq. 2).
     pub predicted_makespan: f64,
+    /// How long planning took (also attached to traces built from this
+    /// plan, so reports can show planning cost next to the makespan).
+    pub timing: PlanTiming,
 }
 
 impl Plan {
@@ -58,13 +66,15 @@ impl Plan {
     pub fn predicted_trace(&self, platform: &Platform, item_bytes: u64) -> Trace {
         let names: Vec<&str> =
             self.order.iter().map(|&i| platform.procs()[i].name.as_str()).collect();
-        Trace::from_timeline(
+        let mut trace = Trace::from_timeline(
             TraceSource::Predicted,
             &names,
             &self.counts_in_order(),
             item_bytes,
             &self.predicted,
-        )
+        );
+        trace.plan_timing = Some(self.timing.clone());
+        trace
     }
 }
 
@@ -84,16 +94,23 @@ pub struct Planner {
     platform: Platform,
     strategy: Strategy,
     policy: OrderPolicy,
+    threads: usize,
+    prune: bool,
+    cache: Option<Arc<CostTable>>,
 }
 
 impl Planner {
     /// Creates a planner with the paper's defaults: the guaranteed
-    /// heuristic and descending-bandwidth ordering.
+    /// heuristic and descending-bandwidth ordering, single-threaded
+    /// exact solves without pruning.
     pub fn new(platform: Platform) -> Self {
         Planner {
             platform,
             strategy: Strategy::Heuristic,
             policy: OrderPolicy::DescendingBandwidth,
+            threads: 1,
+            prune: false,
+            cache: None,
         }
     }
 
@@ -106,6 +123,28 @@ impl Planner {
     /// Selects the ordering policy.
     pub fn order_policy(mut self, policy: OrderPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Worker threads for the exact DP strategies (`0` = one per core,
+    /// default 1). Results are bit-identical for any thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Enables upper-bound pruning for [`Strategy::Exact`] (bit-identical
+    /// results; only effective with linear/affine costs, which seed the
+    /// bound).
+    pub fn prune(mut self, prune: bool) -> Self {
+        self.prune = prune;
+        self
+    }
+
+    /// Shares a [`CostTable`] across planners, so repeated plans on the
+    /// same cost functions (e.g. root-selection scans) tabulate once.
+    pub fn cache(mut self, table: Arc<CostTable>) -> Self {
+        self.cache = Some(table);
         self
     }
 
@@ -124,15 +163,36 @@ impl Planner {
     /// (a permutation of processor indices, root last).
     pub fn plan_with_order(&self, n: usize, order: Vec<usize>) -> Result<Plan, PlanError> {
         let view = self.platform.ordered(&order);
-        let counts_ordered: Vec<usize> = match self.strategy {
-            Strategy::Uniform => distribution::uniform_distribution(view.len(), n),
-            Strategy::ExactBasic => {
-                crate::dp_basic::optimal_distribution_basic(&view, n)?.counts
+        let start = Instant::now();
+        let fresh_table;
+        let table = match &self.cache {
+            Some(shared) => shared.as_ref(),
+            None => {
+                fresh_table = CostTable::new();
+                &fresh_table
             }
-            Strategy::Exact => crate::dp_optimized::optimal_distribution(&view, n)?.counts,
-            Strategy::Heuristic => crate::heuristic::heuristic_distribution(&view, n)?.counts,
+        };
+        let opts = ParallelOpts { threads: self.threads, prune: self.prune, chunk: 0 };
+        let (counts_ordered, timing): (Vec<usize>, PlanTiming) = match self.strategy {
+            Strategy::Uniform => {
+                let counts = distribution::uniform_distribution(view.len(), n);
+                (counts, PlanTiming::simple("uniform", start.elapsed().as_secs_f64()))
+            }
+            Strategy::ExactBasic => {
+                let (sol, timing) = parallel::solve(Algo::Basic, table, &view, n, &opts)?;
+                (sol.counts, timing)
+            }
+            Strategy::Exact => {
+                let (sol, timing) = parallel::solve(Algo::Optimized, table, &view, n, &opts)?;
+                (sol.counts, timing)
+            }
+            Strategy::Heuristic => {
+                let counts = crate::heuristic::heuristic_distribution(&view, n)?.counts;
+                (counts, PlanTiming::simple("heuristic", start.elapsed().as_secs_f64()))
+            }
             Strategy::ClosedForm => {
-                crate::closed_form::closed_form_distribution(&view, n)?.counts
+                let counts = crate::closed_form::closed_form_distribution(&view, n)?.counts;
+                (counts, PlanTiming::simple("closed-form", start.elapsed().as_secs_f64()))
             }
         };
         let predicted = distribution::timeline(&view, &counts_ordered);
@@ -151,7 +211,7 @@ impl Planner {
         }
         debug_assert_eq!(offset, n);
 
-        Ok(Plan { counts, displs, order, predicted, predicted_makespan })
+        Ok(Plan { counts, displs, order, predicted, predicted_makespan, timing })
     }
 }
 
@@ -264,6 +324,43 @@ mod tests {
         // Scatter order and names line up.
         for (pos, &idx) in plan.order.iter().enumerate() {
             assert_eq!(trace.names[pos], plat.procs()[idx].name);
+        }
+    }
+
+    #[test]
+    fn threads_and_pruning_do_not_change_the_plan() {
+        let n = 3000;
+        let base = Planner::new(platform()).strategy(Strategy::Exact).plan(n).unwrap();
+        let table = Arc::new(CostTable::new());
+        let tuned = Planner::new(platform())
+            .strategy(Strategy::Exact)
+            .threads(4)
+            .prune(true)
+            .cache(Arc::clone(&table))
+            .plan(n)
+            .unwrap();
+        assert_eq!(tuned.counts, base.counts);
+        assert_eq!(tuned.predicted_makespan.to_bits(), base.predicted_makespan.to_bits());
+        assert_eq!(tuned.timing.strategy, "exact");
+        assert_eq!(tuned.timing.threads, 4);
+        assert!(tuned.timing.pruned, "linear costs seed a pruning bound");
+        assert!(!table.is_empty(), "shared cache was populated");
+    }
+
+    #[test]
+    fn every_plan_carries_timing() {
+        for (strategy, name) in [
+            (Strategy::Uniform, "uniform"),
+            (Strategy::ExactBasic, "exact-basic"),
+            (Strategy::Exact, "exact"),
+            (Strategy::Heuristic, "heuristic"),
+            (Strategy::ClosedForm, "closed-form"),
+        ] {
+            let plan = Planner::new(platform()).strategy(strategy).plan(500).unwrap();
+            assert_eq!(plan.timing.strategy, name);
+            assert!(plan.timing.total_secs >= 0.0);
+            let trace = plan.predicted_trace(&platform(), 8);
+            assert_eq!(trace.plan_timing.as_ref().unwrap().strategy, name);
         }
     }
 

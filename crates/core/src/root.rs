@@ -5,7 +5,10 @@
 //! set from `C` to the root. The best root minimizes
 //! `transfer(C → r, n) + T(plan with root r)` over the `p` candidates.
 
+use std::sync::Arc;
+
 use crate::cost::Platform;
+use crate::cost_table::CostTable;
 use crate::error::PlanError;
 use crate::ordering::OrderPolicy;
 use crate::planner::{Plan, Planner, Strategy};
@@ -59,11 +62,15 @@ pub fn select_root(
     }
     let mut best: Option<(usize, f64, Plan)> = None;
     let mut candidates = Vec::with_capacity(platform.len());
+    // One cost table for the whole scan: every candidate re-plans on the
+    // same processors, so the DP strategies tabulate each function once.
+    let table = Arc::new(CostTable::new());
     for (r, &transfer) in transfer_time.iter().enumerate() {
         let candidate_platform = platform.with_root(r)?;
         let plan = Planner::new(candidate_platform)
             .strategy(strategy)
             .order_policy(policy)
+            .cache(Arc::clone(&table))
             .plan(n)?;
         let total = transfer + plan.predicted_makespan;
         candidates.push(CandidateReport {
@@ -165,6 +172,28 @@ mod tests {
             OrderPolicy::AsIs,
         )
         .is_err());
+    }
+
+    #[test]
+    fn cached_exact_scan_matches_fresh_plans_bit_for_bit() {
+        // The scan reuses one CostTable across candidates; every
+        // candidate's makespan must still equal a fresh, uncached plan.
+        let choice = select_root(
+            &platform(),
+            &[0.0, 0.0, 0.0],
+            400,
+            Strategy::Exact,
+            OrderPolicy::DescendingBandwidth,
+        )
+        .unwrap();
+        for c in &choice.candidates {
+            let fresh = Planner::new(platform().with_root(c.root).unwrap())
+                .strategy(Strategy::Exact)
+                .order_policy(OrderPolicy::DescendingBandwidth)
+                .plan(400)
+                .unwrap();
+            assert_eq!(fresh.predicted_makespan.to_bits(), c.makespan.to_bits(), "root {}", c.root);
+        }
     }
 
     #[test]

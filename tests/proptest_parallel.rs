@@ -1,0 +1,127 @@
+//! Property tests for the parallel planning engine: every variant —
+//! multi-threaded, upper-bound pruned, or both — must return a
+//! **bit-identical** `(counts, makespan)` to the serial solvers on random
+//! increasing platforms, for thread counts 1, 2 and 8.
+
+use grid_scatter::prelude::{Platform, Processor};
+use grid_scatter::scatter::dp_basic::optimal_distribution_basic;
+use grid_scatter::scatter::dp_optimized::optimal_distribution;
+use grid_scatter::scatter::ordering::{scatter_order, OrderPolicy};
+use grid_scatter::scatter::parallel::{
+    optimal_distribution_basic_parallel, optimal_distribution_parallel, ParallelOpts,
+};
+use proptest::prelude::*;
+
+/// Random linear platform: root first (beta 0), then workers.
+fn linear_platform(max_p: usize) -> impl Strategy<Value = Platform> {
+    let worker = (1u32..=300, 1u32..=300).prop_map(|(b, a)| (b as f64 * 1e-3, a as f64 * 1e-2));
+    (proptest::collection::vec(worker, 1..max_p), 1u32..=300).prop_map(|(workers, root_a)| {
+        let mut procs = vec![Processor::linear("root", 0.0, root_a as f64 * 1e-2)];
+        for (i, (b, a)) in workers.into_iter().enumerate() {
+            procs.push(Processor::linear(format!("w{i}"), b, a));
+        }
+        Platform::new(procs, 0).unwrap()
+    })
+}
+
+/// Random affine platform (non-zero intercepts exercise the LP-heuristic
+/// pruning bound instead of the closed form).
+fn affine_platform(max_p: usize) -> impl Strategy<Value = Platform> {
+    let worker = (0u32..=50, 1u32..=300, 0u32..=50, 1u32..=300)
+        .prop_map(|(bi, b, ai, a)| (bi as f64 * 1e-2, b as f64 * 1e-3, ai as f64 * 1e-2, a as f64 * 1e-2));
+    (proptest::collection::vec(worker, 1..max_p), 1u32..=300).prop_map(|(workers, root_a)| {
+        let mut procs = vec![Processor::affine("root", 0.0, 0.0, 0.0, root_a as f64 * 1e-2)];
+        for (i, (bi, b, ai, a)) in workers.into_iter().enumerate() {
+            procs.push(Processor::affine(format!("w{i}"), bi, b, ai, a));
+        }
+        Platform::new(procs, 0).unwrap()
+    })
+}
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn assert_bit_identical(
+    got: &grid_scatter::scatter::dp_basic::DpSolution,
+    want: &grid_scatter::scatter::dp_basic::DpSolution,
+    what: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(&got.counts, &want.counts, "{}: counts differ", what);
+    prop_assert_eq!(
+        got.makespan.to_bits(),
+        want.makespan.to_bits(),
+        "{}: makespan {} vs {}",
+        what,
+        got.makespan,
+        want.makespan
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Parallel Algorithm 2 ≡ serial, bit for bit, for 1/2/8 threads.
+    #[test]
+    fn parallel_optimized_is_bit_identical(
+        platform in linear_platform(6),
+        n in 0usize..=300,
+        chunk in 1usize..=64,
+    ) {
+        let order = scatter_order(&platform, OrderPolicy::DescendingBandwidth);
+        let view = platform.ordered(&order);
+        let serial = optimal_distribution(&view, n).unwrap();
+        for threads in THREADS {
+            let opts = ParallelOpts { threads, prune: false, chunk };
+            let par = optimal_distribution_parallel(&view, n, &opts).unwrap();
+            assert_bit_identical(&par, &serial, &format!("threads={threads} chunk={chunk}"))?;
+        }
+    }
+
+    /// Parallel Algorithm 1 ≡ serial, bit for bit, for 1/2/8 threads.
+    #[test]
+    fn parallel_basic_is_bit_identical(
+        platform in linear_platform(5),
+        n in 0usize..=150,
+        chunk in 1usize..=64,
+    ) {
+        let order = scatter_order(&platform, OrderPolicy::DescendingBandwidth);
+        let view = platform.ordered(&order);
+        let serial = optimal_distribution_basic(&view, n).unwrap();
+        for threads in THREADS {
+            let opts = ParallelOpts { threads, prune: false, chunk };
+            let par = optimal_distribution_basic_parallel(&view, n, &opts).unwrap();
+            assert_bit_identical(&par, &serial, &format!("threads={threads} chunk={chunk}"))?;
+        }
+    }
+
+    /// Upper-bound pruning (closed-form seed on linear costs) never
+    /// changes the optimum — combined with any thread count.
+    #[test]
+    fn pruning_preserves_the_optimum_linear(
+        platform in linear_platform(6),
+        n in 0usize..=300,
+    ) {
+        let order = scatter_order(&platform, OrderPolicy::DescendingBandwidth);
+        let view = platform.ordered(&order);
+        let serial = optimal_distribution(&view, n).unwrap();
+        for threads in THREADS {
+            let opts = ParallelOpts { threads, prune: true, chunk: 16 };
+            let pruned = optimal_distribution_parallel(&view, n, &opts).unwrap();
+            assert_bit_identical(&pruned, &serial, &format!("pruned threads={threads}"))?;
+        }
+    }
+
+    /// Same with the LP-heuristic seed on affine costs.
+    #[test]
+    fn pruning_preserves_the_optimum_affine(
+        platform in affine_platform(5),
+        n in 0usize..=150,
+    ) {
+        let order = scatter_order(&platform, OrderPolicy::DescendingBandwidth);
+        let view = platform.ordered(&order);
+        let serial = optimal_distribution(&view, n).unwrap();
+        let opts = ParallelOpts { threads: 2, prune: true, chunk: 16 };
+        let pruned = optimal_distribution_parallel(&view, n, &opts).unwrap();
+        assert_bit_identical(&pruned, &serial, "pruned affine")?;
+    }
+}
