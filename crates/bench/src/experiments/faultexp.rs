@@ -1,0 +1,192 @@
+//! Degraded-grid sweep: what failures cost on the paper's Table-1
+//! platform (`docs/robustness.md`).
+//!
+//! Each scenario injects one deterministic fault plan into the balanced
+//! scatter and runs it twice through the fault-tolerant simulator:
+//! fault-**oblivious** (degraded — the static plan's fate) and
+//! **recovered** (timeout/retry/re-plan). The row records what the
+//! degraded run silently loses and what the recovery costs in makespan
+//! over the fault-free baseline — the robustness analogue of the §5.2
+//! model-vs-reality check.
+
+use gs_gridsim::fault::{simulate_scatter_ft, FtScatterSim};
+use gs_scatter::cost::{Platform, Processor};
+use gs_scatter::fault::{FaultPlan, RecoveryConfig};
+use gs_scatter::obs::IncidentKind;
+use gs_scatter::paper::table1_platform;
+use gs_scatter::planner::Planner;
+
+/// One sweep scenario: a fault plan run in both modes.
+#[derive(Debug, Clone)]
+pub struct FaultSweepRow {
+    /// Human-readable scenario id (also the `--faults` spec where one
+    /// exists).
+    pub scenario: String,
+    /// Fault-free makespan of the same plan, seconds.
+    pub clean_makespan: f64,
+    /// Makespan of the fault-oblivious run, seconds.
+    pub degraded_makespan: f64,
+    /// Items the degraded run silently never computes.
+    pub degraded_lost: u64,
+    /// Makespan of the timeout/retry/re-plan run, seconds.
+    pub recovered_makespan: f64,
+    /// `recovered / clean − 1`, as a percentage.
+    pub overhead_pct: f64,
+    /// Incident counts of the recovered run: failures, retries,
+    /// re-plans.
+    pub faults: usize,
+    /// Retry incidents of the recovered run.
+    pub retries: usize,
+    /// Re-plan incidents of the recovered run.
+    pub replans: usize,
+}
+
+fn count(ft: &FtScatterSim, kind: IncidentKind) -> usize {
+    ft.incidents.iter().filter(|i| i.kind == kind).count()
+}
+
+/// Runs one fault plan in both modes and assembles the row.
+fn run_scenario(
+    scenario: &str,
+    view: &[&Processor],
+    counts: &[usize],
+    faults: &FaultPlan,
+    clean: f64,
+) -> FaultSweepRow {
+    let degraded = simulate_scatter_ft(view, counts, faults, None)
+        .expect("degraded run completes");
+    let rc = RecoveryConfig::default();
+    let recovered = simulate_scatter_ft(view, counts, faults, Some(&rc))
+        .expect("recovered run completes");
+    assert_eq!(recovered.lost_items, 0, "recovery computes everything");
+    FaultSweepRow {
+        scenario: scenario.to_string(),
+        clean_makespan: clean,
+        degraded_makespan: degraded.makespan,
+        degraded_lost: degraded.lost_items,
+        recovered_makespan: recovered.makespan,
+        overhead_pct: (recovered.makespan / clean - 1.0) * 100.0,
+        faults: count(&recovered, IncidentKind::Fault),
+        retries: count(&recovered, IncidentKind::Retry),
+        replans: count(&recovered, IncidentKind::Replan),
+    }
+}
+
+/// The sweep: single crashes across the scatter order (first-served,
+/// mid, last-served non-root — each mid-way through its own transfer),
+/// a transient drop, a degraded and a severed link, a CPU slowdown,
+/// and `seeds` pseudo-random fault mixes, all on the Table-1 grid with
+/// `n` items.
+pub fn fault_sweep(n: usize, seeds: &[u64]) -> (Platform, Vec<FaultSweepRow>) {
+    let platform = table1_platform();
+    let plan = Planner::new(platform.clone())
+        .plan(n)
+        .expect("Table-1 platform plans cleanly");
+    let view = platform.ordered(&plan.order);
+    let counts = plan.counts_in_order();
+    let names: Vec<&str> = view.iter().map(|p| p.name.as_str()).collect();
+    let p = view.len();
+
+    let clean = simulate_scatter_ft(&view, &counts, &FaultPlan::none(), None)
+        .expect("fault-free run completes")
+        .makespan;
+
+    // Absolute start time of rank r's transfer in the fault-free run.
+    let send_start = |r: usize| -> f64 {
+        (0..r).map(|i| view[i].comm.eval(counts[i])).sum()
+    };
+
+    let mut rows = Vec::new();
+    let spec = |s: &str| {
+        FaultPlan::parse(s, &names, clean).expect("sweep specs parse")
+    };
+
+    // Crashes across the scatter order, each mid-own-transfer: the
+    // first-served rank carries the biggest early block; the last
+    // non-root rank fails when almost everything is already out.
+    for &r in &[0, p / 2, p - 2] {
+        let at = send_start(r) + view[r].comm.eval(counts[r]) * 0.5;
+        let scenario = format!("crash:{r}@{at:.6}");
+        rows.push(run_scenario(&scenario, &view, &counts, &spec(&scenario), clean));
+    }
+    // A transient drop on the first-served rank: retries absorb it, no
+    // re-plan needed.
+    rows.push(run_scenario("flaky:0:1", &view, &counts, &spec("flaky:0:1"), clean));
+    // A degraded link (2× nominal stays under the κ = 3 timeout) and a
+    // severed one (8× nominal times out every attempt).
+    rows.push(run_scenario("link:0:2", &view, &counts, &spec("link:0:2"), clean));
+    rows.push(run_scenario("link:0:8", &view, &counts, &spec("link:0:8"), clean));
+    // A 2× CPU slowdown landing mid-run on the first-served rank — the
+    // paper's "peak load on sekhmet" (Fig. 4) as a fault.
+    rows.push(run_scenario("slow:0:2@50%", &view, &counts, &spec("slow:0:2@50%"), clean));
+    // Seeded random fault mixes.
+    for &seed in seeds {
+        let faults = FaultPlan::seeded(seed, p, clean);
+        rows.push(run_scenario(&format!("seed:{seed}"), &view, &counts, &faults, clean));
+    }
+    (platform, rows)
+}
+
+/// Machine-readable export (`BENCH_faults.json`), mirroring the
+/// `BENCH_dp.json` conventions so the robustness story is comparable
+/// PR-over-PR.
+pub fn fault_sweep_json(n: usize, rows: &[FaultSweepRow]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"fault_sweep\",\n  \"schema\": 1,\n");
+    out.push_str(&format!("  \"n\": {n},\n  \"rows\": [\n"));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"clean_makespan\": {:.6}, \
+             \"degraded_makespan\": {:.6}, \"degraded_lost\": {}, \
+             \"recovered_makespan\": {:.6}, \"overhead_pct\": {:.3}, \
+             \"faults\": {}, \"retries\": {}, \"replans\": {}}}{}\n",
+            r.scenario,
+            r.clean_makespan,
+            r.degraded_makespan,
+            r.degraded_lost,
+            r.recovered_makespan,
+            r.overhead_pct,
+            r.faults,
+            r.retries,
+            r.replans,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_shapes_hold_at_small_scale() {
+        let (_, rows) = fault_sweep(2_000, &[7]);
+        assert_eq!(rows.len(), 8);
+        for r in &rows {
+            assert!(r.recovered_makespan >= r.clean_makespan - 1e-9, "{}", r.scenario);
+            assert!(r.overhead_pct >= -1e-9, "{}", r.scenario);
+        }
+        // A crash always costs the degraded run items and the recovered
+        // run time; a transient drop is absorbed by retries alone.
+        let crash = &rows[0];
+        assert!(crash.degraded_lost > 0, "crash loses items when ignored");
+        assert!(crash.replans >= 1, "crash triggers a re-plan");
+        let flaky = rows.iter().find(|r| r.scenario == "flaky:0:1").unwrap();
+        assert!(flaky.degraded_lost > 0, "one-shot send loses the block");
+        assert_eq!(flaky.replans, 0, "retries absorb a transient drop");
+        assert!(flaky.retries >= 1);
+        // A mildly degraded link stays under the timeout: no incidents
+        // beyond the stretched transfer, nothing lost.
+        let link2 = rows.iter().find(|r| r.scenario == "link:0:2").unwrap();
+        assert_eq!(link2.degraded_lost, 0);
+        assert_eq!(link2.faults, 0);
+        // A severed link is indistinguishable from a crash: re-planned.
+        let link8 = rows.iter().find(|r| r.scenario == "link:0:8").unwrap();
+        assert!(link8.replans >= 1);
+        let json = fault_sweep_json(2_000, &rows);
+        assert!(json.contains("\"bench\": \"fault_sweep\""));
+        assert!(json.contains("\"scenario\": \"flaky:0:1\""));
+    }
+}

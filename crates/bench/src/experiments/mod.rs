@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod dynamicexp;
+pub mod faultexp;
 pub mod figures;
 pub mod installmentexp;
 pub mod gatherexp;

@@ -3,12 +3,14 @@
 
 use gs_gridsim::chart::{figure_rows, render_figure, summary_line};
 use gs_gridsim::export::to_csv;
+use gs_gridsim::fault::{simulate_plan_ft, FtScatterSim};
 use gs_gridsim::gantt::{legend, render_gantt};
 use gs_gridsim::sim::simulate_plan;
-use gs_minimpi::{executed_trace, run_world, TimeModel, WorldConfig};
+use gs_minimpi::{executed_trace, executed_trace_ft, run_world, FtConfig, TimeModel, WorldConfig};
 use gs_scatter::cost::Platform;
+use gs_scatter::fault::{FaultPlan, RecoveryConfig};
 use gs_scatter::obs::json::{trace_from_json, trace_to_json};
-use gs_scatter::obs::{Trace, TraceSummary};
+use gs_scatter::obs::{Incident, Trace, TraceSummary};
 use gs_scatter::ordering::OrderPolicy;
 use gs_scatter::planner::{Plan, Planner, Strategy};
 use gs_transform::{emit_plan_arrays, transform_source, CodegenOptions};
@@ -30,6 +32,12 @@ pub struct PlanOptions {
     pub threads: usize,
     /// Upper-bound pruning for the `exact` strategy.
     pub prune: bool,
+    /// Fault-injection spec (`docs/robustness.md` grammar), e.g.
+    /// `"crash:w1@0.01,flaky:w2:1"`. `None` = fault-free.
+    pub faults: Option<String>,
+    /// Run faults in degraded (fault-oblivious) mode instead of the
+    /// timeout/retry/re-plan recovery path.
+    pub no_recovery: bool,
 }
 
 impl Default for PlanOptions {
@@ -40,6 +48,8 @@ impl Default for PlanOptions {
             order: "desc".into(),
             threads: 1,
             prune: false,
+            faults: None,
+            no_recovery: false,
         }
     }
 }
@@ -83,6 +93,43 @@ fn make_plan(platform: &Platform, opts: &PlanOptions) -> Result<Plan, CliError> 
         .threads(opts.threads)
         .prune(opts.prune)
         .plan(opts.items)?)
+}
+
+/// Parses the `--faults` spec of `opts` against the plan's scatter
+/// order: names and positions in the spec refer to processors *in the
+/// order the root serves them* (root last), and `%` times are relative
+/// to the fault-free predicted makespan.
+fn parse_fault_plan(
+    platform: &Platform,
+    plan: &Plan,
+    opts: &PlanOptions,
+) -> Result<Option<FaultPlan>, CliError> {
+    let Some(spec) = &opts.faults else { return Ok(None) };
+    let names: Vec<&str> = plan
+        .order
+        .iter()
+        .map(|&i| platform.procs()[i].name.as_str())
+        .collect();
+    let fp = FaultPlan::parse(spec, &names, plan.predicted_makespan)?;
+    Ok(Some(fp))
+}
+
+/// Recovery configuration selected by `--no-recovery`.
+fn recovery_of(opts: &PlanOptions) -> Option<RecoveryConfig> {
+    if opts.no_recovery {
+        None
+    } else {
+        Some(RecoveryConfig::default())
+    }
+}
+
+/// One line per incident, for `gs simulate --faults` and `gs report`.
+fn render_incidents(incidents: &[Incident]) -> String {
+    let mut out = String::new();
+    for i in incidents {
+        out.push_str(&format!("  t={:<10.4} {:<7} {}\n", i.t, i.kind, i.info));
+    }
+    out
 }
 
 /// One-line rendering of a `PlanTiming` for the text reports.
@@ -141,6 +188,51 @@ pub fn cmd_plan(platform_text: &str, opts: &PlanOptions, emit_c: bool) -> Result
     }
     out.push_str(&format!("predicted makespan: {:.3} s\n", plan.predicted_makespan));
     out.push_str(&render_plan_timing(&plan.timing));
+    if let Some(fp) = parse_fault_plan(&platform, &plan, opts)? {
+        out.push_str(&render_fault_forecast(&platform, &plan, &fp, opts)?);
+    }
+    Ok(out)
+}
+
+/// The fault-injection section of `gs plan --faults`: the degraded
+/// (fault-oblivious) and recovered makespans next to the fault-free
+/// prediction, so the cost of a failure — and of surviving it — is
+/// visible before anything runs.
+fn render_fault_forecast(
+    platform: &Platform,
+    plan: &Plan,
+    faults: &FaultPlan,
+    opts: &PlanOptions,
+) -> Result<String, CliError> {
+    let spec = opts.faults.as_deref().unwrap_or_default();
+    let mut out = format!("fault injection: {spec}\n");
+    let degraded = simulate_plan_ft(platform, plan, faults, None)?;
+    out.push_str(&format!(
+        "  degraded : makespan {:.3} s, {} of {} items lost\n",
+        degraded.makespan,
+        degraded.lost_items,
+        degraded.lost_items + degraded.computed_items,
+    ));
+    if !opts.no_recovery {
+        let rc = RecoveryConfig::default();
+        let recovered = simulate_plan_ft(platform, plan, faults, Some(&rc))?;
+        let summary = |k| {
+            recovered.incidents.iter().filter(|i| i.kind == k).count()
+        };
+        out.push_str(&format!(
+            "  recovered: makespan {:.3} s, all items computed \
+             ({} fault(s), {} retry(s), {} replan(s))\n",
+            recovered.makespan,
+            summary(gs_scatter::obs::IncidentKind::Fault),
+            summary(gs_scatter::obs::IncidentKind::Retry),
+            summary(gs_scatter::obs::IncidentKind::Replan),
+        ));
+        out.push_str(&format!(
+            "  recovery overhead over prediction: {:.3} s ({:+.1}%)\n",
+            recovered.makespan - plan.predicted_makespan,
+            (recovered.makespan / plan.predicted_makespan - 1.0) * 100.0,
+        ));
+    }
     Ok(out)
 }
 
@@ -154,12 +246,17 @@ pub fn cmd_simulate(
 ) -> Result<String, CliError> {
     let platform = parse_platform(platform_text)?;
     let plan = make_plan(&platform, opts)?;
-    let sim = simulate_plan(&platform, &plan, &[]);
     let names: Vec<&str> = plan
         .order
         .iter()
         .map(|&i| platform.procs()[i].name.as_str())
         .collect();
+    if let Some(fp) = parse_fault_plan(&platform, &plan, opts)? {
+        let rc = recovery_of(opts);
+        let ft = simulate_plan_ft(&platform, &plan, &fp, rc.as_ref())?;
+        return Ok(render_ft_sim(&ft, &names, opts, width, csv));
+    }
+    let sim = simulate_plan(&platform, &plan, &[]);
     let counts = plan.counts_in_order();
     if csv {
         return Ok(to_csv(&names, &counts, &sim.timeline));
@@ -172,6 +269,42 @@ pub fn cmd_simulate(
     );
     out.push_str(&format!("{}\n", summary_line(&rows)));
     Ok(out)
+}
+
+/// Renders a fault-injected simulation: the figure shows the items each
+/// rank *ended up computing* (after any re-plan), and the incident log
+/// follows the chart.
+fn render_ft_sim(
+    ft: &FtScatterSim,
+    names: &[&str],
+    opts: &PlanOptions,
+    width: usize,
+    csv: bool,
+) -> String {
+    let counts: Vec<usize> = ft
+        .assignments
+        .iter()
+        .map(|rs| rs.iter().map(|&(lo, hi)| (hi - lo) as usize).sum())
+        .collect();
+    if csv {
+        return to_csv(names, &counts, &ft.timeline);
+    }
+    let mode = if ft.recovered { "recovered" } else { "degraded" };
+    let rows = figure_rows(names, &counts, &ft.timeline);
+    let mut out = render_figure(
+        &format!("simulated scatter of {} items ({mode})", opts.items),
+        &rows,
+        width,
+    );
+    out.push_str(&format!("{}\n", summary_line(&rows)));
+    if ft.lost_items > 0 {
+        out.push_str(&format!("lost: {} items never computed\n", ft.lost_items));
+    }
+    if !ft.incidents.is_empty() {
+        out.push_str("incidents:\n");
+        out.push_str(&render_incidents(&ft.incidents));
+    }
+    out
 }
 
 /// `gs transform`: rewrites `MPI_Scatter` calls in `c_source` and
@@ -221,13 +354,28 @@ pub fn cmd_trace(
         .map(|&i| platform.procs()[i].name.as_str())
         .collect();
     let counts = plan.counts_in_order();
-    let mut trace = match source {
-        "predicted" => plan.predicted_trace(&platform, item_bytes as u64),
-        "simulated" => {
+    let fp = parse_fault_plan(&platform, &plan, opts)?;
+    if fp.is_some() && source == "predicted" {
+        return Err(CliError(
+            "--faults applies to simulated|executed traces; the predicted \
+             trace is the fault-free Eq. (1) baseline"
+                .into(),
+        ));
+    }
+    let mut trace = match (source, fp) {
+        ("predicted", _) => plan.predicted_trace(&platform, item_bytes as u64),
+        ("simulated", None) => {
             simulate_plan(&platform, &plan, &[]).trace(&names, &counts, item_bytes as u64)
         }
-        "executed" => run_executed(&platform, &plan, &names, &counts, item_bytes),
-        other => {
+        ("simulated", Some(fp)) => {
+            simulate_plan_ft(&platform, &plan, &fp, recovery_of(opts).as_ref())?
+                .trace(&names, item_bytes as u64)
+        }
+        ("executed", None) => run_executed(&platform, &plan, &names, &counts, item_bytes),
+        ("executed", Some(fp)) => {
+            run_executed_ft(&platform, &plan, &names, &counts, item_bytes, fp, opts)
+        }
+        (other, _) => {
             return Err(CliError(format!(
                 "unknown trace source `{other}` (try predicted|simulated|executed)"
             )))
@@ -269,6 +417,46 @@ fn run_executed(
     executed_trace(names, item_bytes as u64, &records)
 }
 
+/// Runs the plan on the fault-tolerant gs-minimpi path
+/// ([`gs_minimpi::Comm::scatterv_ft`]): the root drives the same fault
+/// oracle as the simulator, so the executed trace agrees with
+/// `gs trace --source simulated --faults ...` bit for bit.
+fn run_executed_ft(
+    platform: &Platform,
+    plan: &Plan,
+    names: &[&str],
+    counts: &[usize],
+    item_bytes: usize,
+    faults: FaultPlan,
+    opts: &PlanOptions,
+) -> Trace {
+    let p = platform.len();
+    let config = FtConfig {
+        faults,
+        recovery: recovery_of(opts),
+        procs: plan.order.iter().map(|&i| platform.procs()[i].clone()).collect(),
+        item_bytes: item_bytes as u64,
+    };
+    let recovered = config.recovery.is_some();
+    let counts = counts.to_vec();
+    let root = p - 1;
+    let total: usize = counts.iter().sum();
+    let out = run_world(p, WorldConfig::default(), move |c| {
+        c.enable_tracing();
+        let buf = vec![0u64; total];
+        let mine = c.scatterv_ft(
+            &config,
+            if c.rank() == root { Some(&buf) } else { None },
+            &counts,
+        );
+        c.model_compute_ft(&config, mine.len());
+        (c.take_trace(), c.take_incidents())
+    });
+    let records: Vec<_> = out.iter().map(|(r, _)| r.clone()).collect();
+    let incidents = out[root].1.clone();
+    executed_trace_ft(names, item_bytes as u64, &records, incidents, recovered)
+}
+
 /// `gs report`: ingests 1–3 exported JSON traces, validates them, and
 /// renders for each a summary table plus a Fig.-1-style Gantt chart;
 /// with several traces it appends a per-processor comparison (the
@@ -294,6 +482,9 @@ pub fn cmd_report(trace_texts: &[String], width: usize) -> Result<String, CliErr
     for trace in &traces {
         let summary = TraceSummary::from_trace(trace);
         out.push_str(&summary.render());
+        if !trace.incidents.is_empty() {
+            out.push_str(&render_incidents(&trace.incidents));
+        }
         if let Some(timing) = &trace.plan_timing {
             out.push_str(&render_plan_timing(timing));
         }
@@ -346,10 +537,14 @@ fn render_comparison(traces: &[Trace]) -> String {
     };
 
     let name_w = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(9).max(9);
+    // Column headers: the trace label (`degraded`, `recovered`) when one
+    // is set, else the source — so a predicted/degraded/recovered diff
+    // reads as exactly that.
+    let col = |s: &TraceSummary| s.label.as_deref().unwrap_or(s.source.as_str()).to_string();
     let mut out = String::from("finish-time comparison (s):\n");
     out.push_str(&format!("{:<name_w$}", "processor"));
     for s in &summaries {
-        out.push_str(&format!(" {:>12}", s.source.as_str()));
+        out.push_str(&format!(" {:>12}", col(s)));
     }
     out.push('\n');
     for key in &rows {
@@ -374,8 +569,8 @@ fn render_comparison(traces: &[Trace]) -> String {
             .fold(0.0f64, f64::max);
         out.push_str(&format!(
             "max |finish deviation| of {} vs {}: {:.6} s\n",
-            s.source.as_str(),
-            summaries[0].source.as_str(),
+            col(s),
+            col(&summaries[0]),
             max_dev
         ));
     }
@@ -550,6 +745,94 @@ mod tests {
         assert!(cmd_report(&["not json".into()], 40).is_err());
         let json = cmd_trace(PLATFORM, &opts(100), "predicted", 8).unwrap();
         assert!(cmd_report(&vec![json; 4], 40).is_err());
+    }
+
+    fn fault_opts(items: usize, spec: &str, no_recovery: bool) -> PlanOptions {
+        PlanOptions {
+            items,
+            faults: Some(spec.into()),
+            no_recovery,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn plan_forecasts_degraded_and_recovered_makespans() {
+        let out = cmd_plan(PLATFORM, &fault_opts(1000, "crash:w1@40%", false), false).unwrap();
+        assert!(out.contains("fault injection: crash:w1@40%"), "{out}");
+        assert!(out.contains("degraded :"), "{out}");
+        assert!(out.contains("items lost"), "{out}");
+        assert!(out.contains("recovered:"), "{out}");
+        assert!(out.contains("all items computed"), "{out}");
+        assert!(out.contains("recovery overhead"), "{out}");
+        // --no-recovery drops the recovered forecast.
+        let out = cmd_plan(PLATFORM, &fault_opts(1000, "crash:w1@40%", true), false).unwrap();
+        assert!(!out.contains("recovered:"), "{out}");
+    }
+
+    #[test]
+    fn simulate_with_faults_shows_incidents() {
+        let out = cmd_simulate(PLATFORM, &fault_opts(1000, "crash:w1@0.01", false), 40, false)
+            .unwrap();
+        assert!(out.contains("(recovered)"), "{out}");
+        assert!(out.contains("incidents:"), "{out}");
+        assert!(out.contains("receiver crashed"), "{out}");
+        assert!(out.contains("redistributing"), "{out}");
+        let out = cmd_simulate(PLATFORM, &fault_opts(1000, "crash:w1@0.01", true), 40, false)
+            .unwrap();
+        assert!(out.contains("(degraded)"), "{out}");
+        assert!(out.contains("items never computed"), "{out}");
+    }
+
+    #[test]
+    fn faulted_trace_sources_agree_bit_for_bit() {
+        // The crash of the fastest non-root rank mid-scatter (the
+        // ISSUE.md acceptance scenario): simulated and executed runs
+        // share the fault oracle, so their traces agree exactly.
+        for no_recovery in [false, true] {
+            let o = fault_opts(1000, "crash:w1@0.01,flaky:w2:1", no_recovery);
+            let sim = cmd_trace(PLATFORM, &o, "simulated", 8).unwrap();
+            let exec = cmd_trace(PLATFORM, &o, "executed", 8).unwrap();
+            let sim = trace_from_json(&sim).unwrap();
+            let exec = trace_from_json(&exec).unwrap();
+            sim.validate().unwrap();
+            exec.validate().unwrap();
+            assert_eq!(sim.label, exec.label);
+            assert_eq!(sim.incidents, exec.incidents);
+            assert_eq!(sim.makespan(), exec.makespan());
+        }
+    }
+
+    #[test]
+    fn faulted_predicted_trace_is_rejected() {
+        let o = fault_opts(100, "crash:w1@40%", false);
+        assert!(cmd_trace(PLATFORM, &o, "predicted", 8).is_err());
+        let o = fault_opts(100, "meltdown:w1", false);
+        assert!(cmd_trace(PLATFORM, &o, "simulated", 8).is_err(), "bad spec");
+    }
+
+    #[test]
+    fn report_shows_robustness_diff_with_labels() {
+        let pred = cmd_trace(PLATFORM, &opts(1000), "simulated", 8).unwrap();
+        let degraded =
+            cmd_trace(PLATFORM, &fault_opts(1000, "crash:w1@0.01", true), "simulated", 8)
+                .unwrap();
+        let recovered =
+            cmd_trace(PLATFORM, &fault_opts(1000, "crash:w1@0.01", false), "simulated", 8)
+                .unwrap();
+        let out = cmd_report(&[pred, degraded, recovered], 40).unwrap();
+        assert!(out.contains("(degraded)"), "{out}");
+        assert!(out.contains("(recovered)"), "{out}");
+        assert!(out.contains("incidents:"), "{out}");
+        assert!(out.contains("receiver crashed"), "{out}");
+        // Comparison columns carry the labels.
+        assert!(out.contains("finish-time comparison"), "{out}");
+        let header = out
+            .lines()
+            .skip_while(|l| !l.starts_with("finish-time comparison"))
+            .nth(1)
+            .unwrap();
+        assert!(header.contains("degraded") && header.contains("recovered"), "{header}");
     }
 
     #[test]

@@ -21,6 +21,12 @@ USAGE:
   gs report <trace.json> [<t2.json> <t3.json>]  summary + Gantt per trace; diff if several
   gs transform <file.c> <platform> --items N    rewrite MPI_Scatter call sites
 
+FAULT INJECTION (docs/robustness.md):
+  gs plan     ... --faults SPEC                 forecast degraded + recovered makespans
+  gs simulate ... --faults SPEC                 run the fault-tolerant simulator
+  gs trace    ... --source simulated|executed --faults SPEC
+                                                export a degraded/recovered trace
+
 OPTIONS:
   --items N          number of data items (required for plan/simulate/trace/transform)
   --strategy S       uniform | exact | exact-basic | heuristic (default) | closed-form
@@ -31,6 +37,15 @@ OPTIONS:
   --width W          chart width for simulate/report (default 60)
   --source S         trace to export: predicted (default) | simulated | executed
   --item-bytes B     wire size of one item for trace (default 8)
+  --faults SPEC      inject faults: comma-separated clauses
+                       crash:<who>@<t>   fail-stop at time t (`40%` = 40% of the
+                                         predicted makespan)
+                       flaky:<who>:<k>   first k sends to <who> are lost
+                       slow:<who>:<f>[@<t>]  CPU slows by factor f (from t)
+                       link:<who>:<f>    link to <who> degrades by factor f
+                       seed:<n>          add a seeded random fault mix
+                     <who> = processor name or scatter position
+  --no-recovery      fault-oblivious (degraded) mode: no timeout/retry/re-plan
 
 The trace JSON schema is documented in docs/observability.md; a typical
 three-way check is:
@@ -38,6 +53,13 @@ three-way check is:
   gs trace grid.platform --items 817101 --source simulated > sim.json
   gs trace grid.platform --items 817101 --source executed  > exec.json
   gs report pred.json sim.json exec.json
+A predicted/degraded/recovered robustness diff (docs/robustness.md):
+  gs trace grid.platform --items 817101 --source simulated > pred.json
+  gs trace grid.platform --items 817101 --source simulated \\
+      --faults crash:sekhmet@0.5% --no-recovery > degraded.json
+  gs trace grid.platform --items 817101 --source simulated \\
+      --faults crash:sekhmet@0.5% > recovered.json
+  gs report pred.json degraded.json recovered.json
 ";
 
 fn main() -> ExitCode {
@@ -82,6 +104,8 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 item_bytes =
                     next_value(args, &mut i)?.parse().map_err(|_| bad("--item-bytes"))?;
             }
+            "--faults" => opts.faults = Some(next_value(args, &mut i)?),
+            "--no-recovery" => opts.no_recovery = true,
             "--emit-c" => emit_c = true,
             "--csv" => csv = true,
             "--help" | "-h" => return Ok(USAGE.to_string()),

@@ -47,6 +47,9 @@ pub enum PlanError {
         /// The largest supported item count.
         max: usize,
     },
+    /// A fault-injection spec (`--faults`) or [`crate::fault::FaultPlan`]
+    /// could not be parsed or is inconsistent with the platform.
+    FaultSpec(String),
 }
 
 impl fmt::Display for PlanError {
@@ -70,6 +73,7 @@ impl fmt::Display for PlanError {
             PlanError::TooLarge { n, max } => {
                 write!(f, "item count {n} exceeds the supported maximum {max}")
             }
+            PlanError::FaultSpec(msg) => write!(f, "bad fault spec: {msg}"),
         }
     }
 }

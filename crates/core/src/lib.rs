@@ -73,6 +73,7 @@ pub mod dp_basic;
 mod dp_kernel;
 pub mod dp_optimized;
 pub mod error;
+pub mod fault;
 pub mod gather;
 pub mod heuristic;
 pub mod multiround;
@@ -93,8 +94,13 @@ pub mod prelude {
     pub use crate::dp_basic::optimal_distribution_basic;
     pub use crate::dp_optimized::optimal_distribution;
     pub use crate::error::PlanError;
+    pub use crate::fault::{
+        replan_residual, Fault, FaultKind, FaultPlan, FaultSession, RecoveryConfig, SendOutcome,
+    };
     pub use crate::heuristic::{heuristic_distribution, HeuristicSolution};
-    pub use crate::obs::{Event, EventKind, PlanTiming, Trace, TraceSource, TraceSummary};
+    pub use crate::obs::{
+        Event, EventKind, Incident, IncidentKind, PlanTiming, Trace, TraceSource, TraceSummary,
+    };
     pub use crate::parallel::{
         optimal_distribution_basic_parallel, optimal_distribution_parallel, ParallelOpts,
     };

@@ -23,7 +23,10 @@
 //! reads all numbers as `f64`, which is exact for the magnitudes the
 //! schema produces (counts and byte totals below 2⁵³).
 
-use super::{Event, EventKind, PlanTiming, Trace, TraceError, TraceSource, SCHEMA_VERSION};
+use super::{
+    Event, EventKind, Incident, IncidentKind, PlanTiming, Trace, TraceError, TraceSource,
+    SCHEMA_VERSION,
+};
 
 // ---- writer ---------------------------------------------------------------
 
@@ -71,6 +74,28 @@ pub fn trace_to_json(trace: &Trace) -> String {
             ", \"cache_hits\": {}, \"cache_misses\": {}}},\n",
             pt.cache_hits, pt.cache_misses
         ));
+    }
+    if let Some(label) = &trace.label {
+        out.push_str("  \"label\": ");
+        push_escaped(&mut out, label);
+        out.push_str(",\n");
+    }
+    if !trace.incidents.is_empty() {
+        out.push_str("  \"incidents\": [");
+        for (i, inc) in trace.incidents.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            out.push_str("{\"t\": ");
+            push_f64(&mut out, inc.t);
+            out.push_str(&format!(
+                ", \"kind\": \"{}\", \"rank\": {}, \"items\": {}, \"info\": ",
+                inc.kind.as_str(),
+                inc.rank,
+                inc.items
+            ));
+            push_escaped(&mut out, &inc.info);
+            out.push('}');
+        }
+        out.push_str("\n  ],\n");
     }
     out.push_str("  \"names\": [");
     for (i, name) in trace.names.iter().enumerate() {
@@ -407,6 +432,42 @@ pub fn trace_from_json(text: &str) -> Result<Trace, TraceError> {
     if let Some(pt) = doc.get("plan_timing") {
         trace.plan_timing = Some(plan_timing_from_json(pt)?);
     }
+    // `label` and `incidents` are optional: absent on fault-free traces
+    // and in documents from older writers.
+    if let Some(l) = doc.get("label") {
+        trace.label = Some(
+            l.as_str()
+                .ok_or_else(|| TraceError("field `label` must be a string".into()))?
+                .to_string(),
+        );
+    }
+    if let Some(arr) = doc.get("incidents") {
+        for (i, inc) in arr
+            .as_arr()
+            .ok_or_else(|| TraceError("field `incidents` must be an array".into()))?
+            .iter()
+            .enumerate()
+        {
+            let t = field(inc, "t")?
+                .as_f64()
+                .ok_or_else(|| TraceError(format!("incident {i}: `t` must be a number")))?;
+            let kind_name = field(inc, "kind")?
+                .as_str()
+                .ok_or_else(|| TraceError(format!("incident {i}: `kind` must be a string")))?;
+            let kind = IncidentKind::parse(kind_name)
+                .ok_or_else(|| TraceError(format!("incident {i}: unknown kind `{kind_name}`")))?;
+            let rank =
+                usize_field(inc, "rank").map_err(|e| TraceError(format!("incident {i}: {e}")))?;
+            let items = field(inc, "items")?
+                .as_u64()
+                .ok_or_else(|| TraceError(format!("incident {i}: `items` must be an integer")))?;
+            let info = field(inc, "info")?
+                .as_str()
+                .ok_or_else(|| TraceError(format!("incident {i}: `info` must be a string")))?
+                .to_string();
+            trace.incidents.push(Incident { t, kind, rank, items, info });
+        }
+    }
     for (i, ev) in field(&doc, "events")?
         .as_arr()
         .ok_or_else(|| TraceError("field `events` must be an array".into()))?
@@ -499,6 +560,52 @@ mod tests {
         assert_eq!(back, trace);
         // Absent field decodes to None (older writers).
         assert_eq!(trace_from_json(&trace_to_json(&sample())).unwrap().plan_timing, None);
+    }
+
+    #[test]
+    fn incidents_and_label_round_trip_exactly() {
+        let mut trace = sample();
+        trace.label = Some("recovered".into());
+        trace.incidents = vec![
+            Incident {
+                t: 0.25,
+                kind: IncidentKind::Fault,
+                rank: 1,
+                items: 2,
+                info: "send to \"p2\" timed out".into(),
+            },
+            Incident { t: 0.5, kind: IncidentKind::Retry, rank: 1, items: 2, info: String::new() },
+            Incident {
+                t: 1.0,
+                kind: IncidentKind::Replan,
+                rank: 2,
+                items: 2,
+                info: "2 items over 2 survivors".into(),
+            },
+        ];
+        let text = trace_to_json(&trace);
+        assert!(text.contains("\"label\": \"recovered\""));
+        assert!(text.contains("\"incidents\""));
+        let back = trace_from_json(&text).unwrap();
+        assert_eq!(back, trace);
+        // Absent fields decode to empty/None (older writers, fault-free traces).
+        let plain = trace_from_json(&trace_to_json(&sample())).unwrap();
+        assert!(plain.incidents.is_empty());
+        assert_eq!(plain.label, None);
+    }
+
+    #[test]
+    fn unknown_incident_kind_is_rejected() {
+        let mut trace = sample();
+        trace.incidents.push(Incident {
+            t: 0.0,
+            kind: IncidentKind::Fault,
+            rank: 0,
+            items: 1,
+            info: String::new(),
+        });
+        let text = trace_to_json(&trace).replace("\"kind\": \"fault\"", "\"kind\": \"meltdown\"");
+        assert!(trace_from_json(&text).unwrap_err().0.contains("unknown kind `meltdown`"));
     }
 
     #[test]

@@ -236,6 +236,72 @@ impl PlanTiming {
     }
 }
 
+/// What a fault-layer [`Incident`] records.
+///
+/// Incidents are the robustness counterpart of [`EventKind`]: they do not
+/// carry schedule intervals (a failed send moves no bytes and must not
+/// disturb byte conservation or interval bracketing), so they live in a
+/// separate, optional side-channel of the trace — the `incidents` array
+/// of the JSON schema, absent in fault-free traces, which keeps
+/// [`SCHEMA_VERSION`] at 1. See `docs/robustness.md` for the taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IncidentKind {
+    /// A send attempt failed (transient failure, timeout, or the receiver
+    /// crashed before the transfer completed), or a rank was declared
+    /// dead after exhausting its retries.
+    Fault,
+    /// The root re-attempts a failed transfer after a backoff.
+    Retry,
+    /// The root re-planned the residual (undelivered) items over the
+    /// surviving ranks.
+    Replan,
+}
+
+impl IncidentKind {
+    /// The schema's wire name (`fault`, `retry`, `replan`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IncidentKind::Fault => "fault",
+            IncidentKind::Retry => "retry",
+            IncidentKind::Replan => "replan",
+        }
+    }
+
+    /// Parses a wire name back into a kind.
+    pub fn parse(s: &str) -> Option<IncidentKind> {
+        Some(match s {
+            "fault" => IncidentKind::Fault,
+            "retry" => IncidentKind::Retry,
+            "replan" => IncidentKind::Replan,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for IncidentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One fault-layer occurrence: a failed attempt, a retry, or a re-plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Incident {
+    /// Virtual time of the occurrence (for a failed attempt: when the
+    /// failure was detected, i.e. the timeout expiry).
+    pub t: f64,
+    /// What happened.
+    pub kind: IncidentKind,
+    /// The rank the incident concerns (the intended receiver for
+    /// fault/retry; the root for replan).
+    pub rank: usize,
+    /// Number of data items involved (the undelivered block size for
+    /// fault/retry, the residual pool size for replan).
+    pub items: u64,
+    /// Free-form human-readable detail (`attempt 2/3 timed out`, …).
+    pub info: String,
+}
+
 /// A malformed trace (or trace serialization).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceError(pub String);
@@ -270,12 +336,37 @@ pub struct Trace {
     /// How long planning took, when known. Optional — traces parsed from
     /// older exports (or built without a planner) leave it `None`.
     pub plan_timing: Option<PlanTiming>,
+    /// Fault-layer incidents (failed attempts, retries, re-plans), in
+    /// time order. Empty for fault-free traces — and absent from their
+    /// JSON exports, which keeps the schema at version 1.
+    pub incidents: Vec<Incident>,
+    /// Optional scenario label distinguishing traces that share a
+    /// [`TraceSource`] (e.g. `degraded` vs `recovered` simulated runs of
+    /// the same faulty grid). Serialized as the optional `label` field.
+    pub label: Option<String>,
 }
 
 impl Trace {
     /// An empty trace over the given ranks.
     pub fn new(source: TraceSource, item_bytes: u64, names: Vec<String>) -> Trace {
-        Trace { source, item_bytes, names, events: Vec::new(), plan_timing: None }
+        Trace {
+            source,
+            item_bytes,
+            names,
+            events: Vec::new(),
+            plan_timing: None,
+            incidents: Vec::new(),
+            label: None,
+        }
+    }
+
+    /// The trace's display name: the source, refined by the scenario
+    /// label when one is set (`simulated/recovered`).
+    pub fn display_name(&self) -> String {
+        match &self.label {
+            Some(l) => format!("{}/{l}", self.source),
+            None => self.source.to_string(),
+        }
     }
 
     /// Number of ranks.
@@ -402,7 +493,9 @@ impl Trace {
     ///    (every end closes a matching open start, nothing left open) and
     ///    an end carries the same `peer`/`bytes` as its start;
     /// 6. idle markers never fall strictly inside one of that rank's
-    ///    send or compute intervals.
+    ///    send or compute intervals;
+    /// 7. incidents carry finite non-negative timestamps, in-range ranks,
+    ///    and appear in time order.
     pub fn validate(&self) -> Result<(), TraceError> {
         let p = self.num_ranks();
         let err = |msg: String| Err(TraceError(msg));
@@ -496,6 +589,22 @@ impl Trace {
             if open_compute[r].is_some() {
                 return err(format!("rank {r}: compute never ends"));
             }
+        }
+        let mut last_incident = 0.0f64;
+        for (i, inc) in self.incidents.iter().enumerate() {
+            if !inc.t.is_finite() || inc.t < 0.0 {
+                return err(format!("incident {i}: bad timestamp {}", inc.t));
+            }
+            if inc.rank >= p {
+                return err(format!("incident {i}: rank {} out of range (p={p})", inc.rank));
+            }
+            if inc.t < last_incident {
+                return err(format!(
+                    "incident {i}: goes back in time ({} < {last_incident})",
+                    inc.t
+                ));
+            }
+            last_incident = inc.t;
         }
         Ok(())
     }
@@ -636,6 +745,49 @@ mod tests {
         let trace = Trace::new(TraceSource::Predicted, 8, vec![]);
         trace.validate().unwrap();
         assert_eq!(trace.makespan(), 0.0);
+    }
+
+    #[test]
+    fn incident_kind_wire_names_round_trip() {
+        for k in [IncidentKind::Fault, IncidentKind::Retry, IncidentKind::Replan] {
+            assert_eq!(IncidentKind::parse(k.as_str()), Some(k));
+        }
+        assert_eq!(IncidentKind::parse("meltdown"), None);
+    }
+
+    #[test]
+    fn validate_checks_incidents() {
+        let mut trace = sample_trace();
+        trace.incidents.push(Incident {
+            t: 1.0,
+            kind: IncidentKind::Fault,
+            rank: 0,
+            items: 3,
+            info: "attempt 1/3 timed out".into(),
+        });
+        trace.validate().unwrap();
+        trace.incidents[0].rank = 99;
+        assert!(trace.validate().unwrap_err().0.contains("out of range"));
+        trace.incidents[0].rank = 0;
+        trace.incidents[0].t = f64::NAN;
+        assert!(trace.validate().unwrap_err().0.contains("bad timestamp"));
+        trace.incidents[0].t = 5.0;
+        trace.incidents.push(Incident {
+            t: 2.0,
+            kind: IncidentKind::Retry,
+            rank: 0,
+            items: 3,
+            info: String::new(),
+        });
+        assert!(trace.validate().unwrap_err().0.contains("back in time"));
+    }
+
+    #[test]
+    fn display_name_includes_label() {
+        let mut trace = sample_trace();
+        assert_eq!(trace.display_name(), "predicted");
+        trace.label = Some("recovered".into());
+        assert_eq!(trace.display_name(), "predicted/recovered");
     }
 
     #[test]

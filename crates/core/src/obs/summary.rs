@@ -2,7 +2,7 @@
 
 use std::fmt::Write as _;
 
-use super::{Event, EventKind, Trace, TraceSource};
+use super::{Event, EventKind, IncidentKind, Trace, TraceSource};
 
 /// Per-rank breakdown of one trace.
 ///
@@ -58,6 +58,9 @@ pub struct LinkBytes {
 pub struct TraceSummary {
     /// Provenance of the underlying trace.
     pub source: TraceSource,
+    /// Variant label of the underlying trace (e.g. `"degraded"` /
+    /// `"recovered"` for fault runs); `None` for fault-free traces.
+    pub label: Option<String>,
     /// Largest event timestamp (Eq. 2 when the trace covers one
     /// scatter + compute phase).
     pub makespan: f64,
@@ -75,6 +78,12 @@ pub struct TraceSummary {
     pub total_compute: f64,
     /// Σ of per-rank idle seconds.
     pub total_idle: f64,
+    /// Number of `fault` incidents recorded on the trace.
+    pub faults: usize,
+    /// Number of `retry` incidents recorded on the trace.
+    pub retries: usize,
+    /// Number of `replan` incidents recorded on the trace.
+    pub replans: usize,
 }
 
 /// Sum of interval lengths after merging overlaps.
@@ -178,9 +187,14 @@ impl TraceSummary {
             .into_iter()
             .map(|((src, dst), bytes)| LinkBytes { src, dst, bytes })
             .collect();
+        let count = |k: IncidentKind| trace.incidents.iter().filter(|i| i.kind == k).count();
         TraceSummary {
             source: trace.source,
+            label: trace.label.clone(),
             makespan,
+            faults: count(IncidentKind::Fault),
+            retries: count(IncidentKind::Retry),
+            replans: count(IncidentKind::Replan),
             total_bytes: links.iter().map(|l| l.bytes).sum(),
             total_recv: ranks.iter().map(|r| r.recv).sum(),
             total_compute: ranks.iter().map(|r| r.compute).sum(),
@@ -199,8 +213,12 @@ impl TraceSummary {
             .max()
             .unwrap_or(4)
             .max(4);
+        let label = match &self.label {
+            Some(l) => format!(" ({l})"),
+            None => String::new(),
+        };
         let mut out = format!(
-            "{} trace: {} ranks, makespan {:.4} s, {} bytes moved\n",
+            "{} trace{label}: {} ranks, makespan {:.4} s, {} bytes moved\n",
             self.source,
             self.ranks.len(),
             self.makespan,
@@ -226,6 +244,13 @@ impl TraceSummary {
             self.total_idle,
             self.links.len()
         );
+        if self.faults + self.retries + self.replans > 0 {
+            let _ = writeln!(
+                out,
+                "incidents: {} fault(s), {} retry(s), {} replan(s)",
+                self.faults, self.retries, self.replans
+            );
+        }
         out
     }
 }
@@ -309,6 +334,27 @@ mod tests {
             assert!(text.contains(name), "{text}");
         }
         assert!(text.contains("makespan 9.0000"));
+    }
+
+    #[test]
+    fn render_shows_label_and_incident_counts() {
+        use super::super::{Incident, IncidentKind};
+        let (mut trace, _) = sample();
+        trace.label = Some("recovered".into());
+        trace.incidents = vec![
+            Incident { t: 1.0, kind: IncidentKind::Fault, rank: 0, items: 3, info: String::new() },
+            Incident { t: 2.0, kind: IncidentKind::Retry, rank: 0, items: 3, info: String::new() },
+            Incident { t: 3.0, kind: IncidentKind::Replan, rank: 2, items: 3, info: String::new() },
+        ];
+        let s = trace.summarize().unwrap();
+        assert_eq!((s.faults, s.retries, s.replans), (1, 1, 1));
+        let text = s.render();
+        // The base "<source> trace" prefix survives so existing greps work.
+        assert!(text.contains("predicted trace (recovered):"), "{text}");
+        assert!(text.contains("incidents: 1 fault(s), 1 retry(s), 1 replan(s)"), "{text}");
+        // Fault-free traces stay incident-silent.
+        let plain = sample().0.summarize().unwrap().render();
+        assert!(!plain.contains("incidents:"), "{plain}");
     }
 
     #[test]

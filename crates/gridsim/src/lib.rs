@@ -22,11 +22,12 @@
 //! ([`gantt`], [`chart`]).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod chart;
 pub mod engine;
 pub mod export;
+pub mod fault;
 pub mod gantt;
 pub mod installments;
 pub mod load;
@@ -36,6 +37,7 @@ pub mod multiport;
 pub mod sim;
 
 pub use engine::{Engine, SimEvent, SimEventKind};
+pub use fault::{simulate_plan_ft, simulate_scatter_ft, FtScatterSim, ReplanRecord};
 pub use installments::{simulate_installments, split_installments, InstallmentRun};
 pub use load::LoadTrace;
 pub use masterworker::{simulate_master_worker, MasterWorkerConfig, MasterWorkerRun};

@@ -20,6 +20,11 @@ pub(crate) mod op {
     pub const ALLGATHER: u8 = 7;
     pub const ALLTOALL: u8 = 8;
     pub const SCAN: u8 = 9;
+    /// Data blocks of the fault-tolerant scatter ([`crate::ft`]).
+    pub const FT_SCATTER: u8 = 10;
+    /// Out-of-band control messages of the fault-tolerant scatter
+    /// (delivery counts; no virtual time, no trace).
+    pub const FT_CTRL: u8 = 11;
 }
 
 /// A rank's handle on the world: identity, mailbox, virtual clock.
@@ -42,6 +47,9 @@ pub struct Comm {
     pub(crate) coll_seq: u64,
     /// Communication trace (only populated when tracing is enabled).
     pub(crate) trace: Option<Vec<crate::trace::CommRecord>>,
+    /// Fault/retry/replan incidents recorded by the fault-tolerant
+    /// scatter (populated on the root; see [`crate::ft`]).
+    pub(crate) incidents: Vec<gs_scatter::obs::Incident>,
 }
 
 impl Comm {
@@ -62,6 +70,7 @@ impl Comm {
             model,
             coll_seq: 0,
             trace: None,
+            incidents: Vec::new(),
         }
     }
 

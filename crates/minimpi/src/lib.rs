@@ -41,11 +41,12 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod collective_ext;
 mod comm;
 mod datum;
+mod ft;
 mod message;
 mod nonblocking;
 mod time;
@@ -54,6 +55,7 @@ mod world;
 
 pub use comm::Comm;
 pub use datum::Datum;
+pub use ft::{executed_trace_ft, FtConfig};
 pub use message::Tag;
 pub use nonblocking::RecvRequest;
 pub use time::TimeModel;

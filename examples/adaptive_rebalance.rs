@@ -1,15 +1,21 @@
 //! Extension (§3's monitoring-daemon remark): re-planning each scatter
-//! round from *instantaneous* grid conditions.
+//! round from *instantaneous* grid conditions — on the fault layer of
+//! `docs/robustness.md`.
 //!
-//! An SPMD code scatters work every iteration. Midway through the run a
-//! background job lands on one machine, halving its speed. A static plan
-//! keeps overloading it; an adaptive planner queries the current load
-//! (as a NWS-style monitor would) before each round and shifts work away.
+//! An SPMD code scatters work every iteration under a [`FaultPlan`]:
+//! midway through the run a background job lands on one machine,
+//! halving its speed, and one transfer per round is dropped in flight
+//! (the recovery path retries it). A **static** plan keeps overloading
+//! the slowed machine; an **adaptive** planner queries the monitor —
+//! [`FaultPlan::degraded_platform`], the platform *as observable* at
+//! the current time — re-plans, and shifts work away. Both run through
+//! the fault-tolerant simulator (`simulate_scatter_ft`), so the dropped
+//! transfer costs each of them the same timeout + retry.
 //!
 //! Run with: `cargo run --example adaptive_rebalance`
 
+use grid_scatter::gridsim::fault::simulate_scatter_ft;
 use grid_scatter::prelude::*;
-use grid_scatter::gridsim::sim::simulate_multi_round;
 
 const ROUNDS: usize = 6;
 const N_PER_ROUND: usize = 40_000;
@@ -28,14 +34,15 @@ fn main() {
     let order = Planner::new(platform.clone()).plan(1).unwrap().order;
     let view = platform.ordered(&order);
     let names: Vec<&str> = order.iter().map(|&i| platform.procs()[i].name.as_str()).collect();
-    let victim_pos = names.iter().position(|&n| n == "w2").unwrap();
 
-    // The background job: w2 runs at half speed from t = 200 s on.
+    // The grid's misbehaviour, in scatter-rank space: w2 slows 2× when
+    // the background job lands at t = 200 s, and the first transfer to
+    // w1 of every round is lost in flight (each round is a fresh
+    // session, so each round pays one timeout + retry).
     let spike_start = 200.0;
-    let factor = 2.0;
-    let mut loads = vec![LoadTrace::none(); 4];
-    loads[victim_pos] = LoadTrace::new(vec![(spike_start, factor)]);
-    let config = SimConfig::with_loads(loads);
+    let faults =
+        FaultPlan::parse(&format!("slow:w2:2@{spike_start},flaky:w1:1"), &names, 1.0).unwrap();
+    let recovery = RecoveryConfig::default();
 
     // --- static: plan once, reuse the counts every round -----------------
     let static_counts = Planner::new(platform.clone())
@@ -43,53 +50,50 @@ fn main() {
         .plan(N_PER_ROUND)
         .unwrap()
         .counts_in_order();
-    let static_rounds = simulate_multi_round(
-        &view,
-        &vec![static_counts.clone(); ROUNDS],
-        &config,
-    );
+    let mut static_ends = Vec::new();
+    let mut t = 0.0f64;
+    for _ in 0..ROUNDS {
+        // The round starts at absolute time t: shift the fault plan's
+        // absolute times into the round's own clock.
+        let ft = simulate_scatter_ft(&view, &static_counts, &faults.shifted(-t), Some(&recovery))
+            .expect("static round completes");
+        t += ft.makespan;
+        static_ends.push(t);
+    }
 
     // --- adaptive: before each round, query the monitor and re-plan ------
-    let mut adaptive_rounds = Vec::new();
+    let mut adaptive_ends = Vec::new();
+    let mut retries = 0usize;
     let mut t = 0.0f64;
-    let mut plans = Vec::new();
     for _ in 0..ROUNDS {
-        // "Query the monitor": effective alpha of w2 at the current time.
-        let w2_factor = if t >= spike_start { factor } else { 1.0 };
-        let mut procs = platform.procs().to_vec();
-        if let CostFn::Linear { slope } = procs[2].comp {
-            procs[2].comp = CostFn::Linear { slope: slope * w2_factor };
-        }
-        let now_platform = Platform::new(procs, 0).unwrap();
-        let counts = Planner::new(now_platform)
-            .strategy(Strategy::Heuristic)
-            .plan(N_PER_ROUND)
-            .unwrap()
-            .counts_in_order();
-        plans.push(counts);
-        // Simulate everything planned so far to learn the current time.
-        let sims = simulate_multi_round(&view, &plans, &config);
-        t = sims.last().unwrap().makespan;
-        adaptive_rounds = sims;
+        // "Query the monitor": the platform as an NWS-style daemon would
+        // measure it right now — slowdowns and link degradations that
+        // have set in are folded into the cost functions.
+        let observed = faults.degraded_platform(&platform, &order, t).unwrap();
+        let plan = Planner::new(observed).strategy(Strategy::Heuristic).plan(N_PER_ROUND).unwrap();
+        let counts: Vec<usize> = order.iter().map(|&i| plan.counts[i]).collect();
+        let ft = simulate_scatter_ft(&view, &counts, &faults.shifted(-t), Some(&recovery))
+            .expect("adaptive round completes");
+        retries += ft.incidents.iter().filter(|i| i.kind == IncidentKind::Retry).count();
+        assert_eq!(ft.lost_items, 0, "recovery computes every item");
+        t += ft.makespan;
+        adaptive_ends.push(t);
     }
 
-    println!("{ROUNDS} scatter rounds of {N_PER_ROUND} items; w2 slows 2x at t = {spike_start} s\n");
+    println!(
+        "{ROUNDS} scatter rounds of {N_PER_ROUND} items; w2 slows 2x at t = {spike_start} s,\n\
+         one transfer to w1 dropped per round (retried by the recovery path)\n"
+    );
     println!("{:>6} {:>16} {:>16}", "round", "static end (s)", "adaptive end (s)");
     for r in 0..ROUNDS {
-        println!(
-            "{:>6} {:>16.1} {:>16.1}",
-            r + 1,
-            static_rounds[r].makespan,
-            adaptive_rounds[r].makespan
-        );
+        println!("{:>6} {:>16.1} {:>16.1}", r + 1, static_ends[r], adaptive_ends[r]);
     }
-    let (s_end, a_end) = (
-        static_rounds.last().unwrap().makespan,
-        adaptive_rounds.last().unwrap().makespan,
-    );
+    let (s_end, a_end) = (*static_ends.last().unwrap(), *adaptive_ends.last().unwrap());
     println!(
         "\ntotal: static {s_end:.1} s vs adaptive {a_end:.1} s  ({:.1}% saved by re-planning)",
         (s_end - a_end) / s_end * 100.0
     );
+    println!("transient drops retried along the way: {retries}");
     assert!(a_end < s_end, "adaptive must win once the spike hits");
+    assert_eq!(retries, ROUNDS, "every round's dropped transfer was recovered");
 }

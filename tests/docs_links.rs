@@ -1,0 +1,252 @@
+//! Documentation as a first-class artifact: every relative markdown
+//! link under `docs/` (and in `README.md`) must resolve, and the worked
+//! console examples in `docs/robustness.md` must reproduce — each
+//! `$ gs …` command is re-run through the CLI's library entry points
+//! and compared line by line against the output shown in the document
+//! (`...` lines elide; `planning:` timing lines are ignored, they are
+//! the only nondeterministic output).
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use gs_cli::commands::{cmd_plan, cmd_report, cmd_simulate, cmd_trace, PlanOptions};
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// The `](target)` targets of all markdown links in `text`.
+fn link_targets(text: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut rest = text;
+    while let Some(at) = rest.find("](") {
+        rest = &rest[at + 2..];
+        if let Some(end) = rest.find(')') {
+            targets.push(rest[..end].to_string());
+            rest = &rest[end + 1..];
+        } else {
+            break;
+        }
+    }
+    targets
+}
+
+#[test]
+fn relative_markdown_links_resolve() {
+    let root = repo_root();
+    let mut files: Vec<PathBuf> = vec![root.join("README.md")];
+    for entry in fs::read_dir(root.join("docs")).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "md") {
+            files.push(path);
+        }
+    }
+    assert!(files.len() >= 4, "README + at least three docs files");
+    for file in &files {
+        let text = fs::read_to_string(file).unwrap();
+        for target in link_targets(&text) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with('#')
+            {
+                continue; // offline check: external links are not fetched
+            }
+            let path = target.split('#').next().unwrap();
+            let resolved = file.parent().unwrap().join(path);
+            assert!(
+                resolved.exists(),
+                "{}: broken relative link `{target}`",
+                file.display()
+            );
+        }
+    }
+}
+
+/// A fenced code block: info string (language) and body lines.
+struct Fence {
+    lang: String,
+    lines: Vec<String>,
+}
+
+fn fenced_blocks(text: &str) -> Vec<Fence> {
+    let mut blocks = Vec::new();
+    let mut current: Option<Fence> = None;
+    for line in text.lines() {
+        if let Some(info) = line.strip_prefix("```") {
+            match current.take() {
+                Some(fence) => blocks.push(fence),
+                None => {
+                    current = Some(Fence { lang: info.trim().to_string(), lines: Vec::new() })
+                }
+            }
+        } else if let Some(fence) = &mut current {
+            fence.lines.push(line.to_string());
+        }
+    }
+    blocks
+}
+
+/// Parses one `gs …` command line into a call against the CLI library,
+/// reading "files" from (and redirecting into) `vfs`.
+fn run_gs(cmdline: &str, platform: &str, vfs: &mut HashMap<String, String>) {
+    let (cmd, redirect) = match cmdline.split_once(" > ") {
+        Some((c, f)) => (c.trim(), Some(f.trim().to_string())),
+        None => (cmdline.trim(), None),
+    };
+    let words: Vec<&str> = cmd.split_whitespace().collect();
+    assert_eq!(words[0], "gs", "walkthrough commands invoke gs: {cmdline}");
+
+    let mut opts = PlanOptions::default();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut width = 60usize;
+    let mut source = "predicted".to_string();
+    let mut i = 1;
+    while i < words.len() {
+        match words[i] {
+            "--items" => {
+                i += 1;
+                opts.items = words[i].parse().unwrap();
+            }
+            "--faults" => {
+                i += 1;
+                opts.faults = Some(words[i].to_string());
+            }
+            "--no-recovery" => opts.no_recovery = true,
+            "--width" => {
+                i += 1;
+                width = words[i].parse().unwrap();
+            }
+            "--source" => {
+                i += 1;
+                source = words[i].to_string();
+            }
+            flag if flag.starts_with("--") => panic!("walkthrough uses unknown flag {flag}"),
+            word => positional.push(word),
+        }
+        i += 1;
+    }
+
+    let out = match positional[0] {
+        "plan" => {
+            assert_eq!(positional[1], "demo.platform");
+            cmd_plan(platform, &opts, false).unwrap()
+        }
+        "simulate" => {
+            assert_eq!(positional[1], "demo.platform");
+            cmd_simulate(platform, &opts, width, false).unwrap()
+        }
+        "trace" => {
+            assert_eq!(positional[1], "demo.platform");
+            cmd_trace(platform, &opts, &source, 8).unwrap()
+        }
+        "report" => {
+            let texts: Vec<String> = positional[1..]
+                .iter()
+                .map(|f| {
+                    vfs.get(*f)
+                        .unwrap_or_else(|| panic!("walkthrough reads `{f}` before writing it"))
+                        .clone()
+                })
+                .collect();
+            cmd_report(&texts, width).unwrap()
+        }
+        other => panic!("walkthrough uses unknown subcommand {other}"),
+    };
+    match redirect {
+        Some(file) => {
+            vfs.insert(file, out);
+        }
+        None => vfs.insert("$last".into(), out).map(|_| ()).unwrap_or(()),
+    }
+}
+
+/// `expected` must be a prefix-anchored subsequence of `actual`: plain
+/// lines match exactly (modulo trailing whitespace), `...` skips any
+/// number of lines, `planning:` lines are ignored on both sides.
+fn assert_output_matches(actual: &str, expected: &[String], context: &str) {
+    let keep = |l: &&str| !l.trim_start().starts_with("planning:");
+    let actual: Vec<&str> = actual.lines().filter(keep).collect();
+    let expected: Vec<&str> =
+        expected.iter().map(String::as_str).filter(keep).collect();
+    let mut ai = 0;
+    let mut eliding = false;
+    for e in &expected {
+        if e.trim() == "..." {
+            eliding = true;
+            continue;
+        }
+        if eliding {
+            while ai < actual.len() && actual[ai].trim_end() != e.trim_end() {
+                ai += 1;
+            }
+            assert!(
+                ai < actual.len(),
+                "{context}: documented line not found after elision:\n  {e}"
+            );
+            eliding = false;
+        } else {
+            assert!(ai < actual.len(), "{context}: output ended before:\n  {e}");
+            assert_eq!(
+                actual[ai].trim_end(),
+                e.trim_end(),
+                "{context}: output diverges from the document at line {ai}"
+            );
+        }
+        ai += 1;
+    }
+    if !eliding {
+        assert_eq!(
+            ai,
+            actual.len(),
+            "{context}: command printed more than the document shows \
+             (add a trailing `...` to elide): next line:\n  {}",
+            actual.get(ai).unwrap_or(&"")
+        );
+    }
+}
+
+#[test]
+fn robustness_walkthrough_reproduces() {
+    let text = fs::read_to_string(repo_root().join("docs/robustness.md")).unwrap();
+    let blocks = fenced_blocks(&text);
+
+    // The platform under test: the `text` fence defining demo.platform.
+    let platform = blocks
+        .iter()
+        .find(|b| b.lang == "text" && b.lines.first().is_some_and(|l| l.starts_with("proc ")))
+        .expect("robustness.md defines demo.platform in a ```text fence")
+        .lines
+        .join("\n");
+
+    let console: Vec<&Fence> = blocks.iter().filter(|b| b.lang == "console").collect();
+    assert!(console.len() >= 3, "plan, simulate and report walkthroughs");
+
+    let mut vfs: HashMap<String, String> = HashMap::new();
+    let mut commands_run = 0;
+    for block in console {
+        let mut i = 0;
+        while i < block.lines.len() {
+            let line = &block.lines[i];
+            let cmd = line
+                .strip_prefix("$ ")
+                .unwrap_or_else(|| panic!("console block must start with `$ `: {line}"));
+            i += 1;
+            let mut expected = Vec::new();
+            while i < block.lines.len() && !block.lines[i].starts_with("$ ") {
+                expected.push(block.lines[i].clone());
+                i += 1;
+            }
+            let redirected = cmd.contains(" > ");
+            run_gs(cmd, &platform, &mut vfs);
+            if redirected {
+                assert!(expected.is_empty(), "redirected command shows no output: {cmd}");
+            } else {
+                let out = vfs.get("$last").cloned().unwrap_or_default();
+                assert_output_matches(&out, &expected, cmd);
+            }
+            commands_run += 1;
+        }
+    }
+    assert!(commands_run >= 6, "the walkthrough exercises the full CLI story");
+}
