@@ -1,0 +1,71 @@
+//! CI bench regression gate: re-runs the smoke-sized benchmarks
+//! (`algo_runtimes --smoke`, `fault_sweep --smoke`) and compares their
+//! deterministic fields — optimal makespans, variant agreement, lost
+//! items, incident counts — against the committed baselines. Timing
+//! fields are machine-dependent and ignored.
+//!
+//! Flags: `--dp PATH` (default `BENCH_dp.smoke.json`), `--faults PATH`
+//! (default `BENCH_faults.smoke.json`), `--threads T`, `--tolerance R`
+//! (relative, default 1e-4), `--update` (rewrite the baselines from the
+//! fresh run instead of checking). Exits nonzero on any mismatch.
+use std::process::ExitCode;
+
+use gs_bench::experiments::faultexp::{fault_sweep, fault_sweep_json};
+use gs_bench::experiments::runtimes::{dp_perf_json, dp_perf_trajectory};
+use gs_bench::gate::{
+    check_dp, check_faults, SMOKE_DP_CASES, SMOKE_FAULT_ITEMS, SMOKE_FAULT_SEEDS,
+};
+use gs_bench::util::{arg_f64, arg_flag, arg_str, arg_usize};
+use gs_scatter::obs::json::parse;
+
+fn main() -> ExitCode {
+    let dp_path = arg_str("--dp", "BENCH_dp.smoke.json");
+    let faults_path = arg_str("--faults", "BENCH_faults.smoke.json");
+    let threads = arg_usize("--threads", 4);
+    let tol = arg_f64("--tolerance", 1e-4);
+    let update = arg_flag("--update");
+
+    println!(
+        "bench gate: dp cases {SMOKE_DP_CASES:?}, fault sweep n = {SMOKE_FAULT_ITEMS} \
+         seeds {SMOKE_FAULT_SEEDS:?}"
+    );
+    let dp = dp_perf_trajectory(SMOKE_DP_CASES, threads);
+    let (_, faults) = fault_sweep(SMOKE_FAULT_ITEMS, SMOKE_FAULT_SEEDS);
+
+    if update {
+        std::fs::write(&dp_path, dp_perf_json(&dp, threads))
+            .unwrap_or_else(|e| panic!("write {dp_path}: {e}"));
+        std::fs::write(&faults_path, fault_sweep_json(SMOKE_FAULT_ITEMS, &faults))
+            .unwrap_or_else(|e| panic!("write {faults_path}: {e}"));
+        println!("baselines rewritten: {dp_path}, {faults_path}");
+        return ExitCode::SUCCESS;
+    }
+
+    let load = |path: &str| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("read {path}: {e} (run with --update to create it)"));
+        parse(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"))
+    };
+    let mut bad = check_dp(&load(&dp_path), &dp, tol);
+    bad.extend(check_faults(&load(&faults_path), &faults, tol));
+
+    if bad.is_empty() {
+        println!(
+            "bench gate: OK ({} dp row(s), {} fault row(s) match the baselines, \
+             tolerance {tol:.0e})",
+            dp.len(),
+            faults.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for m in &bad {
+            eprintln!("bench gate: MISMATCH {m}");
+        }
+        eprintln!(
+            "bench gate: {} mismatch(es) vs {dp_path} / {faults_path}; if the model \
+             change is intended, regenerate with `bench_gate --update`",
+            bad.len()
+        );
+        ExitCode::FAILURE
+    }
+}

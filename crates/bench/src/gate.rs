@@ -1,0 +1,240 @@
+//! The bench regression gate (`bench_gate` binary): re-runs the
+//! smoke-sized benchmarks and compares their **deterministic** fields
+//! against baselines committed in the repository
+//! (`BENCH_dp.smoke.json`, `BENCH_faults.smoke.json`).
+//!
+//! Wall-clock fields (`*_secs`, speedups, `overhead_pct`) are
+//! machine-dependent and never compared; what is compared is the model's
+//! arithmetic — optimal makespans, variant agreement, lost-item and
+//! incident counts — which must be bit-stable across machines. Float
+//! fields are compared with a relative tolerance because the baselines
+//! round to a fixed number of decimals.
+
+use crate::experiments::faultexp::FaultSweepRow;
+use crate::experiments::runtimes::DpPerfRow;
+use gs_scatter::obs::json::Json;
+
+/// The `(n, p)` points `algo_runtimes --smoke` times.
+pub const SMOKE_DP_CASES: &[(usize, usize)] = &[(2_000, 4), (2_000, 16)];
+/// Items of the `fault_sweep --smoke` run.
+pub const SMOKE_FAULT_ITEMS: usize = 2_000;
+/// Seeds of the `fault_sweep --smoke` random fault mixes.
+pub const SMOKE_FAULT_SEEDS: &[u64] = &[1999, 2000, 2001];
+
+/// `|a − b| ≤ tol·max(|b|, ε)` — relative closeness against baseline `b`.
+fn rel_close(fresh: f64, baseline: f64, tol: f64) -> bool {
+    (fresh - baseline).abs() <= tol * baseline.abs().max(1e-12)
+}
+
+fn as_bool(j: &Json) -> Option<bool> {
+    match j {
+        Json::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+fn rows_of(baseline: &Json) -> Result<&[Json], String> {
+    baseline
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "baseline has no `rows` array".to_string())
+}
+
+fn field_f64(row: &Json, key: &str) -> Result<f64, String> {
+    row.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("baseline row lacks numeric `{key}`"))
+}
+
+fn field_u64(row: &Json, key: &str) -> Result<u64, String> {
+    row.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("baseline row lacks integer `{key}`"))
+}
+
+/// Compares a fresh DP-perf run against a parsed baseline document.
+/// Returns one human-readable message per mismatch (empty = gate
+/// passes).
+pub fn check_dp(baseline: &Json, fresh: &[DpPerfRow], tol: f64) -> Vec<String> {
+    let mut bad = Vec::new();
+    let rows = match rows_of(baseline) {
+        Ok(r) => r,
+        Err(e) => return vec![format!("dp: {e}")],
+    };
+    if rows.len() != fresh.len() {
+        return vec![format!(
+            "dp: baseline has {} row(s), fresh run has {}",
+            rows.len(),
+            fresh.len()
+        )];
+    }
+    for (row, f) in rows.iter().zip(fresh) {
+        let ctx = format!("dp row n={} p={}", f.n, f.p);
+        let check = |bad: &mut Vec<String>, r: Result<(), String>| {
+            if let Err(e) = r {
+                bad.push(format!("{ctx}: {e}"));
+            }
+        };
+        check(&mut bad, exact_u64(row, "n", f.n as u64));
+        check(&mut bad, exact_u64(row, "p", f.p as u64));
+        match row.get("identical").and_then(as_bool) {
+            Some(b) if b == f.identical => {}
+            Some(b) => bad.push(format!("{ctx}: identical baseline {b} fresh {}", f.identical)),
+            None => bad.push(format!("{ctx}: baseline row lacks boolean `identical`")),
+        }
+        if !f.identical {
+            bad.push(format!("{ctx}: engine variants diverged in the fresh run"));
+        }
+        check(&mut bad, close_f64(row, "makespan", f.makespan, tol));
+    }
+    bad
+}
+
+/// Compares a fresh fault sweep against a parsed baseline document.
+pub fn check_faults(baseline: &Json, fresh: &[FaultSweepRow], tol: f64) -> Vec<String> {
+    let mut bad = Vec::new();
+    let rows = match rows_of(baseline) {
+        Ok(r) => r,
+        Err(e) => return vec![format!("faults: {e}")],
+    };
+    if rows.len() != fresh.len() {
+        return vec![format!(
+            "faults: baseline has {} row(s), fresh run has {}",
+            rows.len(),
+            fresh.len()
+        )];
+    }
+    for (row, f) in rows.iter().zip(fresh) {
+        let ctx = format!("fault row `{}`", f.scenario);
+        let check = |bad: &mut Vec<String>, r: Result<(), String>| {
+            if let Err(e) = r {
+                bad.push(format!("{ctx}: {e}"));
+            }
+        };
+        match row.get("scenario").and_then(Json::as_str) {
+            Some(s) if s == f.scenario => {}
+            Some(s) => bad.push(format!("{ctx}: baseline scenario is `{s}`")),
+            None => bad.push(format!("{ctx}: baseline row lacks string `scenario`")),
+        }
+        check(&mut bad, exact_u64(row, "degraded_lost", f.degraded_lost));
+        check(&mut bad, exact_u64(row, "faults", f.faults as u64));
+        check(&mut bad, exact_u64(row, "retries", f.retries as u64));
+        check(&mut bad, exact_u64(row, "replans", f.replans as u64));
+        check(&mut bad, close_f64(row, "clean_makespan", f.clean_makespan, tol));
+        check(&mut bad, close_f64(row, "degraded_makespan", f.degraded_makespan, tol));
+        check(&mut bad, close_f64(row, "recovered_makespan", f.recovered_makespan, tol));
+    }
+    bad
+}
+
+fn exact_u64(row: &Json, key: &str, fresh: u64) -> Result<(), String> {
+    let b = field_u64(row, key)?;
+    if b == fresh {
+        Ok(())
+    } else {
+        Err(format!("{key} baseline {b} fresh {fresh}"))
+    }
+}
+
+fn close_f64(row: &Json, key: &str, fresh: f64, tol: f64) -> Result<(), String> {
+    let b = field_f64(row, key)?;
+    if rel_close(fresh, b, tol) {
+        Ok(())
+    } else {
+        Err(format!(
+            "{key} baseline {b} fresh {fresh} (rel {:.2e} > tol {tol:.0e})",
+            (fresh - b).abs() / b.abs().max(1e-12)
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::faultexp::fault_sweep_json;
+    use crate::experiments::runtimes::dp_perf_json;
+    use gs_scatter::obs::json::parse;
+
+    fn dp_row() -> DpPerfRow {
+        DpPerfRow {
+            n: 2_000,
+            p: 4,
+            serial_secs: 0.01,
+            parallel_secs: 0.02,
+            pruned_secs: 0.005,
+            parallel_pruned_secs: 0.006,
+            identical: true,
+            makespan: 3.1640625, // dyadic: prints and reparses exactly
+        }
+    }
+
+    fn fault_row() -> FaultSweepRow {
+        FaultSweepRow {
+            scenario: "crash:0@0.5".into(),
+            clean_makespan: 1.5,
+            degraded_makespan: 1.5,
+            degraded_lost: 123,
+            recovered_makespan: 2.25,
+            overhead_pct: 50.0,
+            faults: 3,
+            retries: 2,
+            replans: 1,
+        }
+    }
+
+    #[test]
+    fn identical_runs_pass_both_gates() {
+        let dp = vec![dp_row()];
+        let baseline = parse(&dp_perf_json(&dp, 4)).unwrap();
+        assert!(check_dp(&baseline, &dp, 1e-4).is_empty());
+        let faults = vec![fault_row()];
+        let baseline = parse(&fault_sweep_json(2_000, &faults)).unwrap();
+        assert!(check_faults(&baseline, &faults, 1e-4).is_empty());
+    }
+
+    #[test]
+    fn timing_changes_do_not_trip_the_gate() {
+        let mut fresh = vec![dp_row()];
+        let baseline = parse(&dp_perf_json(&fresh, 4)).unwrap();
+        fresh[0].serial_secs *= 100.0; // a slower machine is not a regression
+        fresh[0].parallel_secs *= 0.01;
+        assert!(check_dp(&baseline, &fresh, 1e-4).is_empty());
+    }
+
+    #[test]
+    fn makespan_drift_and_divergence_are_caught() {
+        let base_rows = vec![dp_row()];
+        let baseline = parse(&dp_perf_json(&base_rows, 4)).unwrap();
+        let mut fresh = base_rows.clone();
+        fresh[0].makespan *= 1.001;
+        let bad = check_dp(&baseline, &fresh, 1e-4);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("makespan"), "{bad:?}");
+        let mut fresh = base_rows;
+        fresh[0].identical = false;
+        assert!(!check_dp(&baseline, &fresh, 1e-4).is_empty());
+    }
+
+    #[test]
+    fn incident_count_changes_are_caught() {
+        let base_rows = vec![fault_row()];
+        let baseline = parse(&fault_sweep_json(2_000, &base_rows)).unwrap();
+        let mut fresh = base_rows.clone();
+        fresh[0].degraded_lost += 1;
+        fresh[0].retries += 1;
+        let bad = check_faults(&baseline, &fresh, 1e-4);
+        assert_eq!(bad.len(), 2, "{bad:?}");
+        // Row-count mismatches are reported, not ignored.
+        let bad = check_faults(&baseline, &[], 1e-4);
+        assert!(bad[0].contains("0"), "{bad:?}");
+    }
+
+    #[test]
+    fn malformed_baselines_fail_loudly() {
+        let garbage = parse("{\"bench\": \"dp_perf\"}").unwrap();
+        assert!(!check_dp(&garbage, &[dp_row()], 1e-4).is_empty());
+        let no_field = parse("{\"rows\": [{\"n\": 2000}]}").unwrap();
+        let bad = check_dp(&no_field, &[dp_row()], 1e-4);
+        assert!(bad.iter().any(|m| m.contains("lacks")), "{bad:?}");
+    }
+}

@@ -19,6 +19,19 @@ pub fn arg_usize(flag: &str, default: usize) -> usize {
     arg_u64(flag, default as u64) as usize
 }
 
+/// Parses an `f64` flag (`--tolerance R`), falling back to `default`.
+pub fn arg_f64(flag: &str, default: f64) -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == flag {
+            return w[1]
+                .parse()
+                .unwrap_or_else(|_| panic!("{flag} expects a number, got {}", w[1]));
+        }
+    }
+    default
+}
+
 /// Parses a string-valued flag (`--json PATH`), falling back to `default`.
 pub fn arg_str(flag: &str, default: &str) -> String {
     let args: Vec<String> = std::env::args().collect();

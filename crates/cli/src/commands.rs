@@ -7,6 +7,7 @@ use gs_gridsim::fault::{simulate_plan_ft, FtScatterSim};
 use gs_gridsim::gantt::{legend, render_gantt};
 use gs_gridsim::sim::simulate_plan;
 use gs_minimpi::{executed_trace, executed_trace_ft, run_world, FtConfig, TimeModel, WorldConfig};
+use gs_scatter::calibrate::{Calibration, DriftReport};
 use gs_scatter::cost::Platform;
 use gs_scatter::fault::{FaultPlan, RecoveryConfig};
 use gs_scatter::obs::json::{trace_from_json, trace_to_json};
@@ -499,6 +500,86 @@ pub fn cmd_report(trace_texts: &[String], width: usize) -> Result<String, CliErr
     Ok(out)
 }
 
+/// `gs calibrate`: least-squares-fits per-processor affine cost
+/// parameters from one or more executed traces and prints them in
+/// platform-file format (preceded by `#` fit-quality notes), so the
+/// output pipes straight back into `gs plan`.
+pub fn cmd_calibrate(trace_texts: &[String]) -> Result<String, CliError> {
+    if trace_texts.is_empty() {
+        return Err(CliError("calibrate needs at least one trace file".into()));
+    }
+    let mut traces = Vec::new();
+    for (i, text) in trace_texts.iter().enumerate() {
+        traces
+            .push(trace_from_json(text).map_err(|e| CliError(format!("trace {}: {e}", i + 1)))?);
+    }
+    let cal = Calibration::from_traces(&traces).map_err(|e| CliError(e.to_string()))?;
+    let platform = cal.platform().map_err(|e| CliError(e.to_string()))?;
+    let mut out = cal.render_notes();
+    out.push_str(&render_platform(&platform));
+    Ok(out)
+}
+
+/// `gs metrics`: plans and runs a small workload — the DES simulation
+/// plus a gs-minimpi execution, or the fault-tolerant simulator when
+/// `--faults` is given — then dumps the process-global metrics registry
+/// in Prometheus text exposition format.
+pub fn cmd_metrics(
+    platform_text: &str,
+    opts: &PlanOptions,
+    item_bytes: usize,
+) -> Result<String, CliError> {
+    if item_bytes == 0 {
+        return Err(CliError("--item-bytes must be positive".into()));
+    }
+    let platform = parse_platform(platform_text)?;
+    let plan = make_plan(&platform, opts)?;
+    let names: Vec<&str> = plan
+        .order
+        .iter()
+        .map(|&i| platform.procs()[i].name.as_str())
+        .collect();
+    let counts = plan.counts_in_order();
+    match parse_fault_plan(&platform, &plan, opts)? {
+        Some(fp) => {
+            simulate_plan_ft(&platform, &plan, &fp, recovery_of(opts).as_ref())?;
+        }
+        None => {
+            simulate_plan(&platform, &plan, &[]);
+            run_executed(&platform, &plan, &names, &counts, item_bytes);
+        }
+    }
+    Ok(gs_scatter::metrics::Registry::global().snapshot().to_prometheus())
+}
+
+/// `gs report --drift-threshold`: the regular report, followed by a
+/// [`DriftReport`] of every trace against the platform file the run
+/// *assumed*. The boolean is the gate — `false` (a flagged rank, or
+/// makespans further apart than the threshold) makes the CLI exit
+/// nonzero, so CI can watch executed runs for cost-model drift.
+pub fn cmd_report_drift(
+    trace_texts: &[String],
+    width: usize,
+    platform_text: &str,
+    threshold: f64,
+) -> Result<(String, bool), CliError> {
+    if !threshold.is_finite() || threshold < 0.0 {
+        return Err(CliError("--drift-threshold expects a non-negative number".into()));
+    }
+    let platform = parse_platform(platform_text)?;
+    let mut out = cmd_report(trace_texts, width)?;
+    let mut ok = true;
+    for (i, text) in trace_texts.iter().enumerate() {
+        let trace =
+            trace_from_json(text).map_err(|e| CliError(format!("trace {}: {e}", i + 1)))?;
+        let report = DriftReport::from_trace(&platform, &trace, threshold)
+            .map_err(|e| CliError(format!("trace {}: {e}", i + 1)))?;
+        out.push_str(&report.render());
+        ok &= report.ok();
+    }
+    Ok((out, ok))
+}
+
 /// Per-processor finish times side by side, plus makespans and the
 /// largest deviation of each trace from the first one.
 ///
@@ -833,6 +914,68 @@ mod tests {
             .nth(1)
             .unwrap();
         assert!(header.contains("degraded") && header.contains("recovered"), "{header}");
+    }
+
+    #[test]
+    fn calibrate_output_pipes_back_into_plan() {
+        // Two executed traces at different sizes pin down both affine
+        // parameters of every rank exactly.
+        let t1 = cmd_trace(PLATFORM, &opts(500), "executed", 8).unwrap();
+        let t2 = cmd_trace(PLATFORM, &opts(1000), "executed", 8).unwrap();
+        let out = cmd_calibrate(&[t1, t2]).unwrap();
+        assert!(out.contains("# w1: comm"), "fit notes present: {out}");
+        assert!(out.contains("root root"), "{out}");
+        // The rendered platform reparses and reproduces the original
+        // platform's predicted makespan.
+        let original = cmd_plan(PLATFORM, &opts(1000), false).unwrap();
+        let fitted = cmd_plan(&out, &opts(1000), false).unwrap();
+        let makespan = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("predicted makespan"))
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(makespan(&original), makespan(&fitted));
+    }
+
+    #[test]
+    fn calibrate_rejects_bad_inputs() {
+        assert!(cmd_calibrate(&[]).is_err());
+        assert!(cmd_calibrate(&["not json".into()]).is_err());
+    }
+
+    #[test]
+    fn metrics_dumps_prometheus_exposition() {
+        let out = cmd_metrics(PLATFORM, &opts(500), 8).unwrap();
+        assert!(out.contains("# HELP sim_runs_total"), "{out}");
+        assert!(out.contains("# TYPE mpi_send_seconds histogram"), "{out}");
+        assert!(out.contains("mpi_sends_total"), "{out}");
+        // The fault-tolerant path feeds the ft_* family.
+        let out = cmd_metrics(PLATFORM, &fault_opts(500, "crash:w1@0.01", false), 8).unwrap();
+        assert!(out.contains("ft_sends_total"), "{out}");
+        assert!(out.contains("ft_replans_total"), "{out}");
+        assert!(cmd_metrics(PLATFORM, &opts(500), 0).is_err());
+    }
+
+    #[test]
+    fn drift_gate_passes_faithful_trace_and_flags_perturbed_model() {
+        let exec = cmd_trace(PLATFORM, &opts(1000), "executed", 8).unwrap();
+        let (out, ok) =
+            cmd_report_drift(std::slice::from_ref(&exec), 40, PLATFORM, 0.01).unwrap();
+        assert!(ok, "{out}");
+        assert!(out.contains("drift vs predicted"), "{out}");
+        assert!(out.contains("drift check: OK"), "{out}");
+        // The same trace judged against a mis-specified platform (w2's
+        // alpha halved) must trip the gate.
+        let wrong = PLATFORM.replace("alpha=0.016", "alpha=0.008");
+        let (out, ok) = cmd_report_drift(std::slice::from_ref(&exec), 40, &wrong, 0.01).unwrap();
+        assert!(!ok, "{out}");
+        assert!(out.contains("FAIL"), "{out}");
+        // Bad thresholds and unknown rank names are hard errors, not
+        // gate failures.
+        assert!(cmd_report_drift(std::slice::from_ref(&exec), 40, PLATFORM, -0.5).is_err());
+        let renamed = PLATFORM.replace("proc w2", "proc other");
+        assert!(cmd_report_drift(&[exec], 40, &renamed, 0.01).is_err());
     }
 
     #[test]

@@ -4,7 +4,8 @@
 use std::process::ExitCode;
 
 use gs_cli::commands::{
-    cmd_plan, cmd_report, cmd_simulate, cmd_table1, cmd_trace, cmd_transform, PlanOptions,
+    cmd_calibrate, cmd_metrics, cmd_plan, cmd_report, cmd_report_drift, cmd_simulate, cmd_table1,
+    cmd_trace, cmd_transform, PlanOptions,
 };
 use gs_cli::CliError;
 
@@ -20,6 +21,10 @@ USAGE:
   gs trace <platform> --items N --source S      export a run as observability JSON
   gs report <trace.json> [<t2.json> <t3.json>]  summary + Gantt per trace; diff if several
   gs transform <file.c> <platform> --items N    rewrite MPI_Scatter call sites
+  gs calibrate <t1.json> [<t2.json> ...]        fit per-processor costs from executed
+                                                traces; prints a platform file
+  gs metrics <platform> --items N [opts]        run a workload, dump runtime metrics
+                                                (Prometheus text format)
 
 FAULT INJECTION (docs/robustness.md):
   gs plan     ... --faults SPEC                 forecast degraded + recovered makespans
@@ -37,6 +42,10 @@ OPTIONS:
   --width W          chart width for simulate/report (default 60)
   --source S         trace to export: predicted (default) | simulated | executed
   --item-bytes B     wire size of one item for trace (default 8)
+  --platform FILE    platform file the traces were planned against (report drift gate)
+  --drift-threshold X  with report: append an executed-vs-model drift table per
+                     trace and exit nonzero if any relative deviation exceeds X
+                     (e.g. 0.05 = 5%); needs --platform. docs/observability.md
   --faults SPEC      inject faults: comma-separated clauses
                        crash:<who>@<t>   fail-stop at time t (`40%` = 40% of the
                                          predicted makespan)
@@ -65,9 +74,17 @@ A predicted/degraded/recovered robustness diff (docs/robustness.md):
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(out) => {
+        // `passed` is the drift gate of `gs report --drift-threshold`:
+        // a gate failure prints the full report (no usage dump — the
+        // invocation was fine) and exits nonzero so CI jobs can fail on
+        // cost-model drift alone.
+        Ok((out, passed)) => {
             print!("{out}");
-            ExitCode::SUCCESS
+            if passed {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("gs: {e}");
@@ -77,7 +94,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<String, CliError> {
+fn run(args: &[String]) -> Result<(String, bool), CliError> {
     let mut positional = Vec::new();
     let mut opts = PlanOptions::default();
     let mut emit_c = false;
@@ -85,6 +102,8 @@ fn run(args: &[String]) -> Result<String, CliError> {
     let mut width = 60usize;
     let mut source = "predicted".to_string();
     let mut item_bytes = 8usize;
+    let mut platform_flag: Option<String> = None;
+    let mut drift_threshold: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -104,11 +123,19 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 item_bytes =
                     next_value(args, &mut i)?.parse().map_err(|_| bad("--item-bytes"))?;
             }
+            "--platform" => platform_flag = Some(next_value(args, &mut i)?),
+            "--drift-threshold" => {
+                drift_threshold = Some(
+                    next_value(args, &mut i)?
+                        .parse()
+                        .map_err(|_| bad("--drift-threshold"))?,
+                );
+            }
             "--faults" => opts.faults = Some(next_value(args, &mut i)?),
             "--no-recovery" => opts.no_recovery = true,
             "--emit-c" => emit_c = true,
             "--csv" => csv = true,
-            "--help" | "-h" => return Ok(USAGE.to_string()),
+            "--help" | "-h" => return Ok((USAGE.to_string(), true)),
             flag if flag.starts_with("--") => {
                 return Err(CliError(format!("unknown flag `{flag}`")))
             }
@@ -118,31 +145,51 @@ fn run(args: &[String]) -> Result<String, CliError> {
     }
 
     let command = positional.first().map(String::as_str).unwrap_or("");
+    let passing = |out: String| (out, true);
     match command {
-        "table1" => Ok(cmd_table1()),
+        "table1" => Ok(passing(cmd_table1())),
         "plan" => {
             let platform = read_file(positional.get(1))?;
-            cmd_plan(&platform, &opts, emit_c)
+            cmd_plan(&platform, &opts, emit_c).map(passing)
         }
         "simulate" => {
             let platform = read_file(positional.get(1))?;
-            cmd_simulate(&platform, &opts, width, csv)
+            cmd_simulate(&platform, &opts, width, csv).map(passing)
         }
         "trace" => {
             let platform = read_file(positional.get(1))?;
-            cmd_trace(&platform, &opts, &source, item_bytes)
+            cmd_trace(&platform, &opts, &source, item_bytes).map(passing)
         }
         "report" => {
             let texts: Vec<String> = positional[1..]
                 .iter()
                 .map(|p| read_file(Some(p)))
                 .collect::<Result<_, _>>()?;
-            cmd_report(&texts, width)
+            match drift_threshold {
+                None => cmd_report(&texts, width).map(passing),
+                Some(threshold) => {
+                    let platform = read_file(platform_flag.as_ref()).map_err(|_| {
+                        CliError("--drift-threshold needs --platform <file>".into())
+                    })?;
+                    cmd_report_drift(&texts, width, &platform, threshold)
+                }
+            }
+        }
+        "calibrate" => {
+            let texts: Vec<String> = positional[1..]
+                .iter()
+                .map(|p| read_file(Some(p)))
+                .collect::<Result<_, _>>()?;
+            cmd_calibrate(&texts).map(passing)
+        }
+        "metrics" => {
+            let platform = read_file(positional.get(1))?;
+            cmd_metrics(&platform, &opts, item_bytes).map(passing)
         }
         "transform" => {
             let source = read_file(positional.get(1))?;
             let platform = read_file(positional.get(2))?;
-            cmd_transform(&source, &platform, &opts)
+            cmd_transform(&source, &platform, &opts).map(passing)
         }
         "" => Err(CliError("no command given".into())),
         other => Err(CliError(format!("unknown command `{other}`"))),

@@ -1,0 +1,648 @@
+//! Cost-model calibration: recover per-rank affine parameters from
+//! executed traces, report drift against an assumed platform, re-plan.
+//!
+//! The paper's planners assume the affine costs `Tcomm(i,n) = β_i·n + b_i`
+//! and `Tcomp(i,n) = α_i·n + a_i` are known — the authors *measure* them
+//! (§5) before planning. This module is that measurement step for our own
+//! pipeline: given one or more [`Trace`]s of runs that actually happened
+//! (simulated or executed), it
+//!
+//! 1. extracts per-rank `(n, seconds)` samples from the send and compute
+//!    intervals ([`Calibration::from_traces`]),
+//! 2. least-squares-fits the four affine parameters per rank
+//!    ([`AffineFit`]),
+//! 3. rebuilds a [`Platform`] from the fits ([`Calibration::platform`])
+//!    that feeds straight back into the existing solvers
+//!    ([`Calibration::replan`]), and
+//! 4. quantifies *drift* — how far a run deviated from what an assumed
+//!    platform predicts ([`DriftReport`]), with a configurable tolerance
+//!    suitable for CI gating (`gs report --drift-threshold`).
+//!
+//! Two traces of the *same* platform at *different* problem sizes pin an
+//! affine function exactly; with a single trace the intercepts are
+//! under-determined and the fit degrades gracefully to a proportional
+//! model (slope = t/n, intercept 0).
+//!
+//! ## Example
+//!
+//! ```
+//! use gs_scatter::prelude::*;
+//! use gs_scatter::calibrate::Calibration;
+//!
+//! let platform = Platform::new(vec![
+//!     Processor::affine("w1", 0.5, 1.0e-4, 0.1, 4.0e-3),
+//!     Processor::affine("root", 0.0, 0.0, 0.2, 9.0e-3),
+//! ], 1).unwrap();
+//! let mk_trace = |items: usize| {
+//!     let plan = Planner::new(platform.clone()).plan(items).unwrap();
+//!     plan.predicted_trace(&platform, 8)
+//! };
+//! let cal = Calibration::from_traces(&[mk_trace(10_000), mk_trace(40_000)]).unwrap();
+//! let fit = cal.fits.iter().find(|f| f.name == "w1").unwrap();
+//! assert!((fit.comm.slope - 1.0e-4).abs() < 1e-9);
+//! assert!((fit.comm.intercept - 0.5).abs() < 1e-6);
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::cost::{CostFn, Platform, Processor};
+use crate::distribution::timeline;
+use crate::error::PlanError;
+use crate::obs::{EventKind, Trace, TraceError};
+use crate::ordering::OrderPolicy;
+use crate::planner::{Plan, Planner, Strategy};
+
+/// A least-squares affine fit `t(n) = slope·n + intercept` over one
+/// rank's samples of one phase (comm or comp).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AffineFit {
+    /// Fitted per-item cost (β or α), clamped to be non-negative.
+    pub slope: f64,
+    /// Fitted fixed cost (b or a), clamped to be non-negative.
+    pub intercept: f64,
+    /// Number of `(n, t)` samples behind the fit.
+    pub samples: usize,
+    /// Number of *distinct* `n` values among the samples; the intercept
+    /// is only trustworthy when this is ≥ 2.
+    pub distinct_sizes: usize,
+    /// Largest relative residual `|fit(n) − t| / max(t, ε)` over the
+    /// samples — near zero when the underlying costs really are affine.
+    pub max_rel_residual: f64,
+}
+
+impl AffineFit {
+    /// Fit with no samples at all: the zero function.
+    fn empty() -> AffineFit {
+        AffineFit {
+            slope: 0.0,
+            intercept: 0.0,
+            samples: 0,
+            distinct_sizes: 0,
+            max_rel_residual: 0.0,
+        }
+    }
+
+    /// Least-squares fit of `(n, t)` pairs (see module docs for the
+    /// under-determined fallbacks).
+    fn fit(samples: &[(u64, f64)]) -> AffineFit {
+        if samples.is_empty() {
+            return AffineFit::empty();
+        }
+        let m = samples.len() as f64;
+        let xs: Vec<f64> = samples.iter().map(|&(n, _)| n as f64).collect();
+        let ys: Vec<f64> = samples.iter().map(|&(_, t)| t).collect();
+        let xbar = xs.iter().sum::<f64>() / m;
+        let ybar = ys.iter().sum::<f64>() / m;
+        let sxx: f64 = xs.iter().map(|x| (x - xbar) * (x - xbar)).sum();
+        let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - xbar) * (y - ybar)).sum();
+        let mut distinct: Vec<u64> = samples.iter().map(|&(n, _)| n).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+
+        let (mut slope, mut intercept) = if distinct.len() >= 2 && sxx > 0.0 {
+            let s = sxy / sxx;
+            (s, ybar - s * xbar)
+        } else if xbar > 0.0 {
+            // One size only: proportional model.
+            (ybar / xbar, 0.0)
+        } else {
+            // Only n = 0 samples: pure intercept.
+            (0.0, ybar)
+        };
+        // The platform grammar (and physics) rejects negative costs;
+        // float noise or degenerate data can produce them. Re-anchor
+        // rather than silently keeping a nonsense parameter.
+        if slope < 0.0 {
+            slope = 0.0;
+            intercept = ybar;
+        }
+        if intercept < 0.0 {
+            intercept = 0.0;
+            let sx2: f64 = xs.iter().map(|x| x * x).sum();
+            slope = if sx2 > 0.0 {
+                xs.iter().zip(&ys).map(|(x, y)| x * y).sum::<f64>() / sx2
+            } else {
+                0.0
+            };
+        }
+        slope = slope.max(0.0);
+        intercept = intercept.max(0.0);
+
+        let max_rel_residual = samples
+            .iter()
+            .map(|&(n, t)| {
+                let pred = slope * n as f64 + intercept;
+                (pred - t).abs() / t.abs().max(1e-12)
+            })
+            .fold(0.0f64, f64::max);
+        AffineFit {
+            slope,
+            intercept,
+            samples: samples.len(),
+            distinct_sizes: distinct.len(),
+            max_rel_residual,
+        }
+    }
+
+    /// The fit as a [`CostFn`] (`Zero`, `Linear` or `Affine`, whichever
+    /// is the simplest exact representation).
+    pub fn cost_fn(&self) -> CostFn {
+        if self.slope == 0.0 && self.intercept == 0.0 {
+            CostFn::Zero
+        } else if self.intercept == 0.0 {
+            CostFn::Linear { slope: self.slope }
+        } else {
+            CostFn::Affine { intercept: self.intercept, slope: self.slope }
+        }
+    }
+}
+
+/// The four fitted parameters of one rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankFit {
+    /// Rank display name (calibration joins traces by name, so traces
+    /// with different scatter orders combine correctly).
+    pub name: String,
+    /// Fit of the communication cost `Tcomm(n) = β·n + b`.
+    pub comm: AffineFit,
+    /// Fit of the computation cost `Tcomp(n) = α·n + a`.
+    pub comp: AffineFit,
+}
+
+/// A calibration error (empty input, malformed trace, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CalibrationError(pub String);
+
+impl std::fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "calibration error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CalibrationError {}
+
+impl From<TraceError> for CalibrationError {
+    fn from(e: TraceError) -> CalibrationError {
+        CalibrationError(e.to_string())
+    }
+}
+
+/// A fitted cost model: one [`RankFit`] per rank seen in the input
+/// traces, plus the root's identity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    /// Per-rank fits, in the rank order of the first input trace.
+    pub fits: Vec<RankFit>,
+    /// Name of the root (the rank that sent every block).
+    pub root: String,
+    /// Item size shared by the input traces.
+    pub item_bytes: u64,
+}
+
+impl Calibration {
+    /// Fits a cost model to one or more traces of runs on the *same*
+    /// platform (same rank names, same `item_bytes`; problem sizes may —
+    /// and for exact intercept recovery should — differ).
+    ///
+    /// Traces are validated first. Samples are joined across traces by
+    /// rank *name*. The root is identified by its self-send (the kept
+    /// block); send samples are taken on the receiving side (`Tcomm` of
+    /// Eq. 1 is receiver-indexed) and the root's zero-duration self-send
+    /// is excluded.
+    pub fn from_traces(traces: &[Trace]) -> Result<Calibration, CalibrationError> {
+        let first = traces
+            .first()
+            .ok_or_else(|| CalibrationError("no traces given".into()))?;
+        if first.names.is_empty() {
+            return Err(CalibrationError("trace has no ranks".into()));
+        }
+        let item_bytes = first.item_bytes;
+        if item_bytes == 0 {
+            return Err(CalibrationError(
+                "trace has item_bytes = 0; cannot convert bytes to items".into(),
+            ));
+        }
+        let mut comm: BTreeMap<String, Vec<(u64, f64)>> = BTreeMap::new();
+        let mut comp: BTreeMap<String, Vec<(u64, f64)>> = BTreeMap::new();
+        let mut root: Option<String> = None;
+
+        for trace in traces {
+            trace.validate()?;
+            if trace.item_bytes != item_bytes {
+                return Err(CalibrationError(format!(
+                    "traces disagree on item_bytes ({} vs {item_bytes})",
+                    trace.item_bytes
+                )));
+            }
+            let p = trace.num_ranks();
+            // Per-rank open interval state, in trace-local rank indices.
+            let mut open_send: Vec<Option<(f64, u64)>> = vec![None; p];
+            let mut open_compute: Vec<Option<f64>> = vec![None; p];
+            // Items of the last completed receive, used to size compute
+            // phases that carry no item range (executed traces).
+            let mut last_recv_n: Vec<u64> = vec![0; p];
+            for e in &trace.events {
+                let n_of = |e: &crate::obs::Event| -> u64 {
+                    match e.items {
+                        Some((lo, hi)) => hi - lo,
+                        None => e.bytes / item_bytes,
+                    }
+                };
+                match e.kind {
+                    EventKind::SendStart => open_send[e.rank] = Some((e.t, n_of(e))),
+                    EventKind::SendEnd => {
+                        if let Some((start, n)) = open_send[e.rank].take() {
+                            last_recv_n[e.rank] = n;
+                            if e.peer == Some(e.rank) {
+                                // The root keeping its block: no wire
+                                // time, but it names the root for us.
+                                root = Some(trace.names[e.rank].clone());
+                            } else {
+                                comm.entry(trace.names[e.rank].clone())
+                                    .or_default()
+                                    .push((n, e.t - start));
+                            }
+                        }
+                    }
+                    EventKind::ComputeStart => open_compute[e.rank] = Some(e.t),
+                    EventKind::ComputeEnd => {
+                        if let Some(start) = open_compute[e.rank].take() {
+                            let n = match e.items {
+                                Some((lo, hi)) => hi - lo,
+                                None => last_recv_n[e.rank],
+                            };
+                            comp.entry(trace.names[e.rank].clone())
+                                .or_default()
+                                .push((n, e.t - start));
+                        }
+                    }
+                    EventKind::Idle => {}
+                }
+            }
+        }
+
+        // Fall back to the scatter-order convention (root last) when no
+        // self-send names the root explicitly.
+        let root = root.unwrap_or_else(|| first.names.last().expect("non-empty").clone());
+        let fits = first
+            .names
+            .iter()
+            .map(|name| RankFit {
+                name: name.clone(),
+                comm: AffineFit::fit(comm.get(name).map_or(&[][..], Vec::as_slice)),
+                comp: AffineFit::fit(comp.get(name).map_or(&[][..], Vec::as_slice)),
+            })
+            .collect();
+        Ok(Calibration { fits, root, item_bytes })
+    }
+
+    /// Largest `max_rel_residual` over every per-rank fit — a cheap
+    /// "was the platform really affine?" indicator.
+    pub fn max_rel_residual(&self) -> f64 {
+        self.fits
+            .iter()
+            .flat_map(|f| [f.comm.max_rel_residual, f.comp.max_rel_residual])
+            .fold(0.0, f64::max)
+    }
+
+    /// Builds a [`Platform`] from the fits, ready for any solver. The
+    /// rank order of the first input trace is preserved.
+    pub fn platform(&self) -> Result<Platform, PlanError> {
+        let procs: Vec<Processor> = self
+            .fits
+            .iter()
+            .map(|f| Processor {
+                name: f.name.clone(),
+                comm: f.comm.cost_fn(),
+                comp: f.comp.cost_fn(),
+            })
+            .collect();
+        let root = self
+            .fits
+            .iter()
+            .position(|f| f.name == self.root)
+            .expect("root is one of the fitted ranks");
+        Platform::new(procs, root)
+    }
+
+    /// The observe→calibrate→re-plan loop closed: plans `items` on the
+    /// calibrated platform with the given strategy (descending-bandwidth
+    /// ordering, as in the paper's Theorem 3).
+    pub fn replan(&self, items: usize, strategy: Strategy) -> Result<Plan, PlanError> {
+        Planner::new(self.platform()?)
+            .strategy(strategy)
+            .order_policy(OrderPolicy::DescendingBandwidth)
+            .plan(items)
+    }
+
+    /// Renders the calibration as a platform file (the `gs` CLI's
+    /// on-disk grammar), one `proc` line per rank plus the `root` line —
+    /// so `gs calibrate`'s output pipes straight back into `gs plan`.
+    pub fn render_notes(&self) -> String {
+        let mut out = String::new();
+        for f in &self.fits {
+            let _ = writeln!(
+                out,
+                "# {}: comm {} sample(s)/{} size(s) resid {:.2e}; \
+                 comp {} sample(s)/{} size(s) resid {:.2e}",
+                f.name,
+                f.comm.samples,
+                f.comm.distinct_sizes,
+                f.comm.max_rel_residual,
+                f.comp.samples,
+                f.comp.distinct_sizes,
+                f.comp.max_rel_residual,
+            );
+        }
+        out
+    }
+}
+
+/// One rank's row of a [`DriftReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftRow {
+    /// Rank display name.
+    pub name: String,
+    /// Items this rank received in the trace.
+    pub items: u64,
+    /// `Tcomm(n)` the assumed platform predicts (0 for the root's kept
+    /// block).
+    pub predicted_comm: f64,
+    /// Receive seconds actually observed.
+    pub executed_comm: f64,
+    /// `Tcomp(n)` the assumed platform predicts.
+    pub predicted_comp: f64,
+    /// Compute seconds actually observed.
+    pub executed_comp: f64,
+    /// Largest of the comm/comp relative deviations.
+    pub max_rel: f64,
+    /// True when `max_rel` exceeds the report's tolerance.
+    pub flagged: bool,
+}
+
+/// Executed-vs-predicted deviation of one trace against an assumed
+/// [`Platform`], with a tolerance for CI gating.
+///
+/// Relative deviation of an observed duration `t` against a prediction
+/// `t̂` is `|t − t̂| / max(t̂, ε)`; a rank whose comm *or* comp deviation
+/// exceeds the tolerance is flagged, as is the report when the makespans
+/// deviate. Built for fault-free single-scatter traces — recovered
+/// fault traces aggregate several phases per rank and will over-report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftReport {
+    /// Per-rank rows, in trace rank order.
+    pub rows: Vec<DriftRow>,
+    /// The tolerance the rows were flagged against.
+    pub tolerance: f64,
+    /// Makespan the platform predicts for the trace's distribution.
+    pub predicted_makespan: f64,
+    /// The trace's actual makespan.
+    pub executed_makespan: f64,
+    /// Relative deviation of the makespans.
+    pub makespan_rel: f64,
+}
+
+/// Guard against division by (near-)zero predictions.
+fn rel_dev(executed: f64, predicted: f64) -> f64 {
+    (executed - predicted).abs() / predicted.abs().max(1e-12)
+}
+
+impl DriftReport {
+    /// Measures `trace` against the predictions of `platform`
+    /// (processors matched by rank name), flagging deviations beyond
+    /// `tolerance`.
+    pub fn from_trace(
+        platform: &Platform,
+        trace: &Trace,
+        tolerance: f64,
+    ) -> Result<DriftReport, CalibrationError> {
+        if trace.item_bytes == 0 {
+            return Err(CalibrationError(
+                "trace has item_bytes = 0; cannot convert bytes to items".into(),
+            ));
+        }
+        let summary = trace.summarize()?;
+        let procs: Vec<&Processor> = trace
+            .names
+            .iter()
+            .map(|name| {
+                platform
+                    .procs()
+                    .iter()
+                    .find(|p| &p.name == name)
+                    .ok_or_else(|| {
+                        CalibrationError(format!("platform has no processor named `{name}`"))
+                    })
+            })
+            .collect::<Result<_, _>>()?;
+        let self_fed: Vec<bool> = (0..trace.num_ranks())
+            .map(|r| summary.links.iter().any(|l| l.src == r && l.dst == r))
+            .collect();
+        let mut counts = Vec::with_capacity(trace.num_ranks());
+        let rows: Vec<DriftRow> = summary
+            .ranks
+            .iter()
+            .enumerate()
+            .map(|(r, rank)| {
+                let n = rank.bytes_in / trace.item_bytes;
+                counts.push(n as usize);
+                // The kept block never crosses a wire: no comm to check.
+                let predicted_comm =
+                    if self_fed[r] { 0.0 } else { procs[r].comm.eval(n as usize) };
+                let predicted_comp = procs[r].comp.eval(n as usize);
+                let comm_rel = rel_dev(rank.recv, predicted_comm);
+                let comp_rel = rel_dev(rank.compute, predicted_comp);
+                let max_rel = comm_rel.max(comp_rel);
+                DriftRow {
+                    name: rank.name.clone(),
+                    items: n,
+                    predicted_comm,
+                    executed_comm: rank.recv,
+                    predicted_comp,
+                    executed_comp: rank.compute,
+                    max_rel,
+                    flagged: max_rel > tolerance,
+                }
+            })
+            .collect();
+        let predicted_makespan = timeline(&procs, &counts).makespan();
+        let executed_makespan = summary.makespan;
+        Ok(DriftReport {
+            rows,
+            tolerance,
+            predicted_makespan,
+            executed_makespan,
+            makespan_rel: rel_dev(executed_makespan, predicted_makespan),
+        })
+    }
+
+    /// True when no rank is flagged and the makespans agree within the
+    /// tolerance — the pass/fail bit behind `gs report
+    /// --drift-threshold`.
+    pub fn ok(&self) -> bool {
+        self.makespan_rel <= self.tolerance && self.rows.iter().all(|r| !r.flagged)
+    }
+
+    /// Largest relative deviation anywhere in the report.
+    pub fn max_rel(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.max_rel)
+            .fold(self.makespan_rel, f64::max)
+    }
+
+    /// Renders the report as a fixed-width table with a verdict line.
+    pub fn render(&self) -> String {
+        let name_w = self.rows.iter().map(|r| r.name.len()).max().unwrap_or(4).max(4);
+        let mut out = format!(
+            "drift vs predicted (tolerance {:.2}%):\n",
+            self.tolerance * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "{:<name_w$} {:>10} {:>11} {:>11} {:>11} {:>11} {:>9}",
+            "rank", "items", "comm pred", "comm exec", "comp pred", "comp exec", "dev %"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<name_w$} {:>10} {:>11.4} {:>11.4} {:>11.4} {:>11.4} {:>8.2}{}",
+                r.name,
+                r.items,
+                r.predicted_comm,
+                r.executed_comm,
+                r.predicted_comp,
+                r.executed_comp,
+                r.max_rel * 100.0,
+                if r.flagged { " ⚠" } else { "" },
+            );
+        }
+        let _ = writeln!(
+            out,
+            "makespan: predicted {:.4} s, executed {:.4} s ({:.2}% deviation)",
+            self.predicted_makespan,
+            self.executed_makespan,
+            self.makespan_rel * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "drift check: {}",
+            if self.ok() { "OK" } else { "FAIL (deviation beyond tolerance)" }
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::TraceSource;
+
+    fn demo_platform() -> Platform {
+        Platform::new(
+            vec![
+                Processor::affine("w1", 0.5, 1.0e-4, 0.1, 4.0e-3),
+                Processor::affine("w2", 0.25, 2.0e-4, 0.0, 1.6e-2),
+                Processor::affine("root", 0.0, 0.0, 0.2, 9.0e-3),
+            ],
+            2,
+        )
+        .unwrap()
+    }
+
+    fn predicted(platform: &Platform, items: usize) -> Trace {
+        Planner::new(platform.clone())
+            .strategy(Strategy::Heuristic)
+            .order_policy(OrderPolicy::AsIs)
+            .plan(items)
+            .unwrap()
+            .predicted_trace(platform, 8)
+    }
+
+    #[test]
+    fn two_sizes_recover_affine_parameters_exactly() {
+        let platform = demo_platform();
+        let traces = [predicted(&platform, 10_000), predicted(&platform, 40_000)];
+        let cal = Calibration::from_traces(&traces).unwrap();
+        assert_eq!(cal.root, "root");
+        for (fit, proc_) in cal.fits.iter().zip(platform.procs()) {
+            assert_eq!(fit.name, proc_.name);
+            let (b, beta) = proc_.comm.affine_params().unwrap();
+            let (a, alpha) = proc_.comp.affine_params().unwrap();
+            if fit.name != "root" {
+                assert!((fit.comm.slope - beta).abs() <= beta.abs() * 1e-6 + 1e-12, "{fit:?}");
+                assert!((fit.comm.intercept - b).abs() <= 1e-6, "{fit:?}");
+            }
+            assert!((fit.comp.slope - alpha).abs() <= alpha.abs() * 1e-6 + 1e-12, "{fit:?}");
+            assert!((fit.comp.intercept - a).abs() <= 1e-6, "{fit:?}");
+        }
+        assert!(cal.max_rel_residual() < 1e-6);
+    }
+
+    #[test]
+    fn single_size_degrades_to_proportional_model() {
+        let platform = demo_platform();
+        let cal = Calibration::from_traces(&[predicted(&platform, 10_000)]).unwrap();
+        let w1 = &cal.fits[0];
+        assert_eq!(w1.comm.distinct_sizes, 1);
+        assert_eq!(w1.comm.intercept, 0.0);
+        assert!(w1.comm.slope > 0.0);
+    }
+
+    #[test]
+    fn calibrated_platform_predicts_like_the_original() {
+        let platform = demo_platform();
+        let traces = [predicted(&platform, 10_000), predicted(&platform, 40_000)];
+        let cal = Calibration::from_traces(&traces).unwrap();
+        let plan_orig = Planner::new(platform).plan(20_000).unwrap();
+        let plan_cal = cal.replan(20_000, Strategy::Heuristic).unwrap();
+        let rel = (plan_cal.predicted_makespan - plan_orig.predicted_makespan).abs()
+            / plan_orig.predicted_makespan;
+        assert!(rel < 1e-6, "{rel}");
+    }
+
+    #[test]
+    fn empty_and_bad_inputs_error() {
+        assert!(Calibration::from_traces(&[]).is_err());
+        let t = Trace::new(TraceSource::Executed, 0, vec!["a".into()]);
+        assert!(Calibration::from_traces(&[t]).is_err());
+    }
+
+    #[test]
+    fn affine_fit_clamps_negative_parameters() {
+        // Decreasing data would fit a negative slope.
+        let fit = AffineFit::fit(&[(10, 5.0), (20, 1.0)]);
+        assert!(fit.slope >= 0.0 && fit.intercept >= 0.0);
+        // Steep proportional data fits a negative intercept.
+        let fit = AffineFit::fit(&[(1, 0.1), (100, 100.0)]);
+        assert!(fit.intercept >= 0.0);
+    }
+
+    #[test]
+    fn drift_report_passes_faithful_and_flags_perturbed() {
+        let platform = demo_platform();
+        let trace = predicted(&platform, 10_000);
+        let report = DriftReport::from_trace(&platform, &trace, 0.05).unwrap();
+        assert!(report.ok(), "{}", report.render());
+        assert!(report.max_rel() < 1e-9);
+
+        // The same trace against a platform whose w2 CPU is assumed 2×
+        // faster than what ran: comp drifts by ~100%.
+        let mut procs = platform.procs().to_vec();
+        procs[1].comp = CostFn::Affine { intercept: 0.0, slope: 8.0e-3 };
+        let wrong = Platform::new(procs, 2).unwrap();
+        let report = DriftReport::from_trace(&wrong, &trace, 0.05).unwrap();
+        assert!(!report.ok(), "{}", report.render());
+        assert!(report.rows[1].flagged);
+        assert!(report.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn drift_report_rejects_unknown_rank_names() {
+        let platform = demo_platform();
+        let mut trace = predicted(&platform, 1_000);
+        trace.names[0] = "stranger".into();
+        assert!(DriftReport::from_trace(&platform, &trace, 0.1).is_err());
+    }
+}

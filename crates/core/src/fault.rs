@@ -619,6 +619,9 @@ impl FaultSession {
         let dt_eff = self.plan.link_factor(rank) * nominal_dt;
         let crash = self.plan.crash_time(rank);
 
+        let reg = crate::metrics::Registry::global();
+        reg.counter("ft_sends_total", "blocks the fault session attempted to send").inc();
+
         let Some(rc) = recovery else {
             // Fault-oblivious: the root pushes the bytes and moves on.
             let end = now + dt_eff;
@@ -670,13 +673,21 @@ impl FaultSession {
                     // a lost one before the clock runs out.
                     let end = t + timeout;
                     attempts.push(Attempt { start: t, end, failure: Some(cause) });
+                    reg.counter("ft_timeouts_total", "send attempts that timed out").inc();
                     if k < rc.max_retries {
-                        t = end + rc.backoff(timeout, k + 1);
+                        let backoff = rc.backoff(timeout, k + 1);
+                        reg.counter("ft_retries_total", "send re-attempts after a timeout")
+                            .inc();
+                        reg.histogram("ft_backoff_seconds", "backoff waits between retries")
+                            .observe(backoff);
+                        t = end + backoff;
                     }
                 }
             }
         }
         self.dead[rank] = true;
+        reg.counter("ft_dead_declared_total", "ranks declared dead after exhausted retries")
+            .inc();
         let port_free = attempts.last().expect("at least one attempt").end;
         SendOutcome { attempts, delivered: None, port_free, declared_dead: true }
     }
@@ -756,6 +767,11 @@ pub fn replan_residual(
 ) -> Result<ResidualPlan, PlanError> {
     assert_eq!(procs.len(), alive.len(), "one liveness flag per processor");
     assert!(alive.last().copied().unwrap_or(false), "the root must survive");
+    let reg = crate::metrics::Registry::global();
+    reg.counter("ft_replans_total", "residual re-plans after failures").inc();
+    let replan_timer = reg
+        .histogram("ft_replan_seconds", "wall-clock of residual re-planning")
+        .start_timer();
     let positions: Vec<usize> = (0..procs.len()).filter(|&i| alive[i]).collect();
     let survivors: Vec<Processor> = positions.iter().map(|&i| procs[i].clone()).collect();
     let root = survivors.len() - 1;
@@ -764,6 +780,7 @@ pub fn replan_residual(
         .strategy(strategy)
         .order_policy(OrderPolicy::AsIs)
         .plan(residual as usize)?;
+    replan_timer.stop();
     Ok(ResidualPlan {
         positions,
         counts: plan.counts_in_order().iter().map(|&c| c as u64).collect(),

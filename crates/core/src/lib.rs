@@ -65,6 +65,7 @@
 
 pub mod analysis;
 pub mod brute;
+pub mod calibrate;
 pub mod closed_form;
 pub mod cost;
 pub mod cost_table;
@@ -76,6 +77,7 @@ pub mod error;
 pub mod fault;
 pub mod gather;
 pub mod heuristic;
+pub mod metrics;
 pub mod multiround;
 pub mod obs;
 pub mod ordering;
@@ -87,6 +89,7 @@ pub mod rounding;
 
 /// Convenient glob-import of the main types.
 pub mod prelude {
+    pub use crate::calibrate::{Calibration, DriftReport};
     pub use crate::closed_form::{closed_form_distribution, ClosedFormSolution};
     pub use crate::cost::{CostFn, Platform, Processor};
     pub use crate::cost_table::CostTable;
@@ -98,6 +101,7 @@ pub mod prelude {
         replan_residual, Fault, FaultKind, FaultPlan, FaultSession, RecoveryConfig, SendOutcome,
     };
     pub use crate::heuristic::{heuristic_distribution, HeuristicSolution};
+    pub use crate::metrics::{MetricsSnapshot, Registry};
     pub use crate::obs::{
         Event, EventKind, Incident, IncidentKind, PlanTiming, Trace, TraceSource, TraceSummary,
     };

@@ -1,0 +1,662 @@
+//! In-process metrics: counters, gauges, latency histograms and scoped
+//! timers, with Prometheus-text and obs-JSON exporters.
+//!
+//! The paper's pipeline assumes the affine cost parameters are *measured*
+//! (§5: the authors profile the seismic application and the network before
+//! planning). This module is the measuring side of that loop for our own
+//! runtime: hot paths (the parallel DP engine, the fault-recovery session,
+//! the simulator, the minimpi runtime) increment metrics here, an exporter
+//! turns a [`MetricsSnapshot`] into Prometheus text exposition format or
+//! the obs JSON style, and [`crate::calibrate`] closes the loop by fitting
+//! cost parameters back out of executed traces.
+//!
+//! ## Design
+//!
+//! * **Zero dependencies, thread-safe, cheap when idle.** Every metric is
+//!   a handful of atomics; handles are `Arc`s handed out by a [`Registry`]
+//!   so hot paths never touch the registry lock after setup.
+//! * **Deterministic export.** The registry keeps metrics sorted by name,
+//!   so two snapshots of the same run serialize identically.
+//! * **Histograms are log₂-bucketed.** Latencies span nanoseconds to
+//!   hours; powers of two give exact, culture-free bucket bounds that
+//!   round-trip through JSON bit-for-bit.
+//!
+//! ## Example
+//!
+//! ```
+//! use gs_scatter::metrics::Registry;
+//!
+//! let reg = Registry::new();
+//! let cells = reg.counter("dp_cells_evaluated_total", "DP cells evaluated");
+//! cells.add(1024);
+//! let lat = reg.histogram("mpi_send_seconds", "per-send wall-clock");
+//! lat.observe(3.5e-4);
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counters[0].value, 1024);
+//! assert!(snap.to_prometheus().contains("# TYPE mpi_send_seconds histogram"));
+//! ```
+//!
+//! Library code instruments against [`Registry::global`], the process-wide
+//! registry that `gs metrics` exports. Tests that assert on global metrics
+//! must compare *deltas* (the test harness runs tests concurrently in one
+//! process) or use a private `Registry::new()`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Smallest finite histogram bucket bound, as a power of two
+/// (2⁻³⁰ ≈ 0.93 ns).
+const MIN_EXP: i32 = -30;
+/// Largest finite histogram bucket bound, as a power of two
+/// (2²⁰ ≈ 12 days).
+const MAX_EXP: i32 = 20;
+/// Finite buckets: one per exponent in `MIN_EXP..=MAX_EXP`, plus the
+/// overflow (+∞) bucket appended by [`Histogram`].
+const FINITE_BUCKETS: usize = (MAX_EXP - MIN_EXP + 1) as usize;
+
+/// A monotonically increasing count (events, bytes, cache hits…).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down (queue depth, residual items…).
+///
+/// Stored as `f64` bits in an atomic; `add` uses a compare-and-swap loop,
+/// so concurrent increments never lose updates.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `dv` (may be negative).
+    pub fn add(&self, dv: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + dv).to_bits();
+            match self.bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A log₂-bucketed histogram of non-negative values (typically seconds).
+///
+/// Bucket `k` counts observations `v` with
+/// `2^(MIN_EXP+k−1) < v ≤ 2^(MIN_EXP+k)`; values at or below the smallest
+/// bound land in bucket 0, values above the largest in the overflow (+∞)
+/// bucket. Negative and non-finite observations are ignored (they would
+/// poison `sum`).
+#[derive(Debug)]
+pub struct Histogram {
+    /// `FINITE_BUCKETS` finite buckets plus the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Σ of observed values, as `f64` bits (CAS-updated).
+    sum_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: (0..=FINITE_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Upper bound of finite bucket `k` (`2^(MIN_EXP+k)`).
+    fn bound(k: usize) -> f64 {
+        (2.0f64).powi(MIN_EXP + k as i32)
+    }
+
+    /// Records one observation. Negative and non-finite values are
+    /// dropped.
+    pub fn observe(&self, v: f64) {
+        if !v.is_finite() || v < 0.0 {
+            return;
+        }
+        let idx = if v <= Self::bound(0) {
+            0
+        } else if v > Self::bound(FINITE_BUCKETS - 1) {
+            FINITE_BUCKETS // overflow
+        } else {
+            let e = v.log2().ceil() as i32;
+            (e - MIN_EXP).clamp(0, FINITE_BUCKETS as i32 - 1) as usize
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Starts a scoped timer that `observe`s its elapsed wall-clock
+    /// seconds into this histogram when dropped.
+    pub fn start_timer(self: &Arc<Histogram>) -> Timer {
+        Timer { hist: Arc::clone(self), start: Instant::now() }
+    }
+
+    /// Freezes this histogram's current state.
+    fn snapshot(&self) -> Vec<BucketCount> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.load(Ordering::Relaxed) > 0)
+            .map(|(k, c)| BucketCount {
+                le: if k == FINITE_BUCKETS { f64::INFINITY } else { Self::bound(k) },
+                count: c.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+/// RAII timer: observes its lifetime, in seconds, into a [`Histogram`]
+/// on drop. Create with [`Histogram::start_timer`].
+#[derive(Debug)]
+pub struct Timer {
+    hist: Arc<Histogram>,
+    start: Instant,
+}
+
+impl Timer {
+    /// Stops the timer early and returns the observed seconds.
+    pub fn stop(self) -> f64 {
+        let secs = self.start.elapsed().as_secs_f64();
+        self.hist.observe(secs);
+        std::mem::forget(self); // avoid double-observe from Drop
+        secs
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        self.hist.observe(self.start.elapsed().as_secs_f64());
+    }
+}
+
+/// A registered metric: the shared handle plus its help text.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter { help: String, handle: Arc<Counter> },
+    Gauge { help: String, handle: Arc<Gauge> },
+    Histogram { help: String, handle: Arc<Histogram> },
+}
+
+/// A named collection of metrics.
+///
+/// `counter`/`gauge`/`histogram` get-or-create: the first call registers
+/// the metric, later calls (from any thread) return the same handle. A
+/// name registered as one kind and requested as another panics — that is
+/// a programming error, not a runtime condition.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry (use [`Registry::global`] for the
+    /// process-wide one).
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The process-wide registry that library instrumentation writes to
+    /// and `gs metrics` exports.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Gets or creates the counter `name`.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        let mut m = self.metrics.lock().expect("metrics registry poisoned");
+        let entry = m.entry(name.to_string()).or_insert_with(|| Metric::Counter {
+            help: help.to_string(),
+            handle: Arc::new(Counter::new()),
+        });
+        match entry {
+            Metric::Counter { handle, .. } => Arc::clone(handle),
+            _ => panic!("metric `{name}` is not a counter"),
+        }
+    }
+
+    /// Gets or creates the gauge `name`.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        let mut m = self.metrics.lock().expect("metrics registry poisoned");
+        let entry = m.entry(name.to_string()).or_insert_with(|| Metric::Gauge {
+            help: help.to_string(),
+            handle: Arc::new(Gauge::new()),
+        });
+        match entry {
+            Metric::Gauge { handle, .. } => Arc::clone(handle),
+            _ => panic!("metric `{name}` is not a gauge"),
+        }
+    }
+
+    /// Gets or creates the histogram `name`.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        let mut m = self.metrics.lock().expect("metrics registry poisoned");
+        let entry = m.entry(name.to_string()).or_insert_with(|| Metric::Histogram {
+            help: help.to_string(),
+            handle: Arc::new(Histogram::new()),
+        });
+        match entry {
+            Metric::Histogram { handle, .. } => Arc::clone(handle),
+            _ => panic!("metric `{name}` is not a histogram"),
+        }
+    }
+
+    /// Freezes the current state of every registered metric, sorted by
+    /// name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let m = self.metrics.lock().expect("metrics registry poisoned");
+        let mut snap = MetricsSnapshot::default();
+        for (name, metric) in m.iter() {
+            match metric {
+                Metric::Counter { help, handle } => snap.counters.push(CounterSnapshot {
+                    name: name.clone(),
+                    help: help.clone(),
+                    value: handle.get(),
+                }),
+                Metric::Gauge { help, handle } => snap.gauges.push(GaugeSnapshot {
+                    name: name.clone(),
+                    help: help.clone(),
+                    value: handle.get(),
+                }),
+                Metric::Histogram { help, handle } => snap.histograms.push(HistogramSnapshot {
+                    name: name.clone(),
+                    help: help.clone(),
+                    count: handle.count(),
+                    sum: handle.sum(),
+                    buckets: handle.snapshot(),
+                }),
+            }
+        }
+        snap
+    }
+}
+
+/// One non-empty histogram bucket: observations `≤ le` that exceeded the
+/// previous bound. `le` is `2^k` (or +∞ for the overflow bucket), so it
+/// serializes exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketCount {
+    /// Inclusive upper bound of the bucket.
+    pub le: f64,
+    /// Observations in this bucket (non-cumulative).
+    pub count: u64,
+}
+
+/// Frozen state of one counter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSnapshot {
+    /// Metric name (Prometheus-safe: `[a-z0-9_]`).
+    pub name: String,
+    /// One-line description.
+    pub help: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// Frozen state of one gauge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// One-line description.
+    pub help: String,
+    /// Value at snapshot time.
+    pub value: f64,
+}
+
+/// Frozen state of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// One-line description.
+    pub help: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Non-empty buckets, ascending by bound.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// Estimated quantile `q ∈ [0, 1]`: the upper bound of the bucket
+    /// containing the `⌈q·count⌉`-th observation (0 when empty). An upper
+    /// estimate, tight to one log₂ bucket.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for b in &self.buckets {
+            seen += b.count;
+            if seen >= target {
+                return b.le;
+            }
+        }
+        self.buckets.last().map_or(0.0, |b| b.le)
+    }
+}
+
+/// Frozen state of a whole [`Registry`], ready for export. Attachable to
+/// an obs [`crate::obs::Trace`] as its optional `metrics` block.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// True when no metric was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (`# HELP`/`# TYPE` preambles, cumulative `le` buckets,
+    /// `_sum`/`_count` series).
+    pub fn to_prometheus(&self) -> String {
+        fn fmt_f64(v: f64) -> String {
+            if v == f64::INFINITY {
+                "+Inf".to_string()
+            } else {
+                format!("{v}")
+            }
+        }
+        let mut out = String::new();
+        for c in &self.counters {
+            let _ = writeln!(out, "# HELP {} {}", c.name, c.help);
+            let _ = writeln!(out, "# TYPE {} counter", c.name);
+            let _ = writeln!(out, "{} {}", c.name, c.value);
+        }
+        for g in &self.gauges {
+            let _ = writeln!(out, "# HELP {} {}", g.name, g.help);
+            let _ = writeln!(out, "# TYPE {} gauge", g.name);
+            let _ = writeln!(out, "{} {}", g.name, fmt_f64(g.value));
+        }
+        for h in &self.histograms {
+            let _ = writeln!(out, "# HELP {} {}", h.name, h.help);
+            let _ = writeln!(out, "# TYPE {} histogram", h.name);
+            let mut cumulative = 0u64;
+            for b in &h.buckets {
+                cumulative += b.count;
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{{le=\"{}\"}} {cumulative}",
+                    h.name,
+                    fmt_f64(b.le)
+                );
+            }
+            let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", h.name, h.count);
+            let _ = writeln!(out, "{}_sum {}", h.name, fmt_f64(h.sum));
+            let _ = writeln!(out, "{}_count {}", h.name, h.count);
+        }
+        out
+    }
+
+    /// Renders a short human-readable digest: one line per metric, with
+    /// p50/p95/p99 for histograms.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.counters {
+            let _ = writeln!(out, "{:<32} {}", c.name, c.value);
+        }
+        for g in &self.gauges {
+            let _ = writeln!(out, "{:<32} {}", g.name, g.value);
+        }
+        for h in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{:<32} count={} sum={:.6}s p50≤{:.3e} p95≤{:.3e} p99≤{:.3e}",
+                h.name,
+                h.count,
+                h.sum,
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let reg = Registry::new();
+        let c = reg.counter("x_total", "x");
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        // Same name → same handle.
+        assert_eq!(reg.counter("x_total", "x").get(), 42);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.set(10.0);
+        g.add(-2.5);
+        assert_eq!(g.get(), 7.5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.observe(1e-4); // fast
+        }
+        for _ in 0..10 {
+            h.observe(1.0); // slow tail
+        }
+        h.observe(-1.0); // ignored
+        h.observe(f64::NAN); // ignored
+        assert_eq!(h.count(), 100);
+        assert!((h.sum() - (90.0 * 1e-4 + 10.0)).abs() < 1e-9);
+        let snap = HistogramSnapshot {
+            name: "t".into(),
+            help: String::new(),
+            count: h.count(),
+            sum: h.sum(),
+            buckets: h.snapshot(),
+        };
+        // p50 lands in the fast bucket, p99 in the slow tail.
+        assert!(snap.quantile(0.50) < 1e-3, "{}", snap.quantile(0.50));
+        assert!(snap.quantile(0.99) >= 1.0, "{}", snap.quantile(0.99));
+        // Quantile bound actually covers the observation.
+        assert!(snap.quantile(0.50) >= 1e-4);
+    }
+
+    #[test]
+    fn histogram_extremes_land_in_edge_buckets() {
+        let h = Histogram::new();
+        h.observe(0.0);
+        h.observe(1e300); // beyond the largest finite bucket
+        let buckets = h.snapshot();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].le, Histogram::bound(0));
+        assert_eq!(buckets[1].le, f64::INFINITY);
+    }
+
+    #[test]
+    fn timer_observes_on_drop_and_stop() {
+        let reg = Registry::new();
+        let h = reg.histogram("t_seconds", "t");
+        {
+            let _t = h.start_timer();
+        }
+        let t = h.start_timer();
+        let secs = t.stop();
+        assert!(secs >= 0.0);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_stable() {
+        let reg = Registry::new();
+        reg.counter("zeta_total", "z").inc();
+        reg.counter("alpha_total", "a").add(5);
+        reg.gauge("mid_gauge", "m").set(1.5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters[0].name, "alpha_total");
+        assert_eq!(snap.counters[1].name, "zeta_total");
+        assert_eq!(snap.gauges[0].value, 1.5);
+        assert_eq!(reg.snapshot(), snap);
+    }
+
+    #[test]
+    fn prometheus_format_is_well_formed() {
+        let reg = Registry::new();
+        reg.counter("reqs_total", "requests").add(3);
+        reg.gauge("depth", "queue depth").set(2.0);
+        let h = reg.histogram("lat_seconds", "latency");
+        h.observe(0.25);
+        h.observe(300.0);
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE reqs_total counter"));
+        assert!(text.contains("reqs_total 3"));
+        assert!(text.contains("# TYPE depth gauge"));
+        assert!(text.contains("# TYPE lat_seconds histogram"));
+        // Buckets are cumulative and end with an explicit +Inf.
+        assert!(text.contains("lat_seconds_bucket{le=\"0.25\"} 1"));
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("lat_seconds_sum 300.25"));
+        assert!(text.contains("lat_seconds_count 2"));
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let reg = Arc::new(Registry::new());
+        let c = reg.counter("n_total", "n");
+        let g = reg.gauge("g", "g");
+        let h = reg.histogram("h_seconds", "h");
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let (c, g, h) = (Arc::clone(&c), Arc::clone(&g), Arc::clone(&h));
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                        g.add(1.0);
+                        h.observe(0.5);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 4000);
+        assert_eq!(g.get(), 4000.0);
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.sum(), 2000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.gauge("thing", "thing");
+        reg.counter("thing", "thing");
+    }
+
+    #[test]
+    fn render_mentions_every_metric() {
+        let reg = Registry::new();
+        reg.counter("a_total", "a").inc();
+        reg.gauge("b", "b").set(2.0);
+        reg.histogram("c_seconds", "c").observe(1.0);
+        let text = reg.snapshot().render();
+        for name in ["a_total", "b", "c_seconds"] {
+            assert!(text.contains(name), "{text}");
+        }
+    }
+}

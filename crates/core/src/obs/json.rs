@@ -27,6 +27,9 @@ use super::{
     Event, EventKind, Incident, IncidentKind, PlanTiming, Trace, TraceError, TraceSource,
     SCHEMA_VERSION,
 };
+use crate::metrics::{
+    BucketCount, CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricsSnapshot,
+};
 
 // ---- writer ---------------------------------------------------------------
 
@@ -50,6 +53,71 @@ fn push_f64(out: &mut String, x: f64) {
     // Rust's `Display` for f64 is the shortest representation that
     // round-trips, which is exactly what a trace wants.
     out.push_str(&format!("{x}"));
+}
+
+/// Serializes a metrics snapshot as the object the schema's optional
+/// `metrics` field carries (and that [`metrics_from_json`] reads back).
+/// Histogram bucket bounds are powers of two, hence exact; the overflow
+/// bucket's +∞ bound — and a `sum` that overflowed to +∞ after ~1e308
+/// worth of observations — is written as the string `"inf"` (JSON
+/// numbers cannot express it).
+pub fn metrics_to_json(snap: &MetricsSnapshot) -> String {
+    fn push_le(out: &mut String, le: f64) {
+        if le.is_finite() {
+            push_f64(out, le);
+        } else {
+            out.push_str("\"inf\"");
+        }
+    }
+    let mut out = String::new();
+    out.push_str("{\"counters\": [");
+    for (i, c) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("{\"name\": ");
+        push_escaped(&mut out, &c.name);
+        out.push_str(", \"help\": ");
+        push_escaped(&mut out, &c.help);
+        out.push_str(&format!(", \"value\": {}}}", c.value));
+    }
+    out.push_str("], \"gauges\": [");
+    for (i, g) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("{\"name\": ");
+        push_escaped(&mut out, &g.name);
+        out.push_str(", \"help\": ");
+        push_escaped(&mut out, &g.help);
+        out.push_str(", \"value\": ");
+        push_f64(&mut out, g.value);
+        out.push('}');
+    }
+    out.push_str("], \"histograms\": [");
+    for (i, h) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("{\"name\": ");
+        push_escaped(&mut out, &h.name);
+        out.push_str(", \"help\": ");
+        push_escaped(&mut out, &h.help);
+        out.push_str(&format!(", \"count\": {}, \"sum\": ", h.count));
+        push_le(&mut out, h.sum);
+        out.push_str(", \"buckets\": [");
+        for (j, b) in h.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("{\"le\": ");
+            push_le(&mut out, b.le);
+            out.push_str(&format!(", \"count\": {}}}", b.count));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Serializes a trace as a schema-v1 JSON document (one event per line,
@@ -78,6 +146,11 @@ pub fn trace_to_json(trace: &Trace) -> String {
     if let Some(label) = &trace.label {
         out.push_str("  \"label\": ");
         push_escaped(&mut out, label);
+        out.push_str(",\n");
+    }
+    if let Some(m) = &trace.metrics {
+        out.push_str("  \"metrics\": ");
+        out.push_str(&metrics_to_json(m));
         out.push_str(",\n");
     }
     if !trace.incidents.is_empty() {
@@ -395,6 +468,80 @@ fn plan_timing_from_json(obj: &Json) -> Result<PlanTiming, TraceError> {
     })
 }
 
+fn str_field(obj: &Json, key: &str) -> Result<String, TraceError> {
+    field(obj, key)?
+        .as_str()
+        .map(String::from)
+        .ok_or_else(|| TraceError(format!("field `{key}` must be a string")))
+}
+
+fn u64_field(obj: &Json, key: &str) -> Result<u64, TraceError> {
+    field(obj, key)?
+        .as_u64()
+        .ok_or_else(|| TraceError(format!("field `{key}` must be a non-negative integer")))
+}
+
+/// Decodes the object written by [`metrics_to_json`].
+pub fn metrics_from_json(obj: &Json) -> Result<MetricsSnapshot, TraceError> {
+    let arr = |key: &str| -> Result<&[Json], TraceError> {
+        field(obj, key)?
+            .as_arr()
+            .ok_or_else(|| TraceError(format!("field `{key}` must be an array")))
+    };
+    let mut snap = MetricsSnapshot::default();
+    for c in arr("counters")? {
+        snap.counters.push(CounterSnapshot {
+            name: str_field(c, "name")?,
+            help: str_field(c, "help")?,
+            value: u64_field(c, "value")?,
+        });
+    }
+    for g in arr("gauges")? {
+        snap.gauges.push(GaugeSnapshot {
+            name: str_field(g, "name")?,
+            help: str_field(g, "help")?,
+            value: f64_field(g, "value")?,
+        });
+    }
+    for h in arr("histograms")? {
+        let mut buckets = Vec::new();
+        for b in field(h, "buckets")?
+            .as_arr()
+            .ok_or_else(|| TraceError("field `buckets` must be an array".into()))?
+        {
+            let le = match field(b, "le")? {
+                Json::Num(x) => *x,
+                Json::Str(s) if s == "inf" => f64::INFINITY,
+                _ => {
+                    return Err(TraceError(
+                        "field `le` must be a number or the string \"inf\"".into(),
+                    ))
+                }
+            };
+            buckets.push(BucketCount { le, count: u64_field(b, "count")? });
+        }
+        let sum = match field(h, "sum")? {
+            Json::Num(x) => *x,
+            // A sum that overflowed f64 (only upward: observations are
+            // non-negative) is exported as the string "inf".
+            Json::Str(s) if s == "inf" => f64::INFINITY,
+            _ => {
+                return Err(TraceError(
+                    "field `sum` must be a number or the string \"inf\"".into(),
+                ))
+            }
+        };
+        snap.histograms.push(HistogramSnapshot {
+            name: str_field(h, "name")?,
+            help: str_field(h, "help")?,
+            count: u64_field(h, "count")?,
+            sum,
+            buckets,
+        });
+    }
+    Ok(snap)
+}
+
 /// Deserializes a schema-v1 JSON document back into a [`Trace`].
 ///
 /// Rejects documents with a different `schema` number, unknown event
@@ -440,6 +587,10 @@ pub fn trace_from_json(text: &str) -> Result<Trace, TraceError> {
                 .ok_or_else(|| TraceError("field `label` must be a string".into()))?
                 .to_string(),
         );
+    }
+    // `metrics` is optional too: attaching is opt-in (see `Trace`).
+    if let Some(m) = doc.get("metrics") {
+        trace.metrics = Some(metrics_from_json(m)?);
     }
     if let Some(arr) = doc.get("incidents") {
         for (i, inc) in arr
@@ -592,6 +743,41 @@ mod tests {
         let plain = trace_from_json(&trace_to_json(&sample())).unwrap();
         assert!(plain.incidents.is_empty());
         assert_eq!(plain.label, None);
+    }
+
+    #[test]
+    fn metrics_block_round_trips_exactly() {
+        let mut trace = sample();
+        trace.metrics = Some(MetricsSnapshot {
+            counters: vec![CounterSnapshot {
+                name: "dp_cells_evaluated_total".into(),
+                help: "DP cells".into(),
+                value: 12345,
+            }],
+            gauges: vec![GaugeSnapshot {
+                name: "mpi_queue_depth".into(),
+                help: "queue \"depth\"".into(),
+                value: 2.5, // dyadic: exact in JSON round-trip
+            }],
+            histograms: vec![HistogramSnapshot {
+                name: "mpi_send_seconds".into(),
+                help: "per-send".into(),
+                count: 3,
+                sum: 0.375,
+                buckets: vec![
+                    BucketCount { le: 0.125, count: 2 },
+                    BucketCount { le: f64::INFINITY, count: 1 },
+                ],
+            }],
+        });
+        let text = trace_to_json(&trace);
+        assert!(text.contains("\"metrics\""));
+        assert!(text.contains("\"le\": \"inf\""));
+        let back = trace_from_json(&text).unwrap();
+        assert_eq!(back, trace);
+        // Schema stays v1 and plain traces stay metrics-free.
+        assert!(text.contains("\"schema\": 1"));
+        assert_eq!(trace_from_json(&trace_to_json(&sample())).unwrap().metrics, None);
     }
 
     #[test]

@@ -344,6 +344,13 @@ pub struct Trace {
     /// [`TraceSource`] (e.g. `degraded` vs `recovered` simulated runs of
     /// the same faulty grid). Serialized as the optional `label` field.
     pub label: Option<String>,
+    /// Optional frozen metrics of the process that produced the trace
+    /// (see [`crate::metrics`]). Opt-in: producers never attach it
+    /// automatically — a metrics block describes a *process*, not the
+    /// schedule, so attaching it would break trace-equality comparisons
+    /// between layers. Serialized as the optional `metrics` object,
+    /// which keeps the schema at version 1.
+    pub metrics: Option<crate::metrics::MetricsSnapshot>,
 }
 
 impl Trace {
@@ -357,6 +364,7 @@ impl Trace {
             plan_timing: None,
             incidents: Vec::new(),
             label: None,
+            metrics: None,
         }
     }
 

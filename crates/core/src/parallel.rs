@@ -45,7 +45,31 @@ use crate::cost_table::CostTable;
 use crate::dp_basic::{validate_procs, DpSolution};
 use crate::dp_kernel::{self, MAX_ITEMS};
 use crate::error::PlanError;
+use crate::metrics::{Counter, Histogram, Registry};
 use crate::obs::PlanTiming;
+
+/// Handles on the engine's global metrics, resolved once per solve so
+/// the per-cell hot path only touches atomics.
+struct DpStats {
+    cells: Arc<Counter>,
+    prune_hits: Arc<Counter>,
+    busy: Arc<Histogram>,
+}
+
+impl DpStats {
+    fn new() -> DpStats {
+        let reg = Registry::global();
+        DpStats {
+            cells: reg.counter("dp_cells_evaluated_total", "DP cells evaluated by the engine"),
+            prune_hits: reg
+                .counter("dp_prune_hits_total", "DP cells skipped by upper-bound pruning"),
+            busy: reg.histogram(
+                "dp_thread_busy_seconds",
+                "per-thread busy time of one parallel column sweep",
+            ),
+        }
+    }
+}
 
 /// Which dynamic program the engine runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -213,6 +237,7 @@ pub(crate) fn solve(
         p,
         threads,
         chunk: chunk_size(n + 1, threads, opts.chunk),
+        stats: DpStats::new(),
     };
     let (counts, makespan) = match engine.run(ub.map(|u| u * (1.0 + BOUND_MARGIN))) {
         Some(result) => result,
@@ -235,6 +260,14 @@ pub(crate) fn solve(
         cache_hits: table.hits() - hits0,
         cache_misses: table.misses() - misses0,
     };
+    let reg = Registry::global();
+    reg.counter("dp_solves_total", "DP solves completed").inc();
+    reg.counter("dp_cache_hits_total", "cost-table lookups answered from cache")
+        .add(timing.cache_hits);
+    reg.counter("dp_cache_misses_total", "cost-table lookups that tabulated")
+        .add(timing.cache_misses);
+    reg.histogram("dp_solve_seconds", "wall-clock of the DP solve proper")
+        .observe(timing.solve_secs);
     Ok((DpSolution { counts, makespan }, timing))
 }
 
@@ -264,6 +297,7 @@ struct Engine<'a> {
     p: usize,
     threads: usize,
     chunk: usize,
+    stats: DpStats,
 }
 
 impl Engine<'_> {
@@ -288,6 +322,8 @@ impl Engine<'_> {
             }
             prev.push(v);
         }
+        self.stats.cells.add(prev.len() as u64);
+        self.stats.prune_hits.add((n + 1 - prev.len()) as u64);
         let mut prev_valid = prev.len().checked_sub(1)?;
         if p == 1 {
             return Some((vec![n], *prev.get(n)?));
@@ -365,7 +401,9 @@ impl Engine<'_> {
         let mut cost = vec![f64::INFINITY; len];
         let mut choice = vec![0u32; len];
         if self.threads <= 1 || len <= self.chunk {
-            ctx.run_chunk(0, &mut cost, &mut choice);
+            let evaluated = ctx.run_chunk(0, &mut cost, &mut choice);
+            self.stats.cells.add(evaluated as u64);
+            self.stats.prune_hits.add((len - evaluated) as u64);
             return (cost, choice);
         }
         let jobs: Vec<(usize, &mut [f64], &mut [u32])> = cost
@@ -378,12 +416,24 @@ impl Engine<'_> {
         let queue = Mutex::new(jobs);
         crossbeam::thread::scope(|s| {
             for _ in 0..workers {
-                s.spawn(|_| loop {
-                    let job = queue.lock().expect("column queue poisoned").pop();
-                    match job {
-                        Some((start, c, ch)) => ctx.run_chunk(start, c, ch),
-                        None => break,
+                s.spawn(|_| {
+                    let t0 = Instant::now();
+                    let (mut evaluated, mut skipped) = (0u64, 0u64);
+                    loop {
+                        let job = queue.lock().expect("column queue poisoned").pop();
+                        match job {
+                            Some((start, c, ch)) => {
+                                let chunk_len = c.len();
+                                let done = ctx.run_chunk(start, c, ch);
+                                evaluated += done as u64;
+                                skipped += (chunk_len - done) as u64;
+                            }
+                            None => break,
+                        }
                     }
+                    self.stats.cells.add(evaluated);
+                    self.stats.prune_hits.add(skipped);
+                    self.stats.busy.observe(t0.elapsed().as_secs_f64());
                 });
             }
         })
@@ -424,19 +474,21 @@ impl ColumnCtx<'_> {
         }
     }
 
-    /// Fills one chunk, ascending. With a pruning bound the chunk stops
-    /// at its first out-of-bound cell (column values are non-decreasing
-    /// in `d`, so everything after it is out of bound too); the remaining
-    /// cells keep their `+inf` fill.
-    fn run_chunk(&self, start: usize, cost: &mut [f64], choice: &mut [u32]) {
+    /// Fills one chunk, ascending, returning how many cells it actually
+    /// evaluated. With a pruning bound the chunk stops at its first
+    /// out-of-bound cell (column values are non-decreasing in `d`, so
+    /// everything after it is out of bound too); the remaining cells
+    /// keep their `+inf` fill.
+    fn run_chunk(&self, start: usize, cost: &mut [f64], choice: &mut [u32]) -> usize {
         for (k, (c, ch)) in cost.iter_mut().zip(choice.iter_mut()).enumerate() {
             let (v, e) = self.cell(start + k);
             *c = v;
             *ch = e;
             if self.bound.is_some_and(|b| v > b) {
-                break;
+                return k + 1;
             }
         }
+        cost.len()
     }
 }
 
@@ -598,6 +650,30 @@ mod tests {
         let opts = ParallelOpts { threads: 1, prune: true, chunk: 0 };
         let pruned = optimal_distribution_parallel(&v, n, &opts).unwrap();
         assert_bit_identical(&pruned, &serial, "n=20000 pruned");
+    }
+
+    #[test]
+    fn solves_feed_the_global_metrics_registry() {
+        // Deltas, not absolutes: the test harness shares the global
+        // registry across concurrently running tests.
+        use crate::metrics::{MetricsSnapshot, Registry};
+        let get = |s: &MetricsSnapshot, name: &str| {
+            s.counters.iter().find(|c| c.name == name).map_or(0, |c| c.value)
+        };
+        let before = Registry::global().snapshot();
+        let (sub, order) = table1_view(4);
+        let v = sub.ordered(&order);
+        let opts = ParallelOpts { threads: 2, prune: false, chunk: 64 };
+        optimal_distribution_parallel(&v, 500, &opts).unwrap();
+        let after = Registry::global().snapshot();
+        assert!(get(&after, "dp_solves_total") > get(&before, "dp_solves_total"));
+        // Unpruned 4-proc solve: ≥ (p−1 columns) · (n+1) cells minus the
+        // single-cell top column; at least one full column plus the base.
+        assert!(
+            get(&after, "dp_cells_evaluated_total")
+                >= get(&before, "dp_cells_evaluated_total") + 2 * 501
+        );
+        assert!(get(&after, "dp_cache_misses_total") > get(&before, "dp_cache_misses_total"));
     }
 
     #[test]

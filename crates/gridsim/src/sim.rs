@@ -165,6 +165,14 @@ pub fn simulate_scatter(
     let makespan = engine.run();
 
     let st = state.borrow();
+    let reg = gs_scatter::metrics::Registry::global();
+    reg.counter("sim_runs_total", "discrete-event scatter simulations run").inc();
+    reg.counter("sim_events_total", "simulator events processed")
+        .add(engine.trace.len() as u64);
+    let block = reg.histogram("sim_block_seconds", "simulated per-block transfer time");
+    for (&start, &end) in st.comm_start.iter().zip(&st.comm_end) {
+        block.observe(end - start);
+    }
     ScatterSim {
         timeline: Timeline {
             comm_start: st.comm_start.clone(),

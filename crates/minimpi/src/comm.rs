@@ -140,6 +140,12 @@ impl Comm {
         if let Some(m) = &self.model {
             self.clock += m.link_time(dest, bytes);
         }
+        let reg = gs_scatter::metrics::Registry::global();
+        reg.counter("mpi_sends_total", "point-to-point sends issued").inc();
+        reg.counter("mpi_sent_bytes_total", "payload bytes put on the wire")
+            .add(bytes as u64);
+        reg.histogram("mpi_send_seconds", "per-send transfer time (virtual clock)")
+            .observe(self.clock - start);
         let msg = Message { src: self.rank, tag, timestamp: self.clock, payload };
         if let Some(t) = &mut self.trace {
             t.push(crate::trace::CommRecord {
@@ -176,12 +182,16 @@ impl Comm {
     }
 
     pub(crate) fn match_message(&mut self, src: usize, tag: Tag) -> Message {
+        let depth = gs_scatter::metrics::Registry::global()
+            .gauge("mpi_queue_depth", "messages parked waiting for a matching recv");
         if let Some(pos) = self
             .pending
             .iter()
             .position(|m| m.src == src && m.tag == tag)
         {
-            return self.pending.remove(pos);
+            let msg = self.pending.remove(pos);
+            depth.add(-1.0);
+            return msg;
         }
         loop {
             let msg = self
@@ -192,6 +202,7 @@ impl Comm {
                 return msg;
             }
             self.pending.push(msg);
+            depth.add(1.0);
         }
     }
 

@@ -1,16 +1,19 @@
 //! Documentation as a first-class artifact: every relative markdown
 //! link under `docs/` (and in `README.md`) must resolve, and the worked
-//! console examples in `docs/robustness.md` must reproduce — each
-//! `$ gs …` command is re-run through the CLI's library entry points
-//! and compared line by line against the output shown in the document
-//! (`...` lines elide; `planning:` timing lines are ignored, they are
-//! the only nondeterministic output).
+//! console examples in `docs/robustness.md` and `docs/observability.md`
+//! must reproduce — each `$ gs …` command is re-run through the CLI's
+//! library entry points and compared line by line against the output
+//! shown in the document (`...` lines elide; `planning:` timing lines
+//! are ignored, they are the only nondeterministic output).
 
 use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use gs_cli::commands::{cmd_plan, cmd_report, cmd_simulate, cmd_trace, PlanOptions};
+use gs_cli::commands::{
+    cmd_calibrate, cmd_metrics, cmd_plan, cmd_report, cmd_report_drift, cmd_simulate, cmd_trace,
+    PlanOptions,
+};
 
 fn repo_root() -> &'static Path {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -88,8 +91,8 @@ fn fenced_blocks(text: &str) -> Vec<Fence> {
 }
 
 /// Parses one `gs …` command line into a call against the CLI library,
-/// reading "files" from (and redirecting into) `vfs`.
-fn run_gs(cmdline: &str, platform: &str, vfs: &mut HashMap<String, String>) {
+/// reading "files" (platforms and redirected outputs alike) from `vfs`.
+fn run_gs(cmdline: &str, vfs: &mut HashMap<String, String>) {
     let (cmd, redirect) = match cmdline.split_once(" > ") {
         Some((c, f)) => (c.trim(), Some(f.trim().to_string())),
         None => (cmdline.trim(), None),
@@ -101,12 +104,23 @@ fn run_gs(cmdline: &str, platform: &str, vfs: &mut HashMap<String, String>) {
     let mut positional: Vec<&str> = Vec::new();
     let mut width = 60usize;
     let mut source = "predicted".to_string();
+    let mut item_bytes = 8usize;
+    let mut platform_flag: Option<String> = None;
+    let mut drift_threshold: Option<f64> = None;
     let mut i = 1;
     while i < words.len() {
         match words[i] {
             "--items" => {
                 i += 1;
                 opts.items = words[i].parse().unwrap();
+            }
+            "--strategy" => {
+                i += 1;
+                opts.strategy = words[i].to_string();
+            }
+            "--threads" => {
+                i += 1;
+                opts.threads = words[i].parse().unwrap();
             }
             "--faults" => {
                 i += 1;
@@ -121,36 +135,52 @@ fn run_gs(cmdline: &str, platform: &str, vfs: &mut HashMap<String, String>) {
                 i += 1;
                 source = words[i].to_string();
             }
+            "--item-bytes" => {
+                i += 1;
+                item_bytes = words[i].parse().unwrap();
+            }
+            "--platform" => {
+                i += 1;
+                platform_flag = Some(words[i].to_string());
+            }
+            "--drift-threshold" => {
+                i += 1;
+                drift_threshold = Some(words[i].parse().unwrap());
+            }
             flag if flag.starts_with("--") => panic!("walkthrough uses unknown flag {flag}"),
             word => positional.push(word),
         }
         i += 1;
     }
 
+    let read = |vfs: &HashMap<String, String>, f: &str| -> String {
+        vfs.get(f)
+            .unwrap_or_else(|| panic!("walkthrough reads `{f}` before writing it"))
+            .clone()
+    };
     let out = match positional[0] {
-        "plan" => {
-            assert_eq!(positional[1], "demo.platform");
-            cmd_plan(platform, &opts, false).unwrap()
-        }
-        "simulate" => {
-            assert_eq!(positional[1], "demo.platform");
-            cmd_simulate(platform, &opts, width, false).unwrap()
-        }
-        "trace" => {
-            assert_eq!(positional[1], "demo.platform");
-            cmd_trace(platform, &opts, &source, 8).unwrap()
-        }
+        "plan" => cmd_plan(&read(vfs, positional[1]), &opts, false).unwrap(),
+        "simulate" => cmd_simulate(&read(vfs, positional[1]), &opts, width, false).unwrap(),
+        "trace" => cmd_trace(&read(vfs, positional[1]), &opts, &source, item_bytes).unwrap(),
         "report" => {
-            let texts: Vec<String> = positional[1..]
-                .iter()
-                .map(|f| {
-                    vfs.get(*f)
-                        .unwrap_or_else(|| panic!("walkthrough reads `{f}` before writing it"))
-                        .clone()
-                })
-                .collect();
-            cmd_report(&texts, width).unwrap()
+            let texts: Vec<String> =
+                positional[1..].iter().map(|f| read(vfs, f)).collect();
+            match drift_threshold {
+                None => cmd_report(&texts, width).unwrap(),
+                Some(threshold) => {
+                    // The drift gate's *output* is shown either way; the
+                    // pass/fail bool only drives the process exit code.
+                    let platform = read(vfs, platform_flag.as_deref().unwrap());
+                    cmd_report_drift(&texts, width, &platform, threshold).unwrap().0
+                }
+            }
         }
+        "calibrate" => {
+            let texts: Vec<String> =
+                positional[1..].iter().map(|f| read(vfs, f)).collect();
+            cmd_calibrate(&texts).unwrap()
+        }
+        "metrics" => cmd_metrics(&read(vfs, positional[1]), &opts, item_bytes).unwrap(),
         other => panic!("walkthrough uses unknown subcommand {other}"),
     };
     match redirect {
@@ -206,23 +236,21 @@ fn assert_output_matches(actual: &str, expected: &[String], context: &str) {
     }
 }
 
-#[test]
-fn robustness_walkthrough_reproduces() {
-    let text = fs::read_to_string(repo_root().join("docs/robustness.md")).unwrap();
-    let blocks = fenced_blocks(&text);
-
-    // The platform under test: the `text` fence defining demo.platform.
-    let platform = blocks
+/// Platform files a document defines in ```text fences, in order of
+/// appearance: any fence containing a `proc ` line parses as a platform.
+fn platform_fences(blocks: &[Fence]) -> Vec<String> {
+    blocks
         .iter()
-        .find(|b| b.lang == "text" && b.lines.first().is_some_and(|l| l.starts_with("proc ")))
-        .expect("robustness.md defines demo.platform in a ```text fence")
-        .lines
-        .join("\n");
+        .filter(|b| b.lang == "text" && b.lines.iter().any(|l| l.starts_with("proc ")))
+        .map(|b| b.lines.join("\n"))
+        .collect()
+}
 
+/// Replays every `$ gs …` command of the document's console fences
+/// against the library, comparing output line by line. Returns the
+/// number of commands replayed.
+fn replay_console_blocks(blocks: &[Fence], vfs: &mut HashMap<String, String>) -> usize {
     let console: Vec<&Fence> = blocks.iter().filter(|b| b.lang == "console").collect();
-    assert!(console.len() >= 3, "plan, simulate and report walkthroughs");
-
-    let mut vfs: HashMap<String, String> = HashMap::new();
     let mut commands_run = 0;
     for block in console {
         let mut i = 0;
@@ -238,7 +266,7 @@ fn robustness_walkthrough_reproduces() {
                 i += 1;
             }
             let redirected = cmd.contains(" > ");
-            run_gs(cmd, &platform, &mut vfs);
+            run_gs(cmd, vfs);
             if redirected {
                 assert!(expected.is_empty(), "redirected command shows no output: {cmd}");
             } else {
@@ -248,5 +276,37 @@ fn robustness_walkthrough_reproduces() {
             commands_run += 1;
         }
     }
+    commands_run
+}
+
+#[test]
+fn robustness_walkthrough_reproduces() {
+    let text = fs::read_to_string(repo_root().join("docs/robustness.md")).unwrap();
+    let blocks = fenced_blocks(&text);
+
+    // The platform under test: the `text` fence defining demo.platform.
+    let platforms = platform_fences(&blocks);
+    assert!(!platforms.is_empty(), "robustness.md defines demo.platform in a ```text fence");
+    let mut vfs: HashMap<String, String> = HashMap::new();
+    vfs.insert("demo.platform".into(), platforms[0].clone());
+
+    let commands_run = replay_console_blocks(&blocks, &mut vfs);
     assert!(commands_run >= 6, "the walkthrough exercises the full CLI story");
+}
+
+#[test]
+fn observability_walkthrough_reproduces() {
+    let text = fs::read_to_string(repo_root().join("docs/observability.md")).unwrap();
+    let blocks = fenced_blocks(&text);
+
+    // The document defines two platforms: the grid the traces ran on and
+    // the mis-specified model the drift gate must catch.
+    let platforms = platform_fences(&blocks);
+    assert!(platforms.len() >= 2, "observability.md defines demo.platform and wrong.platform");
+    let mut vfs: HashMap<String, String> = HashMap::new();
+    vfs.insert("demo.platform".into(), platforms[0].clone());
+    vfs.insert("wrong.platform".into(), platforms[1].clone());
+
+    let commands_run = replay_console_blocks(&blocks, &mut vfs);
+    assert!(commands_run >= 7, "trace, calibrate, re-plan, drift gates and metrics replayed");
 }
