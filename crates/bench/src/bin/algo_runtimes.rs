@@ -41,27 +41,31 @@ fn main() {
     }
     println!("paper reported at n = {N_RAYS_1999}: Alg. 1 > 2 days, Alg. 2 = 6 min (PIII/933), heuristic instantaneous");
 
-    // Engine perf trajectory: serial vs parallel vs pruned Algorithm 2.
+    // Engine perf trajectory: serial vs parallel vs pruned Algorithm 2
+    // vs the divide-and-conquer kernel. The (100 000, 64) point runs on
+    // the synthetic affine platform (Table 1 stops at p = 16) and feeds
+    // the bench gate's D&C speedup contract.
     let cases: &[(usize, usize)] = if smoke {
         &[(2_000, 4), (2_000, 16)]
     } else {
-        &[(10_000, 4), (10_000, 16), (100_000, 4), (100_000, 16)]
+        &[(10_000, 4), (10_000, 16), (100_000, 4), (100_000, 16), (100_000, 64)]
     };
     println!("\nAlgorithm-2 engine variants ({threads} threads for parallel):");
     println!(
-        "{:>9} {:>4} {:>12} {:>12} {:>12} {:>14} {:>10}",
-        "n", "p", "serial", "parallel", "pruned", "par+pruned", "identical"
+        "{:>9} {:>4} {:>12} {:>12} {:>12} {:>14} {:>12} {:>10}",
+        "n", "p", "serial", "parallel", "pruned", "par+pruned", "dc", "identical"
     );
     let perf = dp_perf_trajectory(cases, threads);
     for r in &perf {
         println!(
-            "{:>9} {:>4} {:>12} {:>12} {:>12} {:>14} {:>10}",
+            "{:>9} {:>4} {:>12} {:>12} {:>12} {:>14} {:>12} {:>10}",
             r.n,
             r.p,
             fmt_secs(r.serial_secs),
             fmt_secs(r.parallel_secs),
             fmt_secs(r.pruned_secs),
             fmt_secs(r.parallel_pruned_secs),
+            fmt_secs(r.dc_secs),
             r.identical,
         );
         assert!(r.identical, "engine variants diverged at n={} p={}", r.n, r.p);

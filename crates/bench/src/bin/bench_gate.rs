@@ -4,22 +4,31 @@
 //! items, incident counts — against the committed baselines. Timing
 //! fields are machine-dependent and ignored.
 //!
-//! Flags: `--dp PATH` (default `BENCH_dp.smoke.json`), `--faults PATH`
-//! (default `BENCH_faults.smoke.json`), `--threads T`, `--tolerance R`
-//! (relative, default 1e-4), `--update` (rewrite the baselines from the
-//! fresh run instead of checking). Exits nonzero on any mismatch.
+//! The committed **full** sweep (`--dp-full`, default `BENCH_dp.json`)
+//! is additionally checked for the D&C kernel's speedup contract
+//! (≥ 3× over serial Algorithm 2 at n = 100 000, p = 64) — CI does not
+//! re-run the full-size sweep, it verifies the committed numbers.
+//!
+//! Flags: `--dp PATH` (default `BENCH_dp.smoke.json`), `--dp-full PATH`
+//! (default `BENCH_dp.json`), `--faults PATH` (default
+//! `BENCH_faults.smoke.json`), `--threads T`, `--tolerance R`
+//! (relative, default 1e-4), `--update` (rewrite the smoke baselines
+//! from the fresh run instead of checking). Exits nonzero on any
+//! mismatch.
 use std::process::ExitCode;
 
 use gs_bench::experiments::faultexp::{fault_sweep, fault_sweep_json};
 use gs_bench::experiments::runtimes::{dp_perf_json, dp_perf_trajectory};
 use gs_bench::gate::{
-    check_dp, check_faults, SMOKE_DP_CASES, SMOKE_FAULT_ITEMS, SMOKE_FAULT_SEEDS,
+    check_dc_speedup, check_dp, check_faults, DC_GATE_CASE, DC_GATE_MIN_SPEEDUP, SMOKE_DP_CASES,
+    SMOKE_FAULT_ITEMS, SMOKE_FAULT_SEEDS,
 };
 use gs_bench::util::{arg_f64, arg_flag, arg_str, arg_usize};
 use gs_scatter::obs::json::parse;
 
 fn main() -> ExitCode {
     let dp_path = arg_str("--dp", "BENCH_dp.smoke.json");
+    let dp_full_path = arg_str("--dp-full", "BENCH_dp.json");
     let faults_path = arg_str("--faults", "BENCH_faults.smoke.json");
     let threads = arg_usize("--threads", 4);
     let tol = arg_f64("--tolerance", 1e-4);
@@ -35,7 +44,7 @@ fn main() -> ExitCode {
     if update {
         std::fs::write(&dp_path, dp_perf_json(&dp, threads))
             .unwrap_or_else(|e| panic!("write {dp_path}: {e}"));
-        std::fs::write(&faults_path, fault_sweep_json(SMOKE_FAULT_ITEMS, &faults))
+        std::fs::write(&faults_path, fault_sweep_json(SMOKE_FAULT_ITEMS, &faults, None))
             .unwrap_or_else(|e| panic!("write {faults_path}: {e}"));
         println!("baselines rewritten: {dp_path}, {faults_path}");
         return ExitCode::SUCCESS;
@@ -48,11 +57,13 @@ fn main() -> ExitCode {
     };
     let mut bad = check_dp(&load(&dp_path), &dp, tol);
     bad.extend(check_faults(&load(&faults_path), &faults, tol));
+    bad.extend(check_dc_speedup(&load(&dp_full_path)));
 
     if bad.is_empty() {
         println!(
-            "bench gate: OK ({} dp row(s), {} fault row(s) match the baselines, \
-             tolerance {tol:.0e})",
+            "bench gate: OK ({} dp row(s), {} fault row(s) match the baselines; \
+             committed {dp_full_path} holds the >= {DC_GATE_MIN_SPEEDUP}x dc speedup at \
+             (n, p) = {DC_GATE_CASE:?}; tolerance {tol:.0e})",
             dp.len(),
             faults.len()
         );

@@ -127,13 +127,82 @@ pub fn fault_sweep(n: usize, seeds: &[u64]) -> (Platform, Vec<FaultSweepRow>) {
     (platform, rows)
 }
 
+/// Times the residual exact-DP re-plan after losing the first-served
+/// worker, cold (fresh planner, no cache) vs warm (a `PlanCache` primed
+/// by the original full plan, exactly what a `FaultSession` holds when
+/// a crash interrupts the first transfer). Dropping the first-served worker
+/// leaves the whole remaining scatter order as a suffix of the primed
+/// plane — the best case for column reuse, and the common one: the rank
+/// currently receiving data is the one whose crash forces a re-plan.
+///
+/// Both plans are asserted bit-identical before the times are returned
+/// as `(cold_secs, warm_secs)`.
+pub fn replan_timing(n: usize) -> (f64, f64) {
+    use gs_scatter::planner::{PlanCache, Strategy};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let platform = table1_platform();
+    let cache = Arc::new(PlanCache::new());
+    let full = Planner::new(platform.clone())
+        .strategy(Strategy::Exact)
+        .plan_cache(Arc::clone(&cache))
+        .plan(n)
+        .expect("Table-1 platform plans cleanly");
+    let victim = full.order[0];
+    assert_ne!(victim, platform.root(), "the root is never first-served");
+    let root_name = platform.procs()[platform.root()].name.clone();
+    let survivors: Vec<Processor> = platform
+        .procs()
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != victim)
+        .map(|(_, pr)| pr.clone())
+        .collect();
+    let root = survivors.iter().position(|p| p.name == root_name).expect("root survives");
+    let surv = Platform::new(survivors, root).expect("survivor platform is valid");
+    // The victim's own block is lost mid-transfer: re-plan it plus
+    // everything not yet sent (here: all of it, the worst case).
+    let residual = n;
+
+    let t = Instant::now();
+    let cold = Planner::new(surv.clone())
+        .strategy(Strategy::Exact)
+        .plan(residual)
+        .expect("cold re-plan");
+    let cold_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let warm = Planner::new(surv)
+        .strategy(Strategy::Exact)
+        .plan_cache(Arc::clone(&cache))
+        .plan(residual)
+        .expect("warm re-plan");
+    let warm_secs = t.elapsed().as_secs_f64();
+    assert_eq!(warm.counts, cold.counts, "warm-start changed the plan");
+    assert_eq!(
+        warm.predicted_makespan.to_bits(),
+        cold.predicted_makespan.to_bits(),
+        "warm-start changed the makespan"
+    );
+    (cold_secs, warm_secs)
+}
+
 /// Machine-readable export (`BENCH_faults.json`), mirroring the
 /// `BENCH_dp.json` conventions so the robustness story is comparable
-/// PR-over-PR.
-pub fn fault_sweep_json(n: usize, rows: &[FaultSweepRow]) -> String {
+/// PR-over-PR. `replan` carries the optional
+/// [`replan_timing`] measurement as top-level
+/// `replan_cold_secs`/`replan_warm_secs` fields (wall times, not gated
+/// by `bench_gate`, which only compares `rows`).
+pub fn fault_sweep_json(n: usize, rows: &[FaultSweepRow], replan: Option<(f64, f64)>) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"fault_sweep\",\n  \"schema\": 1,\n");
-    out.push_str(&format!("  \"n\": {n},\n  \"rows\": [\n"));
+    out.push_str(&format!("  \"n\": {n},\n"));
+    if let Some((cold, warm)) = replan {
+        out.push_str(&format!(
+            "  \"replan_cold_secs\": {cold:.6}, \"replan_warm_secs\": {warm:.6},\n"
+        ));
+    }
+    out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"scenario\": \"{}\", \"clean_makespan\": {:.6}, \
@@ -185,7 +254,7 @@ mod tests {
         // A severed link is indistinguishable from a crash: re-planned.
         let link8 = rows.iter().find(|r| r.scenario == "link:0:8").unwrap();
         assert!(link8.replans >= 1);
-        let json = fault_sweep_json(2_000, &rows);
+        let json = fault_sweep_json(2_000, &rows, None);
         assert!(json.contains("\"bench\": \"fault_sweep\""));
         assert!(json.contains("\"scenario\": \"flaky:0:1\""));
     }

@@ -16,6 +16,11 @@ use gs_scatter::obs::json::Json;
 
 /// The `(n, p)` points `algo_runtimes --smoke` times.
 pub const SMOKE_DP_CASES: &[(usize, usize)] = &[(2_000, 4), (2_000, 16)];
+/// The full-sweep `(n, p)` point the D&C speedup gate reads from the
+/// committed `BENCH_dp.json`.
+pub const DC_GATE_CASE: (usize, usize) = (100_000, 64);
+/// Required serial-Algorithm-2-over-D&C speedup at [`DC_GATE_CASE`].
+pub const DC_GATE_MIN_SPEEDUP: f64 = 3.0;
 /// Items of the `fault_sweep --smoke` run.
 pub const SMOKE_FAULT_ITEMS: usize = 2_000;
 /// Seeds of the `fault_sweep --smoke` random fault mixes.
@@ -127,6 +132,48 @@ pub fn check_faults(baseline: &Json, fresh: &[FaultSweepRow], tol: f64) -> Vec<S
     bad
 }
 
+/// Checks the committed **full** `BENCH_dp.json` for the D&C kernel's
+/// contract: at [`DC_GATE_CASE`] the serial D&C solve must be at least
+/// [`DC_GATE_MIN_SPEEDUP`]× faster than the serial Algorithm-2 engine.
+///
+/// Unlike [`check_dp`], this *does* read wall-clock fields — but from
+/// the committed sweep (one machine, one run, both kernels timed
+/// back-to-back), where the ratio is meaningful. CI does not re-run the
+/// full-size sweep; it verifies the committed numbers still make the
+/// claim the docs make.
+pub fn check_dc_speedup(baseline: &Json) -> Vec<String> {
+    let (n, p) = DC_GATE_CASE;
+    let rows = match rows_of(baseline) {
+        Ok(r) => r,
+        Err(e) => return vec![format!("dc: {e}")],
+    };
+    let row = rows.iter().find(|r| {
+        r.get("n").and_then(Json::as_u64) == Some(n as u64)
+            && r.get("p").and_then(Json::as_u64) == Some(p as u64)
+    });
+    let Some(row) = row else {
+        return vec![format!("dc: baseline has no row for n={n} p={p}")];
+    };
+    let mut bad = Vec::new();
+    match (field_f64(row, "serial_secs"), field_f64(row, "dc_secs")) {
+        (Ok(serial), Ok(dc)) => {
+            let speedup = serial / dc.max(1e-12);
+            if speedup < DC_GATE_MIN_SPEEDUP {
+                bad.push(format!(
+                    "dc: n={n} p={p} speedup {speedup:.2}x < required \
+                     {DC_GATE_MIN_SPEEDUP}x (serial {serial:.4}s, dc {dc:.4}s)"
+                ));
+            }
+        }
+        (a, b) => {
+            for e in [a.err(), b.err()].into_iter().flatten() {
+                bad.push(format!("dc: n={n} p={p}: {e}"));
+            }
+        }
+    }
+    bad
+}
+
 fn exact_u64(row: &Json, key: &str, fresh: u64) -> Result<(), String> {
     let b = field_u64(row, key)?;
     if b == fresh {
@@ -163,6 +210,7 @@ mod tests {
             parallel_secs: 0.02,
             pruned_secs: 0.005,
             parallel_pruned_secs: 0.006,
+            dc_secs: 0.003,
             identical: true,
             makespan: 3.1640625, // dyadic: prints and reparses exactly
         }
@@ -188,7 +236,8 @@ mod tests {
         let baseline = parse(&dp_perf_json(&dp, 4)).unwrap();
         assert!(check_dp(&baseline, &dp, 1e-4).is_empty());
         let faults = vec![fault_row()];
-        let baseline = parse(&fault_sweep_json(2_000, &faults)).unwrap();
+        // Replan timing fields are extra top-level keys the gate ignores.
+        let baseline = parse(&fault_sweep_json(2_000, &faults, Some((0.5, 0.1)))).unwrap();
         assert!(check_faults(&baseline, &faults, 1e-4).is_empty());
     }
 
@@ -218,7 +267,7 @@ mod tests {
     #[test]
     fn incident_count_changes_are_caught() {
         let base_rows = vec![fault_row()];
-        let baseline = parse(&fault_sweep_json(2_000, &base_rows)).unwrap();
+        let baseline = parse(&fault_sweep_json(2_000, &base_rows, None)).unwrap();
         let mut fresh = base_rows.clone();
         fresh[0].degraded_lost += 1;
         fresh[0].retries += 1;
@@ -227,6 +276,27 @@ mod tests {
         // Row-count mismatches are reported, not ignored.
         let bad = check_faults(&baseline, &[], 1e-4);
         assert!(bad[0].contains("0"), "{bad:?}");
+    }
+
+    #[test]
+    fn dc_speedup_gate_reads_the_full_baseline() {
+        let (n, p) = DC_GATE_CASE;
+        let mut fast = dp_row();
+        fast.n = n;
+        fast.p = p;
+        fast.serial_secs = 9.0;
+        fast.dc_secs = 1.0;
+        let ok = parse(&dp_perf_json(&[fast.clone()], 4)).unwrap();
+        assert!(check_dc_speedup(&ok).is_empty());
+        let mut slow = fast.clone();
+        slow.dc_secs = 5.0; // 1.8x — below the 3x contract
+        let bad = parse(&dp_perf_json(&[slow], 4)).unwrap();
+        let msgs = check_dc_speedup(&bad);
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+        assert!(msgs[0].contains("speedup"), "{msgs:?}");
+        // A baseline without the gate's row fails loudly.
+        let other = parse(&dp_perf_json(&[dp_row()], 4)).unwrap();
+        assert!(!check_dc_speedup(&other).is_empty());
     }
 
     #[test]

@@ -24,9 +24,14 @@ use crate::CliError;
 pub struct PlanOptions {
     /// Items to distribute.
     pub items: usize,
-    /// Strategy name (`uniform`, `exact`, `exact-basic`, `heuristic`,
-    /// `closed-form`).
+    /// Strategy name (`uniform`, `exact`, `exact-basic`, `exact-dc`,
+    /// `heuristic`, `closed-form`).
     pub strategy: String,
+    /// Exact DP kernel override (`basic`, `optimized`, `dc`). When set,
+    /// the plan uses the corresponding exact strategy regardless of
+    /// `strategy` — shorthand for benchmarking the kernels against each
+    /// other.
+    pub kernel: Option<String>,
     /// Ordering name (`desc`, `asc`, `as-is`, `cpu`).
     pub order: String,
     /// Worker threads for the exact DP strategies (`0` = one per core).
@@ -46,6 +51,7 @@ impl Default for PlanOptions {
         PlanOptions {
             items: 0,
             strategy: "heuristic".into(),
+            kernel: None,
             order: "desc".into(),
             threads: 1,
             prune: false,
@@ -60,11 +66,26 @@ fn parse_strategy(s: &str) -> Result<Strategy, CliError> {
         "uniform" => Strategy::Uniform,
         "exact" => Strategy::Exact,
         "exact-basic" => Strategy::ExactBasic,
+        "exact-dc" => Strategy::ExactDc,
         "heuristic" => Strategy::Heuristic,
         "closed-form" => Strategy::ClosedForm,
         other => {
             return Err(CliError(format!(
-                "unknown strategy `{other}` (try uniform|exact|exact-basic|heuristic|closed-form)"
+                "unknown strategy `{other}` \
+                 (try uniform|exact|exact-basic|exact-dc|heuristic|closed-form)"
+            )))
+        }
+    })
+}
+
+fn parse_kernel(s: &str) -> Result<Strategy, CliError> {
+    Ok(match s {
+        "basic" => Strategy::ExactBasic,
+        "optimized" => Strategy::Exact,
+        "dc" => Strategy::ExactDc,
+        other => {
+            return Err(CliError(format!(
+                "unknown kernel `{other}` (try basic|optimized|dc)"
             )))
         }
     })
@@ -88,8 +109,12 @@ fn make_plan(platform: &Platform, opts: &PlanOptions) -> Result<Plan, CliError> 
     if opts.items == 0 {
         return Err(CliError("--items must be given (and positive)".into()));
     }
+    let strategy = match &opts.kernel {
+        Some(k) => parse_kernel(k)?,
+        None => parse_strategy(&opts.strategy)?,
+    };
     Ok(Planner::new(platform.clone())
-        .strategy(parse_strategy(&opts.strategy)?)
+        .strategy(strategy)
         .order_policy(parse_order(&opts.order)?)
         .threads(opts.threads)
         .prune(opts.prune)
@@ -167,11 +192,15 @@ pub fn cmd_plan(platform_text: &str, opts: &PlanOptions, emit_c: bool) -> Result
     if emit_c {
         return Ok(emit_plan_arrays(&plan, &CodegenOptions::default()));
     }
+    let how = match &opts.kernel {
+        Some(k) => format!("{k} kernel"),
+        None => format!("{} strategy", opts.strategy),
+    };
     let mut out = format!(
-        "plan: {} items over {} processors ({} strategy, {} order)\n",
+        "plan: {} items over {} processors ({}, {} order)\n",
         opts.items,
         platform.len(),
-        opts.strategy,
+        how,
         opts.order
     );
     out.push_str(&format!(
@@ -768,11 +797,53 @@ mod tests {
 
     #[test]
     fn every_strategy_name_parses() {
-        for s in ["uniform", "exact", "exact-basic", "heuristic", "closed-form"] {
+        for s in [
+            "uniform",
+            "exact",
+            "exact-basic",
+            "exact-dc",
+            "heuristic",
+            "closed-form",
+        ] {
             let mut o = opts(100);
             o.strategy = s.into();
             assert!(cmd_plan(PLATFORM, &o, false).is_ok(), "{s}");
         }
+    }
+
+    #[test]
+    fn kernel_flag_selects_the_exact_strategies() {
+        for (k, strategy_label) in
+            [("basic", "exact-basic"), ("optimized", "exact"), ("dc", "exact-dc")]
+        {
+            let mut o = opts(200);
+            o.kernel = Some(k.into());
+            let out = cmd_plan(PLATFORM, &o, false).unwrap();
+            assert!(out.contains(strategy_label), "{k}: {out}");
+        }
+        let mut o = opts(200);
+        o.kernel = Some("quantum".into());
+        assert!(cmd_plan(PLATFORM, &o, false).is_err());
+    }
+
+    #[test]
+    fn exact_dc_plan_matches_exact_plan() {
+        let mut dc = opts(5000);
+        dc.strategy = "exact-dc".into();
+        let mut ex = opts(5000);
+        ex.strategy = "exact".into();
+        let out_dc = cmd_plan(PLATFORM, &dc, false).unwrap();
+        let out_ex = cmd_plan(PLATFORM, &ex, false).unwrap();
+        // Everything but the strategy-naming lines (header + timing)
+        // must be identical: same counts, displs, finish times, makespan.
+        let body = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| !l.contains("strategy") && !l.starts_with("planning"))
+                .map(str::to_string)
+                .collect()
+        };
+        assert!(!body(&out_dc).is_empty());
+        assert_eq!(body(&out_dc), body(&out_ex));
     }
 
     #[test]

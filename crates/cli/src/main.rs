@@ -34,7 +34,10 @@ FAULT INJECTION (docs/robustness.md):
 
 OPTIONS:
   --items N          number of data items (required for plan/simulate/trace/transform)
-  --strategy S       uniform | exact | exact-basic | heuristic (default) | closed-form
+  --strategy S       uniform | exact | exact-basic | exact-dc | heuristic (default)
+                     | closed-form
+  --kernel K         exact DP kernel shorthand: basic | optimized | dc — overrides
+                     --strategy with the matching exact strategy (docs/performance.md)
   --order O          desc (default) | asc | as-is | cpu
   --threads T        worker threads for the exact DPs (default 1, 0 = all cores);
                      results are bit-identical for any thread count
@@ -111,6 +114,7 @@ fn run(args: &[String]) -> Result<(String, bool), CliError> {
                 opts.items = next_value(args, &mut i)?.parse().map_err(|_| bad("--items"))?;
             }
             "--strategy" => opts.strategy = next_value(args, &mut i)?,
+            "--kernel" => opts.kernel = Some(next_value(args, &mut i)?),
             "--order" => opts.order = next_value(args, &mut i)?,
             "--threads" => {
                 opts.threads =

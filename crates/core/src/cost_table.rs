@@ -28,7 +28,7 @@ use crate::cost::CostFn;
 /// cache pins a clone of the function so the allocation can never be
 /// freed and its address reused while the entry lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum CostKey {
+pub(crate) enum CostKey {
     Zero,
     Linear(u64),
     Affine(u64, u64),
@@ -36,7 +36,7 @@ enum CostKey {
     Custom(usize),
 }
 
-fn key_of(f: &CostFn) -> CostKey {
+pub(crate) fn key_of(f: &CostFn) -> CostKey {
     match f {
         CostFn::Zero => CostKey::Zero,
         CostFn::Linear { slope } => CostKey::Linear(slope.to_bits()),
@@ -52,9 +52,24 @@ fn key_of(f: &CostFn) -> CostKey {
 struct CacheEntry {
     /// Tabulated values on `0..=n` for the largest `n` seen so far.
     values: Arc<[f64]>,
+    /// Length of the longest non-decreasing prefix of `values`, computed
+    /// once at insertion so monotonicity queries are O(1) per solve
+    /// instead of an O(n) rescan (see [`CostTable::tabulate_mono`]).
+    mono: usize,
     /// Keeps `Arc`-backed cost functions alive so their pointer keys stay
     /// unique for the lifetime of the entry.
     _pin: CostFn,
+}
+
+/// Length of the longest non-decreasing prefix of `values` (equals
+/// `values.len()` when the whole table is non-decreasing). Uses the same
+/// comparison as the solvers' monotonicity gate: a strict decrease
+/// `values[i + 1] < values[i]` ends the prefix.
+fn mono_prefix(values: &[f64]) -> usize {
+    match values.windows(2).position(|w| w[1] < w[0]) {
+        Some(i) => i + 1,
+        None => values.len(),
+    }
 }
 
 /// A thread-safe cache of tabulated cost functions.
@@ -93,25 +108,39 @@ impl CostTable {
     /// functions; concurrent misses on the *same* function may duplicate
     /// work but agree on the result.
     pub fn tabulate(&self, f: &CostFn, n: usize) -> Arc<[f64]> {
+        self.tabulate_mono(f, n).0
+    }
+
+    /// Like [`CostTable::tabulate`], but also returns the length of the
+    /// longest non-decreasing prefix of the returned slice.
+    ///
+    /// The prefix length is computed once per tabulation and cached, so
+    /// the solvers' exact monotonicity gate (`values[..=n]`
+    /// non-decreasing ⟺ prefix `> n`) costs O(1) per solve instead of
+    /// rescanning every tabulated function on every call.
+    pub(crate) fn tabulate_mono(&self, f: &CostFn, n: usize) -> (Arc<[f64]>, usize) {
         let key = key_of(f);
         {
             let map = self.entries.lock().expect("cost table poisoned");
             if let Some(entry) = map.get(&key) {
                 if entry.values.len() > n {
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                    return entry.values.clone();
+                    return (entry.values.clone(), entry.mono);
                 }
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let values: Arc<[f64]> = (0..=n).map(|x| f.eval(x)).collect();
+        let mono = mono_prefix(&values);
         let mut map = self.entries.lock().expect("cost table poisoned");
         match map.get(&key) {
             // Someone raced us to an equal-or-larger table: keep theirs.
-            Some(entry) if entry.values.len() >= values.len() => entry.values.clone(),
+            Some(entry) if entry.values.len() >= values.len() => {
+                (entry.values.clone(), entry.mono)
+            }
             _ => {
-                map.insert(key, CacheEntry { values: values.clone(), _pin: f.clone() });
-                values
+                map.insert(key, CacheEntry { values: values.clone(), mono, _pin: f.clone() });
+                (values, mono)
             }
         }
     }

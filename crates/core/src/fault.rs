@@ -15,20 +15,35 @@
 //! * [`FaultSession`] — the mutable *oracle* that decides the fate of
 //!   each send attempt. Both `gs-gridsim`'s fault simulator and
 //!   `gs-minimpi`'s fault-tolerant runtime drive the same oracle with
-//!   the same `f64` inputs, so the two produce bit-identical schedules;
-//! * [`replan_residual`] — the re-plan step itself: a from-scratch
-//!   optimal distribution of the residual workload over the surviving
-//!   processors (preserving their relative scatter order), via the
-//!   existing [`Planner`].
+//!   the same `f64` inputs, so the two produce bit-identical schedules.
+//!   The session also owns a [`PlanCache`] holding the DP plane of the
+//!   last exact solve, so repeated re-plans within one recovery episode
+//!   warm-start instead of recomputing everything;
+//! * [`replan_residual`] (and the cache-aware [`replan_residual_with`])
+//!   — the re-plan step itself: an optimal distribution of the residual
+//!   workload over the surviving processors (preserving their relative
+//!   scatter order), via the existing [`Planner`]. The result is always
+//!   *identical* to a from-scratch solve — property-tested — but with a
+//!   [`PlanCache`] attached the exact strategies reuse the cached DP
+//!   columns of the trailing survivors and only recompute what the
+//!   failure actually invalidated. The cache invalidates itself on any
+//!   platform change: cached columns are keyed by the cost-function
+//!   identities of the trailing processors, so a survivor set whose
+//!   suffix does not match the cached solve (different processors,
+//!   different cost kind, or a re-measured platform) simply misses and
+//!   the solve runs cold.
 //!
 //! Everything here is deterministic: the same plan, platform and
-//! recovery policy always produce the same recovery schedule.
+//! recovery policy always produce the same recovery schedule, with or
+//! without warm-starting.
+
+use std::sync::Arc;
 
 use crate::cost::{CostFn, Platform, Processor};
 use crate::error::PlanError;
 use crate::obs::{Incident, IncidentKind};
 use crate::ordering::OrderPolicy;
-use crate::planner::{Planner, Strategy};
+use crate::planner::{PlanCache, Planner, Strategy};
 
 // ---- fault descriptions ---------------------------------------------------
 
@@ -473,7 +488,13 @@ pub struct RecoveryConfig {
     /// Multiplicative growth of the backoff per retry.
     pub backoff_factor: f64,
     /// Strategy used to redistribute the residual workload (must accept
-    /// the platform's cost model).
+    /// the platform's cost model). Exact strategies re-plan through the
+    /// session's [`PlanCache`] when the call site passes one (see
+    /// [`replan_residual_with`]): the solve warm-starts from the cached
+    /// DP columns of the unchanged trailing survivors, with bit-identical
+    /// results. The cache invalidates automatically whenever the
+    /// platform changes — only columns whose trailing cost-function
+    /// signatures still match are ever reused.
     pub replan_strategy: Strategy,
 }
 
@@ -571,16 +592,34 @@ pub struct FaultSession {
     plan: FaultPlan,
     transient_left: Vec<u32>,
     dead: Vec<bool>,
+    cache: Arc<PlanCache>,
 }
 
 impl FaultSession {
-    /// Starts a session for a `p`-rank scatter.
+    /// Starts a session for a `p`-rank scatter, with a fresh
+    /// [`PlanCache`] (so repeated re-plans inside this session
+    /// warm-start off each other).
     pub fn new(plan: &FaultPlan, p: usize) -> FaultSession {
         FaultSession {
             plan: plan.clone(),
             transient_left: (0..p).map(|r| plan.transient_budget(r)).collect(),
             dead: vec![false; p],
+            cache: Arc::new(PlanCache::new()),
         }
+    }
+
+    /// Replaces the session's [`PlanCache`] with a shared one — prime
+    /// it from the initial plan's solve so even the *first* re-plan
+    /// warm-starts.
+    pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> FaultSession {
+        self.cache = cache;
+        self
+    }
+
+    /// The session's plan cache, for passing to
+    /// [`replan_residual_with`] (or sharing with a [`Planner`]).
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.cache
     }
 
     /// The underlying fault plan.
@@ -751,7 +790,8 @@ pub struct ResidualPlan {
 }
 
 /// Recomputes an optimal distribution of `residual` items over the
-/// surviving processors.
+/// surviving processors (always from scratch — see
+/// [`replan_residual_with`] for the warm-started version).
 ///
 /// `procs` is the full scatter-order view (root last); `alive[i]`
 /// says whether scatter position `i` survives (`alive[last]` must be
@@ -765,6 +805,27 @@ pub fn replan_residual(
     residual: u64,
     strategy: Strategy,
 ) -> Result<ResidualPlan, PlanError> {
+    replan_residual_with(procs, alive, residual, strategy, None)
+}
+
+/// [`replan_residual`] with an optional [`PlanCache`]: exact strategies
+/// store their DP plane into the cache and warm-start from the columns
+/// of trailing survivors whose cost functions are unchanged since the
+/// cached solve — the dominant case after a mid-scatter failure, where
+/// the survivor sub-platform is a sub-sequence of the one just solved.
+///
+/// Warm-started re-plans return the same distribution and predicted
+/// makespan as from-scratch ones (bit-identical — property-tested);
+/// the cache only changes how much of the DP table is recomputed.
+/// Warm starts are counted as `ft_warm_replans_total` (and column-level
+/// detail as `dp_warm_columns_reused_total`).
+pub fn replan_residual_with(
+    procs: &[&Processor],
+    alive: &[bool],
+    residual: u64,
+    strategy: Strategy,
+    cache: Option<&Arc<PlanCache>>,
+) -> Result<ResidualPlan, PlanError> {
     assert_eq!(procs.len(), alive.len(), "one liveness flag per processor");
     assert!(alive.last().copied().unwrap_or(false), "the root must survive");
     let reg = crate::metrics::Registry::global();
@@ -776,10 +837,19 @@ pub fn replan_residual(
     let survivors: Vec<Processor> = positions.iter().map(|&i| procs[i].clone()).collect();
     let root = survivors.len() - 1;
     let platform = Platform::new(survivors, root)?;
-    let plan = Planner::new(platform)
+    let mut planner = Planner::new(platform)
         .strategy(strategy)
-        .order_policy(OrderPolicy::AsIs)
-        .plan(residual as usize)?;
+        .order_policy(OrderPolicy::AsIs);
+    let hits_before = cache.map(|c| c.hits());
+    if let Some(c) = cache {
+        planner = planner.plan_cache(Arc::clone(c));
+    }
+    let plan = planner.plan(residual as usize)?;
+    if let (Some(c), Some(before)) = (cache, hits_before) {
+        if c.hits() > before {
+            reg.counter("ft_warm_replans_total", "residual re-plans that warm-started").inc();
+        }
+    }
     replan_timer.stop();
     Ok(ResidualPlan {
         positions,
@@ -1019,6 +1089,77 @@ mod tests {
             direct.counts_in_order().iter().map(|&c| c as u64).collect();
         assert_eq!(rp.counts, direct_counts);
         assert_eq!(rp.predicted_makespan, direct.predicted_makespan);
+    }
+
+    #[test]
+    fn warm_replan_is_bit_identical_to_cold() {
+        use crate::cost::Processor;
+        let procs = [
+            Processor::linear("w1", 2e-3, 8e-3),
+            Processor::linear("w2", 1e-3, 5e-3),
+            Processor::linear("w3", 3e-3, 2e-3),
+            Processor::linear("root", 0.0, 4e-3),
+        ];
+        let view: Vec<&Processor> = procs.iter().collect();
+        let session = FaultSession::new(&FaultPlan::none(), 4);
+        for strategy in [Strategy::Exact, Strategy::ExactDc, Strategy::ExactBasic] {
+            // First re-plan fills the cache; w1 then dies and the second
+            // re-plan warm-starts from the surviving suffix.
+            let alive1 = [true, true, true, true];
+            let warm1 = replan_residual_with(
+                &view, &alive1, 800, strategy, Some(session.plan_cache()),
+            )
+            .unwrap();
+            let cold1 = replan_residual(&view, &alive1, 800, strategy).unwrap();
+            assert_eq!(warm1, cold1, "{strategy:?}: initial re-plan");
+            let alive2 = [false, true, true, true];
+            let hits_before = session.plan_cache().hits();
+            let warm2 = replan_residual_with(
+                &view, &alive2, 500, strategy, Some(session.plan_cache()),
+            )
+            .unwrap();
+            let cold2 = replan_residual(&view, &alive2, 500, strategy).unwrap();
+            assert_eq!(warm2, cold2, "{strategy:?}: warm re-plan after death");
+            assert_eq!(
+                warm2.predicted_makespan.to_bits(),
+                cold2.predicted_makespan.to_bits(),
+                "{strategy:?}"
+            );
+            assert!(
+                session.plan_cache().hits() > hits_before,
+                "{strategy:?}: survivor-suffix re-plan must warm-start"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_replan_misses_on_a_changed_platform() {
+        use crate::cost::Processor;
+        let session = FaultSession::new(&FaultPlan::none(), 3);
+        let a = [
+            Processor::linear("w1", 2e-3, 8e-3),
+            Processor::linear("w2", 1e-3, 5e-3),
+            Processor::linear("root", 0.0, 4e-3),
+        ];
+        let view_a: Vec<&Processor> = a.iter().collect();
+        let alive = [true, true, true];
+        replan_residual_with(&view_a, &alive, 300, Strategy::Exact, Some(session.plan_cache()))
+            .unwrap();
+        // Re-measured platform: every cost function differs, so the
+        // cached columns are invalid and the lookup must miss.
+        let b = [
+            Processor::linear("w1", 3e-3, 9e-3),
+            Processor::linear("w2", 2e-3, 6e-3),
+            Processor::linear("root", 0.0, 5e-3),
+        ];
+        let view_b: Vec<&Processor> = b.iter().collect();
+        let before = session.plan_cache().hits();
+        let rp = replan_residual_with(
+            &view_b, &alive, 300, Strategy::Exact, Some(session.plan_cache()),
+        )
+        .unwrap();
+        assert_eq!(session.plan_cache().hits(), before, "changed platform must not hit");
+        assert_eq!(rp, replan_residual(&view_b, &alive, 300, Strategy::Exact).unwrap());
     }
 
     #[test]

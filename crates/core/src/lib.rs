@@ -29,6 +29,7 @@
 //! |---|---|---|---|
 //! | [`dp_basic`] | Algorithm 1 | non-negative costs | `O(p·n²)` |
 //! | [`dp_optimized`] | Algorithm 2 | increasing costs | `O(p·n²)` worst, `~O(p·n·log n)` typical |
+//! | [`dp_dc`] | D&C extension | increasing costs (else falls back to Alg. 1) | `O(p·n·log n)` |
 //! | [`heuristic`] | §3.3 LP + rounding | affine costs | polynomial, guaranteed (Eq. 4) |
 //! | [`closed_form`] | §4, Theorems 1–2 | linear costs | `O(p)`, exact rational |
 //!
@@ -71,6 +72,7 @@ pub mod cost;
 pub mod cost_table;
 pub mod distribution;
 pub mod dp_basic;
+pub mod dp_dc;
 mod dp_kernel;
 pub mod dp_optimized;
 pub mod error;
@@ -95,10 +97,12 @@ pub mod prelude {
     pub use crate::cost_table::CostTable;
     pub use crate::distribution::{finish_times, makespan, uniform_distribution, Timeline};
     pub use crate::dp_basic::optimal_distribution_basic;
+    pub use crate::dp_dc::optimal_distribution_dc;
     pub use crate::dp_optimized::optimal_distribution;
     pub use crate::error::PlanError;
     pub use crate::fault::{
-        replan_residual, Fault, FaultKind, FaultPlan, FaultSession, RecoveryConfig, SendOutcome,
+        replan_residual, replan_residual_with, Fault, FaultKind, FaultPlan, FaultSession,
+        RecoveryConfig, SendOutcome,
     };
     pub use crate::heuristic::{heuristic_distribution, HeuristicSolution};
     pub use crate::metrics::{MetricsSnapshot, Registry};
@@ -106,9 +110,10 @@ pub mod prelude {
         Event, EventKind, Incident, IncidentKind, PlanTiming, Trace, TraceSource, TraceSummary,
     };
     pub use crate::parallel::{
-        optimal_distribution_basic_parallel, optimal_distribution_parallel, ParallelOpts,
+        optimal_distribution_basic_parallel, optimal_distribution_dc_parallel,
+        optimal_distribution_parallel, ParallelOpts,
     };
     pub use crate::ordering::{scatter_order, OrderPolicy};
-    pub use crate::planner::{Plan, Planner, Strategy};
+    pub use crate::planner::{Plan, PlanCache, Planner, Strategy};
     pub use crate::root::select_root;
 }

@@ -43,7 +43,7 @@ use std::time::Instant;
 use crate::cost::Processor;
 use crate::cost_table::CostTable;
 use crate::dp_basic::{validate_procs, DpSolution};
-use crate::dp_kernel::{self, MAX_ITEMS};
+use crate::dp_kernel::{self, DpPlane, MAX_ITEMS};
 use crate::error::PlanError;
 use crate::metrics::{Counter, Histogram, Registry};
 use crate::obs::PlanTiming;
@@ -54,6 +54,7 @@ struct DpStats {
     cells: Arc<Counter>,
     prune_hits: Arc<Counter>,
     busy: Arc<Histogram>,
+    dc_col_fallbacks: Arc<Counter>,
 }
 
 impl DpStats {
@@ -67,6 +68,11 @@ impl DpStats {
                 "dp_thread_busy_seconds",
                 "per-thread busy time of one parallel column sweep",
             ),
+            dc_col_fallbacks: reg.counter(
+                "dp_dc_column_fallbacks_total",
+                "D&C columns demoted to the full-scan kernel by the defensive \
+                 monotonicity check",
+            ),
         }
     }
 }
@@ -78,6 +84,28 @@ pub(crate) enum Algo {
     Basic,
     /// Algorithm 2: binary search + early exit, non-decreasing costs.
     Optimized,
+    /// Divide-and-conquer over the monotone crossing point,
+    /// non-decreasing costs; bit-identical to Algorithm 2
+    /// (see [`crate::dp_dc`]).
+    Dc,
+}
+
+/// Trailing columns of a previous solve, reused to warm-start a new one.
+///
+/// Column `plane.p - 1 - k` of the source becomes column `p - 1 - k` of
+/// the new solve for `k < reuse` — valid because DP column `i` depends
+/// only on the cost functions of processors `i..p-1`, so identical
+/// trailing processors produce bit-identical trailing columns. The
+/// caller ([`crate::planner::PlanCache`]) guarantees the trailing cost
+/// functions match, that each reused column has at least `n + 1`
+/// computed cells, and that the source solve ran unpruned; warm solves
+/// themselves always run unpruned.
+pub(crate) struct WarmStart<'a> {
+    /// Plane of the previous (unpruned) solve.
+    pub plane: &'a DpPlane,
+    /// Trailing columns to copy; `1 <= reuse <= p - 1` (the top column
+    /// is always recomputed).
+    pub reuse: usize,
 }
 
 /// Execution options for the parallel engine.
@@ -86,8 +114,9 @@ pub struct ParallelOpts {
     /// Worker threads per column; `0` means one per available core.
     pub threads: usize,
     /// Enable upper-bound pruning (Algorithm 2 only; ignored by
-    /// Algorithm 1). Requires linear or affine costs to seed the bound —
-    /// otherwise the solve silently runs unpruned.
+    /// Algorithm 1 and the D&C kernel, and by warm-started solves).
+    /// Requires linear or affine costs to seed the bound — otherwise the
+    /// solve silently runs unpruned.
     pub prune: bool,
     /// Cells per work unit; `0` picks a size balancing scheduling
     /// overhead against load skew.
@@ -165,6 +194,35 @@ pub fn optimal_distribution_basic_parallel(
     solve(Algo::Basic, &table, procs, n, opts).map(|(sol, _)| sol)
 }
 
+/// The divide-and-conquer kernel with explicit engine options.
+///
+/// Bit-identical to [`crate::dp_optimized::optimal_distribution`] for
+/// non-decreasing costs; for costs that are *not* non-decreasing it
+/// silently demotes to the Algorithm-1 kernel (counted by
+/// `dp_dc_fallbacks_total`), so arbitrary non-negative costs stay
+/// correct. Pruning is ignored.
+///
+/// ```
+/// use gs_scatter::cost::Processor;
+/// use gs_scatter::parallel::{optimal_distribution_dc_parallel, ParallelOpts};
+///
+/// let procs = vec![
+///     Processor::linear("worker", 0.1, 1.0),
+///     Processor::linear("root", 0.0, 2.0),
+/// ];
+/// let view: Vec<&Processor> = procs.iter().collect();
+/// let sol = optimal_distribution_dc_parallel(&view, 500, &ParallelOpts::serial()).unwrap();
+/// assert_eq!(sol.counts.iter().sum::<usize>(), 500);
+/// ```
+pub fn optimal_distribution_dc_parallel(
+    procs: &[&Processor],
+    n: usize,
+    opts: &ParallelOpts,
+) -> Result<DpSolution, PlanError> {
+    let table = CostTable::new();
+    solve(Algo::Dc, &table, procs, n, opts).map(|(sol, _)| sol)
+}
+
 /// Algorithm 2 through a shared [`CostTable`], returning the solve's
 /// [`PlanTiming`] alongside the solution.
 pub fn optimal_distribution_parallel_timed(
@@ -174,6 +232,16 @@ pub fn optimal_distribution_parallel_timed(
     opts: &ParallelOpts,
 ) -> Result<(DpSolution, PlanTiming), PlanError> {
     solve(Algo::Optimized, table, procs, n, opts)
+}
+
+/// The D&C kernel through a shared [`CostTable`], with timing.
+pub fn optimal_distribution_dc_parallel_timed(
+    table: &CostTable,
+    procs: &[&Processor],
+    n: usize,
+    opts: &ParallelOpts,
+) -> Result<(DpSolution, PlanTiming), PlanError> {
+    solve(Algo::Dc, table, procs, n, opts)
 }
 
 /// Algorithm 1 through a shared [`CostTable`], with timing.
@@ -186,7 +254,7 @@ pub fn optimal_distribution_basic_parallel_timed(
     solve(Algo::Basic, table, procs, n, opts)
 }
 
-/// Full engine entry point shared by every public solver.
+/// Engine entry point shared by every public solver; discards the plane.
 pub(crate) fn solve(
     algo: Algo,
     table: &CostTable,
@@ -194,6 +262,21 @@ pub(crate) fn solve(
     n: usize,
     opts: &ParallelOpts,
 ) -> Result<(DpSolution, PlanTiming), PlanError> {
+    solve_full(algo, table, procs, n, opts, None).map(|(sol, timing, _)| (sol, timing))
+}
+
+/// Full engine entry point: solves, and also returns the DP plane so
+/// the planner's [`crate::planner::PlanCache`] can keep it for
+/// warm-started re-plans. `warm` seeds the trailing columns from a
+/// previous plane (and forces the solve unpruned).
+pub(crate) fn solve_full(
+    algo: Algo,
+    table: &CostTable,
+    procs: &[&Processor],
+    n: usize,
+    opts: &ParallelOpts,
+    warm: Option<&WarmStart<'_>>,
+) -> Result<(DpSolution, PlanTiming, DpPlane), PlanError> {
     let start = Instant::now();
     validate_procs(procs, n)?;
     if algo == Algo::Optimized {
@@ -212,16 +295,38 @@ pub(crate) fn solve(
     let misses0 = table.misses();
 
     let t_tab = Instant::now();
+    let mut monos = Vec::with_capacity(p);
     let tabs: Vec<TabPair> = procs
         .iter()
-        .map(|pr| (table.tabulate(&pr.comm, n), table.tabulate(&pr.comp, n)))
+        .map(|pr| {
+            let (comm, mono_comm) = table.tabulate_mono(&pr.comm, n);
+            let (comp, mono_comp) = table.tabulate_mono(&pr.comp, n);
+            monos.push(mono_comm.min(mono_comp));
+            (comm, comp)
+        })
         .collect();
-    if algo == Algo::Optimized {
-        // Exact monotonicity check on the tabulated values: Algorithm 2's
-        // correctness depends on it, so sampling is not enough here.
-        for (i, (comm, comp)) in tabs.iter().enumerate() {
-            let dec = |t: &[f64]| t[..=n].windows(2).any(|w| w[1] < w[0]);
-            if dec(comm) || dec(comp) {
+    let mut run_algo = algo;
+    if algo != Algo::Basic {
+        // Exact monotonicity check on the tabulated values: Algorithm 2
+        // and the D&C recurrence both depend on it, so sampling is not
+        // enough here. The non-decreasing prefix length is cached with
+        // the tabulation, making this O(p) per solve.
+        for (i, &mono) in monos.iter().enumerate() {
+            if mono <= n {
+                if algo == Algo::Dc {
+                    // The D&C kernel promises correctness for *arbitrary*
+                    // costs: demote the whole solve to the full-scan
+                    // Algorithm-1 kernel, which assumes nothing.
+                    Registry::global()
+                        .counter(
+                            "dp_dc_fallbacks_total",
+                            "D&C solves demoted to the Algorithm-1 kernel by \
+                             non-monotone cost functions",
+                        )
+                        .inc();
+                    run_algo = Algo::Basic;
+                    break;
+                }
                 return Err(PlanError::NotIncreasing { proc: i });
             }
         }
@@ -229,9 +334,13 @@ pub(crate) fn solve(
     let tabulate_secs = t_tab.elapsed().as_secs_f64();
 
     let t_solve = Instant::now();
-    let ub = if opts.prune && algo == Algo::Optimized { upper_bound(procs, n) } else { None };
+    let ub = if opts.prune && run_algo == Algo::Optimized && warm.is_none() {
+        upper_bound(procs, n)
+    } else {
+        None
+    };
     let engine = Engine {
-        algo,
+        algo: run_algo,
         tabs: &tabs,
         n,
         p,
@@ -239,18 +348,32 @@ pub(crate) fn solve(
         chunk: chunk_size(n + 1, threads, opts.chunk),
         stats: DpStats::new(),
     };
-    let (counts, makespan) = match engine.run(ub.map(|u| u * (1.0 + BOUND_MARGIN))) {
+    let reuse = warm.map_or(0, |w| w.reuse);
+    debug_assert!(reuse < p, "the top column is never reused");
+    let mut plane = DpPlane::new(p, n);
+    if let Some(w) = warm {
+        copy_warm(&mut plane, w);
+    }
+    let (counts, makespan) = match engine.run(&mut plane, ub.map(|u| u * (1.0 + BOUND_MARGIN)), reuse)
+    {
         Some(result) => result,
         // The bound proved inconsistent (cannot happen for a correctly
-        // seeded bound; kept as a correctness net): redo unpruned.
-        None => engine.run(None).expect("unpruned solve is always consistent"),
+        // seeded bound; kept as a correctness net): redo unpruned. Warm
+        // solves are unpruned, so `reuse = 0` on this path.
+        None => {
+            plane = DpPlane::new(p, n);
+            engine.run(&mut plane, None, 0).expect("unpruned solve is always consistent")
+        }
     };
     let solve_secs = t_solve.elapsed().as_secs_f64();
 
     let timing = PlanTiming {
+        // The *requested* kernel: a demoted D&C solve still reports
+        // `exact-dc` (the demotion is visible in `dp_dc_fallbacks_total`).
         strategy: match algo {
             Algo::Basic => "exact-basic".into(),
             Algo::Optimized => "exact".into(),
+            Algo::Dc => "exact-dc".into(),
         },
         threads,
         pruned: ub.is_some(),
@@ -268,12 +391,51 @@ pub(crate) fn solve(
         .add(timing.cache_misses);
     reg.histogram("dp_solve_seconds", "wall-clock of the DP solve proper")
         .observe(timing.solve_secs);
-    Ok((DpSolution { counts, makespan }, timing))
+    if algo == Algo::Dc {
+        reg.counter("dp_dc_solves_total", "divide-and-conquer DP solves completed").inc();
+        reg.histogram("dp_dc_solve_seconds", "wall-clock of the D&C DP solve proper")
+            .observe(timing.solve_secs);
+    }
+    if reuse > 0 {
+        reg.counter("dp_warm_solves_total", "DP solves warm-started from a cached plane")
+            .inc();
+        reg.counter(
+            "dp_warm_columns_reused_total",
+            "DP columns copied from a cached plane instead of recomputed",
+        )
+        .add(reuse as u64);
+    }
+    Ok((DpSolution { counts, makespan }, timing, plane))
+}
+
+/// Copies the reused trailing columns of a [`WarmStart`] into a fresh
+/// plane (cells `0..=n` of each, plus their choice rows).
+fn copy_warm(plane: &mut DpPlane, w: &WarmStart<'_>) {
+    let (n, p) = (plane.n, plane.p);
+    let (src, sp) = (w.plane, w.plane.p);
+    let (ds, ss) = (plane.stride(), src.stride());
+    for k in 0..w.reuse {
+        let (di, si) = (p - 1 - k, sp - 1 - k);
+        debug_assert!(src.col_len[si] > n, "cache guarantees >= n + 1 computed cells");
+        plane.cost[di * ds..di * ds + n + 1]
+            .copy_from_slice(&src.cost[si * ss..si * ss + n + 1]);
+        plane.choice[di * ds..di * ds + n + 1]
+            .copy_from_slice(&src.choice[si * ss..si * ss + n + 1]);
+        plane.col_len[di] = n + 1;
+    }
 }
 
 /// A feasible (hence upper-bounding) makespan for pruning: the closed
-/// form's rounded distribution when every cost is linear, else the LP
-/// heuristic's when every cost is affine, else `None` (no pruning).
+/// form's rounded distribution when every cost is linear or affine, else
+/// `None` (no pruning).
+///
+/// Affine platforms are seeded from the *slopes-only* closed form: any
+/// feasible distribution evaluated with the true affine costs
+/// upper-bounds the optimum, and the closed form is O(p·log n) where the
+/// exact rational LP heuristic grows without bound in `p` (minutes at
+/// `p = 64` even with dyadic coefficients — far more than the pruning
+/// it buys). The bound loosens by at most the sum of the intercepts,
+/// which the pruning margin already absorbs on realistic platforms.
 fn upper_bound(procs: &[&Processor], n: usize) -> Option<f64> {
     let linear =
         procs.iter().all(|p| p.comm.linear_slope().is_some() && p.comp.linear_slope().is_some());
@@ -284,7 +446,17 @@ fn upper_bound(procs: &[&Processor], n: usize) -> Option<f64> {
     let affine =
         procs.iter().all(|p| p.comm.affine_params().is_some() && p.comp.affine_params().is_some());
     if affine {
-        return Some(crate::heuristic::heuristic_distribution(procs, n).ok()?.makespan);
+        let linearized: Vec<Processor> = procs
+            .iter()
+            .map(|pr| {
+                let (_, beta) = pr.comm.affine_params().expect("checked affine");
+                let (_, alpha) = pr.comp.affine_params().expect("checked affine");
+                Processor::linear(pr.name.clone(), beta, alpha)
+            })
+            .collect();
+        let views: Vec<&Processor> = linearized.iter().collect();
+        let sol = crate::closed_form::closed_form_distribution(&views, n).ok()?;
+        return Some(crate::distribution::makespan(procs, &sol.counts));
     }
     None
 }
@@ -305,35 +477,70 @@ impl Engine<'_> {
         (&self.tabs[i].0[..=self.n], &self.tabs[i].1[..=self.n])
     }
 
-    /// Runs the column sweep + reconstruction. `bound` is the inflated
-    /// pruning bound (`None` disables pruning). Returns `None` only when
-    /// a bound turned out inconsistent with the table — the caller then
-    /// retries unpruned.
-    fn run(&self, bound: Option<f64>) -> Option<(Vec<usize>, f64)> {
+    /// The kernel one column actually runs: the D&C recurrence requires
+    /// the previous column non-decreasing over its valid prefix — true
+    /// by induction for non-decreasing costs (a rounded sum or max of
+    /// non-decreasing sequences is non-decreasing), but verified per
+    /// column (one O(n) sequential scan, negligible next to the column
+    /// itself) so that a floating-point surprise degrades to the
+    /// full-scan kernel for that column instead of a wrong plan.
+    fn column_algo(&self, prev: &[f64], prev_valid: usize) -> Algo {
+        if self.algo != Algo::Dc {
+            return self.algo;
+        }
+        if prev[..=prev_valid].windows(2).any(|w| w[1] < w[0]) {
+            self.stats.dc_col_fallbacks.inc();
+            return Algo::Basic;
+        }
+        Algo::Dc
+    }
+
+    /// Runs the column sweep + reconstruction over `plane`. `bound` is
+    /// the inflated pruning bound (`None` disables pruning); `reuse`
+    /// trailing columns were pre-filled by a warm start. Returns `None`
+    /// only when a bound turned out inconsistent with the table — the
+    /// caller then retries unpruned.
+    fn run(&self, plane: &mut DpPlane, bound: Option<f64>, reuse: usize) -> Option<(Vec<usize>, f64)> {
         let (n, p) = (self.n, self.p);
+        let stride = n + 1;
 
-        // Base column: the root takes everything that is left.
-        let (comm, comp) = self.tab(p - 1);
-        let mut prev: Vec<f64> = Vec::with_capacity(n + 1);
-        for d in 0..=n {
-            let v = comm[d] + comp[d];
-            if bound.is_some_and(|b| v > b) {
-                break;
+        // Base column: the root takes everything that is left. A warm
+        // start already copied it (and possibly more trailing columns).
+        if reuse == 0 {
+            let (comm, comp) = self.tab(p - 1);
+            let col = &mut plane.cost[(p - 1) * stride..p * stride];
+            let mut len = 0usize;
+            for d in 0..=n {
+                let v = comm[d] + comp[d];
+                if bound.is_some_and(|b| v > b) {
+                    break;
+                }
+                col[d] = v;
+                len += 1;
             }
-            prev.push(v);
+            // The plane is zero-allocated: mark the pruned tail
+            // out-of-bound explicitly (no-op when unpruned, `len = n+1`).
+            for v in &mut col[len..] {
+                *v = f64::INFINITY;
+            }
+            plane.col_len[p - 1] = len;
+            self.stats.cells.add(len as u64);
+            self.stats.prune_hits.add((n + 1 - len) as u64);
         }
-        self.stats.cells.add(prev.len() as u64);
-        self.stats.prune_hits.add((n + 1 - prev.len()) as u64);
-        let mut prev_valid = prev.len().checked_sub(1)?;
         if p == 1 {
-            return Some((vec![n], *prev.get(n)?));
+            let v = plane.cost[n];
+            if !v.is_finite() {
+                return None;
+            }
+            return Some((vec![n], v));
         }
 
-        // Middle columns, highest suffix first. `choice_cols[i][d]` is
-        // the share of processor `i` when `d` items remain (column-major,
-        // so parallel chunks write disjoint slices).
-        let mut choice_cols: Vec<Vec<u32>> = vec![Vec::new(); p];
-        for i in (1..p - 1).rev() {
+        // Middle columns, highest suffix first; the `known` trailing
+        // columns (base, plus any warm-start copies) are already in
+        // place. Chunks write disjoint slices of the current column.
+        let known = reuse.max(1);
+        let mut prev_valid = plane.col_len[p - known].checked_sub(1)?;
+        for i in (1..p - known).rev() {
             let (comm, comp) = self.tab(i);
             let cap = match bound {
                 Some(b) => comm.partition_point(|&c| c <= b).checked_sub(1)?,
@@ -342,69 +549,92 @@ impl Engine<'_> {
             // Cells past prev_valid + cap have no candidate with both an
             // in-bound Tcomm and an in-bound suffix — skip them outright.
             let len = if bound.is_some() { (prev_valid + cap).min(n) + 1 } else { n + 1 };
+            let (head, tail) = plane.cost.split_at_mut((i + 1) * stride);
+            let cur = &mut head[i * stride..];
+            let prev = &tail[..stride];
+            let choice = &mut plane.choice[i * stride..(i + 1) * stride];
             let ctx = ColumnCtx {
-                algo: self.algo,
+                algo: self.column_algo(prev, prev_valid),
                 comm,
                 comp,
-                prev: &prev,
+                prev,
                 prev_valid,
                 cap,
                 bound,
             };
-            let (cost, choice) = self.compute_column(&ctx, len);
+            self.compute_column(&ctx, &mut cur[..len], &mut choice[..len]);
+            // Zero-allocated plane: the cells this column skips outright
+            // must read as out-of-bound (no-op when unpruned).
+            for v in &mut cur[len..stride] {
+                *v = f64::INFINITY;
+            }
+            plane.col_len[i] = len;
             prev_valid = match bound {
-                Some(b) => match cost.iter().position(|&v| v > b) {
+                Some(b) => match cur[..len].iter().position(|&v| v > b) {
                     Some(0) => return None,
                     Some(q) => q - 1,
-                    None => cost.len() - 1,
+                    None => len - 1,
                 },
                 None => n,
             };
-            choice_cols[i] = choice;
-            prev = cost;
         }
 
         // Top column: reconstruction starts at (d = n, i = 0), so only
-        // that single cell is ever read — compute just it.
+        // that single cell is ever read — compute just it (its column
+        // keeps `col_len[0] = 0`: never reusable by a warm start).
         let (comm, comp) = self.tab(0);
         let cap = match bound {
             Some(b) => comm.partition_point(|&c| c <= b).checked_sub(1)?,
             None => n,
         };
-        let ctx =
-            ColumnCtx { algo: self.algo, comm, comp, prev: &prev, prev_valid, cap, bound };
+        let (head, tail) = plane.cost.split_at_mut(stride);
+        let prev = &tail[..stride];
+        let ctx = ColumnCtx {
+            algo: self.column_algo(prev, prev_valid),
+            comm,
+            comp,
+            prev,
+            prev_valid,
+            cap,
+            bound,
+        };
         let (makespan, top_e) = ctx.cell(n);
+        head[n] = makespan;
+        plane.choice[n] = top_e;
         if bound.is_some() && !makespan.is_finite() {
             return None;
         }
 
         // Reconstruction. Every cell on the path has value <= the bound,
-        // so with pruning it was computed, not skipped; the checked
-        // accesses below are the safety net behind the fallback.
+        // so with pruning it was computed, not skipped; the finiteness
+        // checks below are the safety net behind the fallback.
         let mut counts = vec![0usize; p];
         let mut d = n;
         counts[0] = top_e as usize;
         d -= counts[0];
-        for i in 1..p - 1 {
-            let e = *choice_cols[i].get(d)? as usize;
-            counts[i] = e;
+        for (i, c) in counts.iter_mut().enumerate().take(p - 1).skip(1) {
+            if !plane.col(i)[d].is_finite() {
+                return None;
+            }
+            let e = plane.choice_col(i)[d] as usize;
+            *c = e;
             d = d.checked_sub(e)?;
         }
         counts[p - 1] = d;
         Some((counts, makespan))
     }
 
-    /// Computes one column of `len` cells, chunked over the worker
-    /// threads. Cells skipped by a pruning early-stop keep the `+inf`
-    /// fill, which downstream logic treats as out-of-bound.
-    fn compute_column(&self, ctx: &ColumnCtx<'_>, len: usize) -> (Vec<f64>, Vec<u32>) {
-        let mut cost = vec![f64::INFINITY; len];
-        let mut choice = vec![0u32; len];
+    /// Computes one column slice (`cost`/`choice` are the first `len`
+    /// cells of the column in the plane), chunked over the worker
+    /// threads. Cells skipped by a pruning early-stop are written
+    /// `+inf`, which downstream logic treats as out-of-bound.
+    fn compute_column(&self, ctx: &ColumnCtx<'_>, cost: &mut [f64], choice: &mut [u32]) {
+        let len = cost.len();
         if self.threads <= 1 || len <= self.chunk {
-            let evaluated = ctx.run_chunk(0, &mut cost, &mut choice);
+            let evaluated = ctx.run_chunk(0, cost, choice);
             self.stats.cells.add(evaluated as u64);
             self.stats.prune_hits.add((len - evaluated) as u64);
-            return (cost, choice);
+            return;
         }
         let jobs: Vec<(usize, &mut [f64], &mut [u32])> = cost
             .chunks_mut(self.chunk)
@@ -438,7 +668,6 @@ impl Engine<'_> {
             }
         })
         .expect("column workers do not panic");
-        (cost, choice)
     }
 }
 
@@ -461,7 +690,10 @@ impl ColumnCtx<'_> {
     fn cell(&self, d: usize) -> (f64, u32) {
         match self.algo {
             Algo::Basic => dp_kernel::basic_cell(self.comm, self.comp, self.prev, d),
-            Algo::Optimized => {
+            // The D&C kernel computes whole chunks, not lone cells; a
+            // single cell (the top column) goes through Algorithm 2's
+            // cell, which is bit-identical.
+            Algo::Optimized | Algo::Dc => {
                 let lo = d.saturating_sub(self.prev_valid);
                 let lim = d.min(self.cap);
                 if lo > lim {
@@ -474,17 +706,29 @@ impl ColumnCtx<'_> {
         }
     }
 
-    /// Fills one chunk, ascending, returning how many cells it actually
-    /// evaluated. With a pruning bound the chunk stops at its first
-    /// out-of-bound cell (column values are non-decreasing in `d`, so
-    /// everything after it is out of bound too); the remaining cells
-    /// keep their `+inf` fill.
+    /// Fills one chunk, returning how many cells it actually evaluated.
+    ///
+    /// The D&C kernel hands the whole chunk to [`dp_kernel::dc_chunk`]
+    /// (it never runs pruned). The per-cell kernels fill ascending; with
+    /// a pruning bound the chunk stops at its first out-of-bound cell
+    /// (column values are non-decreasing in `d`, so everything after it
+    /// is out of bound too), and the remaining cells are written `+inf`.
     fn run_chunk(&self, start: usize, cost: &mut [f64], choice: &mut [u32]) -> usize {
-        for (k, (c, ch)) in cost.iter_mut().zip(choice.iter_mut()).enumerate() {
+        if self.algo == Algo::Dc {
+            debug_assert!(self.bound.is_none(), "the D&C kernel never runs pruned");
+            dp_kernel::dc_chunk(self.comm, self.comp, self.prev, start, cost, choice);
+            return cost.len();
+        }
+        for k in 0..cost.len() {
             let (v, e) = self.cell(start + k);
-            *c = v;
-            *ch = e;
+            cost[k] = v;
+            choice[k] = e;
             if self.bound.is_some_and(|b| v > b) {
+                // Zero-allocated plane: the early-stopped remainder of
+                // the chunk must read as out-of-bound.
+                for slot in &mut cost[k + 1..] {
+                    *slot = f64::INFINITY;
+                }
                 return k + 1;
             }
         }
@@ -606,6 +850,110 @@ mod tests {
                 assert_bit_identical(&par, &serial, &format!("basic n={n} threads={threads}"));
             }
         }
+    }
+
+    #[test]
+    fn dc_parallel_matches_serial_optimized() {
+        let (sub, order) = table1_view(8);
+        let v = sub.ordered(&order);
+        for n in [0usize, 1, 17, 500, 3000] {
+            let serial = optimal_distribution(&v, n).unwrap();
+            for threads in [1usize, 2, 5] {
+                let opts = ParallelOpts { threads, prune: false, chunk: 64 };
+                let dc = optimal_distribution_dc_parallel(&v, n, &opts).unwrap();
+                assert_bit_identical(&dc, &serial, &format!("dc n={n} threads={threads}"));
+            }
+        }
+    }
+
+    #[test]
+    fn dc_ignores_prune_and_stays_exact() {
+        let (sub, order) = table1_view(16);
+        let v = sub.ordered(&order);
+        let n = 2500;
+        let serial = optimal_distribution(&v, n).unwrap();
+        let table = CostTable::new();
+        let opts = ParallelOpts { threads: 3, prune: true, chunk: 128 };
+        let (dc, timing) = solve(Algo::Dc, &table, &v, n, &opts).unwrap();
+        assert_bit_identical(&dc, &serial, "dc pruned-requested");
+        assert!(!timing.pruned, "the D&C kernel never prunes");
+        assert_eq!(timing.strategy, "exact-dc");
+    }
+
+    #[test]
+    fn dc_falls_back_on_non_monotone_costs() {
+        let ps = vec![
+            Processor::custom("dec", |x| 10.0 - x as f64 * 0.01, |x| x as f64),
+            Processor::linear("mid", 0.5, 2.0),
+            Processor::linear("root", 0.0, 1.0),
+        ];
+        let v = view(&ps);
+        let basic = optimal_distribution_basic(&v, 64).unwrap();
+        for threads in [1usize, 4] {
+            let opts = ParallelOpts { threads, prune: false, chunk: 16 };
+            let dc = optimal_distribution_dc_parallel(&v, 64, &opts).unwrap();
+            assert_bit_identical(&dc, &basic, &format!("fallback threads={threads}"));
+        }
+    }
+
+    #[test]
+    fn warm_start_matches_cold_solve_bit_for_bit() {
+        let (sub, order) = table1_view(8);
+        let v = sub.ordered(&order);
+        let table = CostTable::new();
+        let opts = ParallelOpts::serial();
+        // Cold solve over the full platform keeps its plane.
+        let (_, _, plane) = solve_full(Algo::Optimized, &table, &v, 3000, &opts, None).unwrap();
+        // "Fail" the first two processors: the survivors are exactly the
+        // trailing 6, so their 5 trailing columns (all but the top) can
+        // be reused for any residual <= 3000.
+        let survivors: Vec<&Processor> = v[2..].to_vec();
+        for residual in [0usize, 1, 700, 2999] {
+            let cold = solve_full(Algo::Optimized, &table, &survivors, residual, &opts, None)
+                .unwrap();
+            let warm_src = WarmStart { plane: &plane, reuse: survivors.len() - 1 };
+            let warm =
+                solve_full(Algo::Optimized, &table, &survivors, residual, &opts, Some(&warm_src))
+                    .unwrap();
+            assert_bit_identical(&warm.0, &cold.0, &format!("warm residual={residual}"));
+            // The warm plane must itself be a valid cache source.
+            let again = WarmStart { plane: &warm.2, reuse: survivors.len() - 1 };
+            let rewarm =
+                solve_full(Algo::Optimized, &table, &survivors, residual, &opts, Some(&again))
+                    .unwrap();
+            assert_bit_identical(&rewarm.0, &cold.0, &format!("rewarm residual={residual}"));
+        }
+    }
+
+    #[test]
+    fn warm_start_skips_reused_columns() {
+        use crate::metrics::{MetricsSnapshot, Registry};
+        let get = |s: &MetricsSnapshot, name: &str| {
+            s.counters.iter().find(|c| c.name == name).map_or(0, |c| c.value)
+        };
+        let (sub, order) = table1_view(8);
+        let v = sub.ordered(&order);
+        let table = CostTable::new();
+        let opts = ParallelOpts::serial();
+        let (_, _, plane) = solve_full(Algo::Dc, &table, &v, 2000, &opts, None).unwrap();
+        let survivors: Vec<&Processor> = v[3..].to_vec();
+        let residual = 1500usize;
+        let before = Registry::global().snapshot();
+        let warm_src = WarmStart { plane: &plane, reuse: survivors.len() - 1 };
+        solve_full(Algo::Dc, &table, &survivors, residual, &opts, Some(&warm_src)).unwrap();
+        let after = Registry::global().snapshot();
+        // Only the top cell is computed: every middle + base column was
+        // copied. The cells counter may move from concurrent tests, but
+        // the warm counters are ticked exactly once here.
+        assert!(
+            get(&after, "dp_warm_solves_total") > get(&before, "dp_warm_solves_total"),
+            "warm solve must tick dp_warm_solves_total"
+        );
+        assert!(
+            get(&after, "dp_warm_columns_reused_total")
+                >= get(&before, "dp_warm_columns_reused_total") + (survivors.len() - 1) as u64,
+            "reused columns must be counted"
+        );
     }
 
     #[test]

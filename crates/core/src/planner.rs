@@ -1,16 +1,23 @@
 //! High-level planner: picks an ordering, runs a distribution strategy,
-//! and emits `MPI_Scatterv`-ready `counts`/`displs`.
+//! and emits `MPI_Scatterv`-ready `counts`/`displs` — plus the
+//! [`PlanCache`] that lets exact re-plans warm-start from a previous
+//! solve's DP plane.
 
-use std::sync::Arc;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use crate::cost::Platform;
-use crate::cost_table::CostTable;
+use crate::cost::{Platform, Processor};
+use crate::cost_table::{key_of, CostKey, CostTable};
 use crate::distribution::{self, Timeline};
+use crate::dp_kernel::DpPlane;
 use crate::error::PlanError;
+use crate::metrics::Registry;
 use crate::obs::{PlanTiming, Trace, TraceSource};
 use crate::ordering::{scatter_order, OrderPolicy};
-use crate::parallel::{self, Algo, ParallelOpts};
+use crate::parallel::{self, Algo, ParallelOpts, WarmStart};
 
 /// Which distribution algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,10 +28,136 @@ pub enum Strategy {
     ExactBasic,
     /// Algorithm 2: exact DP, non-decreasing costs (default exact solver).
     Exact,
+    /// Divide-and-conquer exact DP, `O(p·n log n)` for non-decreasing
+    /// costs (falls back to Algorithm 1 otherwise) — see
+    /// [`crate::dp_dc`].
+    ExactDc,
     /// §3.3 guaranteed LP heuristic, affine costs.
     Heuristic,
     /// §4 closed form, linear costs, exact rational + rounding.
     ClosedForm,
+}
+
+/// The `(Tcomm, Tcomp)` identity of one processor, in scatter order —
+/// what a cached DP column's validity depends on.
+type CostSig = (CostKey, CostKey);
+
+/// A cached DP plane, identified by the platform it was solved on.
+#[derive(Debug)]
+struct PlaneEntry {
+    /// Hash over `sigs` — the "platform hash + cost kind" identity.
+    key: u64,
+    /// Cost-function identities in scatter order (root last).
+    sigs: Vec<CostSig>,
+    plane: DpPlane,
+}
+
+/// Single-slot cache of the last exact solve's DP plane, enabling
+/// **warm-started re-plans**.
+///
+/// DP column `i` depends only on the cost functions of processors
+/// `i..p-1` (suffixes of the scatter order). When a re-plan runs over a
+/// platform whose *trailing* processors are unchanged — exactly what
+/// happens when fault recovery drops dead ranks but keeps the
+/// survivors' relative order, root last — the cached plane's trailing
+/// columns are bit-identical to what the new solve would recompute, so
+/// the engine copies them and only computes the columns that actually
+/// changed.
+///
+/// Entries are keyed by a hash of the ordered `(Tcomm, Tcomp)`
+/// cost-function identities (coefficient bits for linear/affine costs,
+/// shared-`Arc` identity for tabulated/custom ones, which survivor
+/// clones share). Any platform change shows up as a signature mismatch
+/// and invalidates the non-matching columns — a changed processor
+/// invalidates every column at or above its scatter position, and a
+/// fully changed platform misses outright. Planes are only stored (and
+/// only reused) for **unpruned** solves, so every cached cell is a true
+/// DP value.
+///
+/// Plans through a cache are bit-identical in makespan to cold plans —
+/// property-tested — and hits/misses are published as
+/// `plan_cache_hits_total` / `plan_cache_misses_total`.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    slot: Mutex<Option<PlaneEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// Lookups that warm-started a solve (at least one column reused).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing reusable.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// The platform-hash key for a signature list.
+    fn key(sigs: &[CostSig]) -> u64 {
+        let mut h = DefaultHasher::new();
+        sigs.hash(&mut h);
+        h.finish()
+    }
+
+    /// Takes the cached plane out when its trailing columns are
+    /// reusable for a solve over `sigs` with `n` items, returning it
+    /// with the number of trailing columns to reuse. The caller is
+    /// expected to [`PlanCache::store`] the new solve's plane, refilling
+    /// the slot.
+    fn take_warm(&self, sigs: &[CostSig], n: usize) -> Option<(DpPlane, usize)> {
+        let mut slot = self.slot.lock().expect("plan cache poisoned");
+        let Some(entry) = slot.take() else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            Registry::global()
+                .counter("plan_cache_misses_total", "plan-cache lookups with nothing to reuse")
+                .inc();
+            return None;
+        };
+        let (p_new, p_old) = (sigs.len(), entry.sigs.len());
+        // Fast path: an unchanged platform (same hash, then verified
+        // equal) skips the per-column signature walk.
+        let same_platform = entry.key == PlanCache::key(sigs) && entry.sigs == sigs;
+        // The top column of either solve is never reusable (only its
+        // cell `n` is ever computed, and the new one must be recomputed
+        // anyway); `col_len` additionally guards partially computed
+        // columns and residuals larger than the cached solve.
+        let max = p_new.saturating_sub(1).min(p_old.saturating_sub(1));
+        let mut reuse = 0;
+        while reuse < max
+            && (same_platform || entry.sigs[p_old - 1 - reuse] == sigs[p_new - 1 - reuse])
+            && entry.plane.col_len[p_old - 1 - reuse] > n
+        {
+            reuse += 1;
+        }
+        if reuse == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            Registry::global()
+                .counter("plan_cache_misses_total", "plan-cache lookups with nothing to reuse")
+                .inc();
+            *slot = Some(entry);
+            return None;
+        }
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Registry::global()
+            .counter("plan_cache_hits_total", "plan-cache lookups that warm-started a solve")
+            .inc();
+        Some((entry.plane, reuse))
+    }
+
+    /// Stores the plane of a finished **unpruned** exact solve,
+    /// replacing whatever the slot held.
+    fn store(&self, sigs: Vec<CostSig>, plane: DpPlane) {
+        let entry = PlaneEntry { key: PlanCache::key(&sigs), sigs, plane };
+        *self.slot.lock().expect("plan cache poisoned") = Some(entry);
+    }
 }
 
 /// A complete scatter plan.
@@ -97,6 +230,7 @@ pub struct Planner {
     threads: usize,
     prune: bool,
     cache: Option<Arc<CostTable>>,
+    plan_cache: Option<Arc<PlanCache>>,
 }
 
 impl Planner {
@@ -111,6 +245,7 @@ impl Planner {
             threads: 1,
             prune: false,
             cache: None,
+            plan_cache: None,
         }
     }
 
@@ -148,6 +283,17 @@ impl Planner {
         self
     }
 
+    /// Shares a [`PlanCache`]: exact strategies store their DP plane
+    /// into it after every unpruned solve, and later plans whose
+    /// platform shares a trailing suffix (e.g. re-plans over fault
+    /// survivors) warm-start from the cached columns. No effect on
+    /// non-exact strategies or pruned solves; makespans are identical
+    /// with or without the cache.
+    pub fn plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.plan_cache = Some(cache);
+        self
+    }
+
     /// The platform being planned for.
     pub fn platform(&self) -> &Platform {
         &self.platform
@@ -178,14 +324,9 @@ impl Planner {
                 let counts = distribution::uniform_distribution(view.len(), n);
                 (counts, PlanTiming::simple("uniform", start.elapsed().as_secs_f64()))
             }
-            Strategy::ExactBasic => {
-                let (sol, timing) = parallel::solve(Algo::Basic, table, &view, n, &opts)?;
-                (sol.counts, timing)
-            }
-            Strategy::Exact => {
-                let (sol, timing) = parallel::solve(Algo::Optimized, table, &view, n, &opts)?;
-                (sol.counts, timing)
-            }
+            Strategy::ExactBasic => self.exact(Algo::Basic, table, &view, n, &opts)?,
+            Strategy::Exact => self.exact(Algo::Optimized, table, &view, n, &opts)?,
+            Strategy::ExactDc => self.exact(Algo::Dc, table, &view, n, &opts)?,
             Strategy::Heuristic => {
                 let counts = crate::heuristic::heuristic_distribution(&view, n)?.counts;
                 (counts, PlanTiming::simple("heuristic", start.elapsed().as_secs_f64()))
@@ -212,6 +353,33 @@ impl Planner {
         debug_assert_eq!(offset, n);
 
         Ok(Plan { counts, displs, order, predicted, predicted_makespan, timing })
+    }
+
+    /// Runs one exact DP strategy, going through the [`PlanCache`] when
+    /// one is attached (and pruning is off — cached planes must hold
+    /// true DP values in every cell).
+    fn exact(
+        &self,
+        algo: Algo,
+        table: &CostTable,
+        view: &[&Processor],
+        n: usize,
+        opts: &ParallelOpts,
+    ) -> Result<(Vec<usize>, PlanTiming), PlanError> {
+        let cache = match &self.plan_cache {
+            Some(c) if !self.prune => c,
+            _ => {
+                let (sol, timing) = parallel::solve(algo, table, view, n, opts)?;
+                return Ok((sol.counts, timing));
+            }
+        };
+        let sigs: Vec<CostSig> =
+            view.iter().map(|pr| (key_of(&pr.comm), key_of(&pr.comp))).collect();
+        let taken = cache.take_warm(&sigs, n);
+        let warm = taken.as_ref().map(|(plane, reuse)| WarmStart { plane, reuse: *reuse });
+        let (sol, timing, plane) = parallel::solve_full(algo, table, view, n, opts, warm.as_ref())?;
+        cache.store(sigs, plane);
+        Ok((sol.counts, timing))
     }
 }
 
@@ -240,6 +408,7 @@ mod tests {
             Strategy::Uniform,
             Strategy::ExactBasic,
             Strategy::Exact,
+            Strategy::ExactDc,
             Strategy::Heuristic,
             Strategy::ClosedForm,
         ] {
@@ -353,6 +522,7 @@ mod tests {
             (Strategy::Uniform, "uniform"),
             (Strategy::ExactBasic, "exact-basic"),
             (Strategy::Exact, "exact"),
+            (Strategy::ExactDc, "exact-dc"),
             (Strategy::Heuristic, "heuristic"),
             (Strategy::ClosedForm, "closed-form"),
         ] {
@@ -362,6 +532,77 @@ mod tests {
             let trace = plan.predicted_trace(&platform(), 8);
             assert_eq!(trace.plan_timing.as_ref().unwrap().strategy, name);
         }
+    }
+
+    #[test]
+    fn exact_dc_plans_match_exact_plans() {
+        for n in [0usize, 1, 500, 5000] {
+            let dc = Planner::new(platform()).strategy(Strategy::ExactDc).plan(n).unwrap();
+            let exact = Planner::new(platform()).strategy(Strategy::Exact).plan(n).unwrap();
+            assert_eq!(dc.counts, exact.counts, "n={n}");
+            assert_eq!(
+                dc.predicted_makespan.to_bits(),
+                exact.predicted_makespan.to_bits(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_cache_warm_start_is_invisible_in_the_result() {
+        let plat = platform();
+        let cache = Arc::new(PlanCache::new());
+        // Prime the cache with a full-platform solve.
+        let full = Planner::new(plat.clone())
+            .strategy(Strategy::Exact)
+            .plan_cache(Arc::clone(&cache))
+            .plan(4000)
+            .unwrap();
+        assert_eq!(cache.misses(), 1, "first lookup has nothing to reuse");
+        // Survivor platform: drop the first worker in scatter order, so
+        // the whole remaining suffix of DP columns is reusable.
+        let procs = plat.procs();
+        let surv = Platform::new(
+            vec![procs[0].clone(), procs[2].clone(), procs[3].clone()],
+            0,
+        )
+        .unwrap();
+        let cold = Planner::new(surv.clone()).strategy(Strategy::Exact).plan(1500).unwrap();
+        let warm = Planner::new(surv)
+            .strategy(Strategy::Exact)
+            .plan_cache(Arc::clone(&cache))
+            .plan(1500)
+            .unwrap();
+        assert_eq!(cache.hits(), 1, "survivor suffix must be reusable");
+        assert_eq!(warm.counts, cold.counts);
+        assert_eq!(warm.predicted_makespan.to_bits(), cold.predicted_makespan.to_bits());
+        let _ = full;
+    }
+
+    #[test]
+    fn plan_cache_misses_on_platform_change() {
+        let cache = Arc::new(PlanCache::new());
+        Planner::new(platform())
+            .strategy(Strategy::ExactDc)
+            .plan_cache(Arc::clone(&cache))
+            .plan(1000)
+            .unwrap();
+        // A different root changes every suffix: nothing is reusable.
+        let other = Platform::new(
+            vec![
+                Processor::linear("other-root", 0.0, 0.123),
+                Processor::linear("other-w", 1e-4, 0.456),
+            ],
+            0,
+        )
+        .unwrap();
+        Planner::new(other)
+            .strategy(Strategy::ExactDc)
+            .plan_cache(Arc::clone(&cache))
+            .plan(500)
+            .unwrap();
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 2);
     }
 
     #[test]

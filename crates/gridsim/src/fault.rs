@@ -23,7 +23,7 @@ use gs_scatter::cost::{Platform, Processor};
 use gs_scatter::distribution::Timeline;
 use gs_scatter::error::PlanError;
 use gs_scatter::fault::{
-    outcome_incidents, replan_residual, take_items, FaultPlan, FaultSession, RecoveryConfig,
+    outcome_incidents, replan_residual_with, take_items, FaultPlan, FaultSession, RecoveryConfig,
 };
 use gs_scatter::obs::{Event, EventKind, Incident, IncidentKind, Trace, TraceSource};
 use gs_scatter::planner::Plan;
@@ -236,7 +236,16 @@ pub fn simulate_scatter_ft(
         let rc = recovery.expect("pool only fills in recovered mode");
         let residual: u64 = pool.iter().map(|&(lo, hi)| hi - lo).sum();
         let alive: Vec<bool> = (0..p).map(|r| !session.is_dead(r)).collect();
-        let rp = replan_residual(procs, &alive, residual, rc.replan_strategy)?;
+        // Re-plans route through the session's plan cache: after the
+        // first one, later rounds warm-start from the surviving DP
+        // columns (bit-identical results, less recomputation).
+        let rp = replan_residual_with(
+            procs,
+            &alive,
+            residual,
+            rc.replan_strategy,
+            Some(session.plan_cache()),
+        )?;
         incidents.push(Incident {
             t,
             kind: IncidentKind::Replan,

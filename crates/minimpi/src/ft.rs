@@ -20,7 +20,7 @@
 
 use gs_scatter::cost::Processor;
 use gs_scatter::fault::{
-    outcome_incidents, replan_residual, take_items, FaultPlan, FaultSession, RecoveryConfig,
+    outcome_incidents, replan_residual_with, take_items, FaultPlan, FaultSession, RecoveryConfig,
 };
 use gs_scatter::obs::{Incident, IncidentKind, Trace};
 
@@ -214,8 +214,17 @@ impl Comm {
             let residual: u64 = pool.iter().map(|&(lo, hi)| hi - lo).sum();
             let alive: Vec<bool> = (0..self.size).map(|r| !session.is_dead(r)).collect();
             let view: Vec<&Processor> = config.procs.iter().collect();
-            let rp = replan_residual(&view, &alive, residual, rc.replan_strategy)
-                .unwrap_or_else(|e| panic!("re-plan failed: {e}"));
+            // Warm-start later re-plans from this session's plan cache
+            // (bit-identical to from-scratch — the simulator does the
+            // same, keeping the two schedules in lockstep).
+            let rp = replan_residual_with(
+                &view,
+                &alive,
+                residual,
+                rc.replan_strategy,
+                Some(session.plan_cache()),
+            )
+            .unwrap_or_else(|e| panic!("re-plan failed: {e}"));
             self.incidents.push(Incident {
                 t,
                 kind: IncidentKind::Replan,

@@ -3,14 +3,17 @@
 //! **bit-identical** `(counts, makespan)` to the serial solvers on random
 //! increasing platforms, for thread counts 1, 2 and 8.
 
-use grid_scatter::prelude::{Platform, Processor};
+use grid_scatter::prelude::{PlanCache, Planner, Platform, Processor, Strategy as PlanStrategy};
 use grid_scatter::scatter::dp_basic::optimal_distribution_basic;
+use grid_scatter::scatter::dp_dc::optimal_distribution_dc;
 use grid_scatter::scatter::dp_optimized::optimal_distribution;
 use grid_scatter::scatter::ordering::{scatter_order, OrderPolicy};
 use grid_scatter::scatter::parallel::{
-    optimal_distribution_basic_parallel, optimal_distribution_parallel, ParallelOpts,
+    optimal_distribution_basic_parallel, optimal_distribution_dc_parallel,
+    optimal_distribution_parallel, ParallelOpts,
 };
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// Random linear platform: root first (beta 0), then workers.
 fn linear_platform(max_p: usize) -> impl Strategy<Value = Platform> {
@@ -123,5 +126,72 @@ proptest! {
         let opts = ParallelOpts { threads: 2, prune: true, chunk: 16 };
         let pruned = optimal_distribution_parallel(&view, n, &opts).unwrap();
         assert_bit_identical(&pruned, &serial, "pruned affine")?;
+    }
+
+    /// The column-chunked D&C kernel ≡ serial Algorithm 2, bit for bit,
+    /// for 1/2/8 threads and any chunk width.
+    #[test]
+    fn parallel_dc_is_bit_identical(
+        platform in affine_platform(6),
+        n in 0usize..=300,
+        chunk in 1usize..=64,
+    ) {
+        let order = scatter_order(&platform, OrderPolicy::DescendingBandwidth);
+        let view = platform.ordered(&order);
+        let serial = optimal_distribution(&view, n).unwrap();
+        let dc_serial = optimal_distribution_dc(&view, n).unwrap();
+        assert_bit_identical(&dc_serial, &serial, "dc serial")?;
+        for threads in THREADS {
+            let opts = ParallelOpts { threads, prune: false, chunk };
+            let dc = optimal_distribution_dc_parallel(&view, n, &opts).unwrap();
+            assert_bit_identical(&dc, &serial, &format!("dc threads={threads} chunk={chunk}"))?;
+        }
+    }
+
+    /// Warm-start re-planning: priming a [`PlanCache`] with a
+    /// full-platform solve and re-planning over the surviving suffix
+    /// must reuse cached DP columns *and* return a plan bit-identical
+    /// to planning from scratch — for both exact strategies.
+    #[test]
+    fn warm_start_replan_is_bit_identical(
+        platform in affine_platform(6),
+        prime_n in 50usize..=400,
+        n in 0usize..=300,
+        drop_first in any::<bool>(),
+    ) {
+        for strategy in [PlanStrategy::Exact, PlanStrategy::ExactDc] {
+            let cache = Arc::new(PlanCache::new());
+            Planner::new(platform.clone())
+                .strategy(strategy)
+                .plan_cache(Arc::clone(&cache))
+                .plan(prime_n)
+                .unwrap();
+            // Survivor platform: drop one worker (the scatter order is
+            // recomputed, so any survivor subset is a valid re-plan).
+            let procs = platform.procs();
+            let surv: Vec<_> = if procs.len() == 1 {
+                procs.to_vec()
+            } else if drop_first {
+                procs.iter().skip(1).cloned().collect()
+            } else {
+                procs.iter().take(procs.len() - 1).cloned().collect()
+            };
+            let root = surv.iter().position(|p| p.name == "root").unwrap_or(0);
+            let surv = Platform::new(surv, root).unwrap();
+            let cold = Planner::new(surv.clone()).strategy(strategy).plan(n).unwrap();
+            let warm = Planner::new(surv)
+                .strategy(strategy)
+                .plan_cache(Arc::clone(&cache))
+                .plan(n)
+                .unwrap();
+            prop_assert_eq!(&warm.counts, &cold.counts, "warm-start changed the plan");
+            prop_assert_eq!(
+                warm.predicted_makespan.to_bits(),
+                cold.predicted_makespan.to_bits(),
+                "warm {} vs cold {}",
+                warm.predicted_makespan,
+                cold.predicted_makespan
+            );
+        }
     }
 }

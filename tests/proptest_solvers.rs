@@ -5,6 +5,7 @@ use grid_scatter::prelude::{OrderPolicy, Planner, Platform, Processor};
 use grid_scatter::scatter::brute::{best_order_exhaustive, brute_force_distribution};
 use grid_scatter::scatter::closed_form::closed_form_distribution;
 use grid_scatter::scatter::dp_basic::optimal_distribution_basic;
+use grid_scatter::scatter::dp_dc::optimal_distribution_dc;
 use grid_scatter::scatter::dp_optimized::optimal_distribution;
 use grid_scatter::scatter::heuristic::heuristic_distribution;
 use grid_scatter::scatter::ordering::scatter_order;
@@ -15,6 +16,41 @@ use proptest::prelude::*;
 // some configurations).
 #[allow(unused_imports)]
 use grid_scatter::prelude::Plan as _Plan;
+
+/// Random affine platform: root first, then workers with non-zero
+/// intercepts (still monotone, so Algorithm 2 and the D&C kernel apply).
+fn affine_platform_strategy(max_p: usize) -> impl Strategy<Value = Platform> {
+    let worker = (0u32..=50, 1u32..=300, 0u32..=50, 1u32..=300).prop_map(|(bi, b, ai, a)| {
+        (bi as f64 * 1e-2, b as f64 * 1e-3, ai as f64 * 1e-2, a as f64 * 1e-2)
+    });
+    (proptest::collection::vec(worker, 1..max_p), 1u32..=300).prop_map(|(workers, root_a)| {
+        let mut procs = vec![Processor::affine("root", 0.0, 0.0, 0.0, root_a as f64 * 1e-2)];
+        for (i, (bi, b, ai, a)) in workers.into_iter().enumerate() {
+            procs.push(Processor::affine(format!("w{i}"), bi, b, ai, a));
+        }
+        Platform::new(procs, 0).unwrap()
+    })
+}
+
+/// Random platform with deliberately *non-monotone* communication costs:
+/// Algorithm 2's premise is violated, so the D&C kernel must demote
+/// itself to Algorithm 1 and still return the true optimum.
+fn nonmonotone_platform_strategy(max_p: usize) -> impl Strategy<Value = Platform> {
+    let worker = (1u32..=50, 1u32..=100).prop_map(|(amp, a)| (amp as f64 * 1e-2, a as f64 * 1e-2));
+    (proptest::collection::vec(worker, 1..max_p), 1u32..=100).prop_map(|(workers, root_a)| {
+        let mut procs = vec![Processor::linear("root", 0.0, root_a as f64 * 1e-2)];
+        for (i, (amp, a)) in workers.into_iter().enumerate() {
+            // Oscillating but non-negative comm: 1, 0, 1, 0, … scaled by
+            // amp — guaranteed to fail any monotonicity probe for n ≥ 2.
+            procs.push(Processor::custom(
+                format!("w{i}"),
+                move |x| amp * ((x % 2) as f64 + 0.5) + 1e-3 * x as f64,
+                move |x| a * x as f64,
+            ));
+        }
+        Platform::new(procs, 0).unwrap()
+    })
+}
 
 /// Random linear platform: root first (beta 0), then workers.
 fn platform_strategy(max_p: usize) -> impl Strategy<Value = Platform> {
@@ -117,4 +153,83 @@ proptest! {
         let big = optimal_distribution(&view, n + 1).unwrap();
         prop_assert!(big.makespan >= small.makespan - 1e-9);
     }
+
+    /// The D&C kernel ≡ Algorithm 2 on linear costs, bit for bit —
+    /// same counts (tie-breaks included) and the same makespan bits as
+    /// Algorithm 1.
+    #[test]
+    fn dc_kernel_matches_algorithm_2_linear(platform in platform_strategy(6), n in 0usize..=300) {
+        let order = scatter_order(&platform, OrderPolicy::DescendingBandwidth);
+        let view = platform.ordered(&order);
+        let dc = optimal_distribution_dc(&view, n).unwrap();
+        let opt = optimal_distribution(&view, n).unwrap();
+        let basic = optimal_distribution_basic(&view, n).unwrap();
+        prop_assert_eq!(&dc.counts, &opt.counts, "D&C tie-breaks must match Algorithm 2");
+        prop_assert_eq!(dc.makespan.to_bits(), opt.makespan.to_bits());
+        prop_assert_eq!(dc.makespan.to_bits(), basic.makespan.to_bits(),
+                        "dc {} vs basic {}", dc.makespan, basic.makespan);
+    }
+
+    /// Same contract on affine costs (non-zero intercepts shift every
+    /// crossing point; the split recursion must not care).
+    #[test]
+    fn dc_kernel_matches_algorithm_2_affine(platform in affine_platform_strategy(5), n in 0usize..=200) {
+        let order = scatter_order(&platform, OrderPolicy::DescendingBandwidth);
+        let view = platform.ordered(&order);
+        let dc = optimal_distribution_dc(&view, n).unwrap();
+        let opt = optimal_distribution(&view, n).unwrap();
+        let basic = optimal_distribution_basic(&view, n).unwrap();
+        prop_assert_eq!(&dc.counts, &opt.counts, "D&C tie-breaks must match Algorithm 2");
+        prop_assert_eq!(dc.makespan.to_bits(), opt.makespan.to_bits());
+        prop_assert_eq!(dc.makespan.to_bits(), basic.makespan.to_bits());
+    }
+
+    /// Non-monotone costs: Algorithm 2 rejects the input outright, the
+    /// D&C kernel demotes itself to Algorithm 1 — and must be fully
+    /// identical to it (counts and makespan bits).
+    #[test]
+    fn dc_kernel_falls_back_on_nonmonotone_costs(platform in nonmonotone_platform_strategy(4), n in 0usize..=60) {
+        let order = scatter_order(&platform, OrderPolicy::DescendingBandwidth);
+        let view = platform.ordered(&order);
+        if n >= 2 && view.len() > 1 {
+            prop_assert!(optimal_distribution(&view, n).is_err(),
+                         "Algorithm 2 must reject oscillating costs");
+        }
+        let dc = optimal_distribution_dc(&view, n).unwrap();
+        let basic = optimal_distribution_basic(&view, n).unwrap();
+        prop_assert_eq!(&dc.counts, &basic.counts);
+        prop_assert_eq!(dc.makespan.to_bits(), basic.makespan.to_bits());
+    }
+}
+
+/// Degenerate shapes the split recursion must survive: no items, fewer
+/// items than processors, and a single (root-only) platform.
+#[test]
+fn dc_kernel_degenerate_shapes() {
+    let platform = Platform::new(
+        vec![
+            Processor::linear("root", 0.0, 3e-3),
+            Processor::linear("w0", 1e-4, 2e-3),
+            Processor::linear("w1", 2e-4, 1e-3),
+            Processor::linear("w2", 5e-5, 4e-3),
+        ],
+        0,
+    )
+    .unwrap();
+    let order = scatter_order(&platform, OrderPolicy::DescendingBandwidth);
+    let view = platform.ordered(&order);
+    // n = 0 and n < p.
+    for n in [0usize, 1, 2, 3] {
+        let dc = optimal_distribution_dc(&view, n).unwrap();
+        let opt = optimal_distribution(&view, n).unwrap();
+        assert_eq!(dc.counts, opt.counts, "n={n}");
+        assert_eq!(dc.makespan.to_bits(), opt.makespan.to_bits(), "n={n}");
+        assert_eq!(dc.counts.iter().sum::<usize>(), n);
+    }
+    // p = 1: the root keeps everything.
+    let solo = Platform::new(vec![Processor::linear("root", 0.0, 2.0)], 0).unwrap();
+    let view = solo.ordered(&[0]);
+    let dc = optimal_distribution_dc(&view, 5).unwrap();
+    assert_eq!(dc.counts, vec![5]);
+    assert_eq!(dc.makespan, 10.0);
 }
