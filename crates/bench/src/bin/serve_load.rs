@@ -1,0 +1,57 @@
+//! Load-generator for the planning daemon: spins up an in-process
+//! `gs serve` on an ephemeral loopback port, measures cold (uncached)
+//! request latency and warm (cached) throughput, and writes the
+//! `BENCH_serve.json` document the docs and the bench gate reference.
+//!
+//! Flags: `--smoke` (CI sizing, writes `BENCH_serve.smoke.json`),
+//! `--json PATH` (override the output path), `--clients C`,
+//! `--warm N`, `--cold N`, `--items N`.
+
+use gs_bench::experiments::serveexp::{serve_load, serve_load_json, ServeLoadConfig};
+use gs_bench::util::{arg_flag, arg_str, arg_u64, arg_usize, fmt_secs, header};
+
+fn main() {
+    let smoke = arg_flag("--smoke");
+    let mut cfg = if smoke { ServeLoadConfig::smoke() } else { ServeLoadConfig::full() };
+    cfg.clients = arg_usize("--clients", cfg.clients);
+    cfg.warm_requests = arg_usize("--warm", cfg.warm_requests);
+    cfg.cold_requests = arg_usize("--cold", cfg.cold_requests);
+    cfg.items = arg_u64("--items", cfg.items);
+    let default_path = if smoke { "BENCH_serve.smoke.json" } else { "BENCH_serve.json" };
+    let path = arg_str("--json", default_path);
+
+    header("serve_load: planning-daemon throughput and latency");
+    println!(
+        "{} client(s), {} warm request(s) on one cached platform, {} cold request(s), \
+         n = {} items",
+        cfg.clients, cfg.warm_requests, cfg.cold_requests, cfg.items
+    );
+
+    let r = serve_load(cfg);
+    println!(
+        "cold  (miss): p50 {}  p95 {}  p99 {}",
+        fmt_secs(r.cold_p50_secs),
+        fmt_secs(r.cold_p95_secs),
+        fmt_secs(r.cold_p99_secs)
+    );
+    println!(
+        "warm  (hit):  p50 {}  p95 {}  p99 {}",
+        fmt_secs(r.warm_p50_secs),
+        fmt_secs(r.warm_p95_secs),
+        fmt_secs(r.warm_p99_secs)
+    );
+    println!(
+        "warm throughput: {:.0} req/s over {} ({} requests, {} clients)",
+        r.warm_throughput_rps,
+        fmt_secs(r.warm_wall_secs),
+        r.warm_requests,
+        r.clients
+    );
+    println!(
+        "invariants: hit_only = {}, consistent = {}, shed = {}, makespan = {:.6} s",
+        r.hit_only, r.consistent, r.shed, r.makespan
+    );
+
+    std::fs::write(&path, serve_load_json(&r)).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+}

@@ -11,4 +11,5 @@ pub mod obsexp;
 pub mod ordering;
 pub mod roots;
 pub mod runtimes;
+pub mod serveexp;
 pub mod tomo;

@@ -1,0 +1,292 @@
+//! Load test for the planning daemon (`serve_load` binary): measures
+//! cold-start latency (distinct, uncached requests) and warm throughput
+//! (many clients hammering one cached platform) against an in-process
+//! daemon on an ephemeral loopback port.
+//!
+//! The deterministic fields (planned makespan, request counts, the
+//! "every warm response was a cache hit and bit-identical" invariants)
+//! feed the `bench_gate` smoke baseline; the wall-clock fields
+//! (latency percentiles, requests/sec) are recorded in the committed
+//! full `BENCH_serve.json`, where `check_serve_perf` holds them to the
+//! service-level contract documented in docs/serve.md.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gs_serve::engine::{Engine, EngineConfig};
+use gs_serve::protocol::{CacheStatus, Outcome, PlanParams, Request, RequestBody};
+use gs_serve::server::serve;
+use gs_serve::Client;
+
+/// Sizing knobs for one load run.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeLoadConfig {
+    /// Concurrent client connections in the warm phase.
+    pub clients: usize,
+    /// Total warm (cached) requests across all clients.
+    pub warm_requests: usize,
+    /// Distinct cold requests (each a guaranteed cache miss).
+    pub cold_requests: usize,
+    /// Items of the warm request (the paper's 817 101-record workload).
+    pub items: u64,
+}
+
+impl ServeLoadConfig {
+    /// The full-size run behind the committed `BENCH_serve.json`.
+    pub fn full() -> ServeLoadConfig {
+        ServeLoadConfig { clients: 8, warm_requests: 50_000, cold_requests: 32, items: 817_101 }
+    }
+
+    /// The CI-sized run behind `BENCH_serve.smoke.json`.
+    pub fn smoke() -> ServeLoadConfig {
+        ServeLoadConfig { clients: 4, warm_requests: 2_000, cold_requests: 8, items: 817_101 }
+    }
+}
+
+/// One load run's results. Wall-clock fields are machine-dependent;
+/// everything else is deterministic.
+#[derive(Debug, Clone)]
+pub struct ServeLoadReport {
+    /// Processors in the benchmark platform (the paper's testbed).
+    pub p: usize,
+    /// Items of the warm request.
+    pub items: u64,
+    /// Concurrent clients in the warm phase.
+    pub clients: usize,
+    /// Cold requests issued (== distinct cache keys planned).
+    pub cold_requests: u64,
+    /// Warm requests issued.
+    pub warm_requests: u64,
+    /// Makespan the daemon planned for the warm request (seconds).
+    pub makespan: f64,
+    /// Every warm response was served from cache (`hit`).
+    pub hit_only: bool,
+    /// Every warm response carried bit-identical plan arrays.
+    pub consistent: bool,
+    /// Requests shed by admission control (must be 0 at these sizes).
+    pub shed: u64,
+    /// Cold latency percentiles, seconds.
+    pub cold_p50_secs: f64,
+    /// 95th percentile of cold latency, seconds.
+    pub cold_p95_secs: f64,
+    /// 99th percentile of cold latency, seconds.
+    pub cold_p99_secs: f64,
+    /// Warm latency percentiles, seconds.
+    pub warm_p50_secs: f64,
+    /// 95th percentile of warm latency, seconds.
+    pub warm_p95_secs: f64,
+    /// 99th percentile of warm latency, seconds.
+    pub warm_p99_secs: f64,
+    /// Warm-phase aggregate throughput, requests per second.
+    pub warm_throughput_rps: f64,
+    /// Warm-phase wall time, seconds.
+    pub warm_wall_secs: f64,
+}
+
+/// Exact sample percentile (nearest-rank) over unsorted latencies.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn plan_request(id: String, items: u64) -> Request {
+    let platform =
+        gs_scatter::platform_file::render_platform(&gs_scatter::paper::table1_platform());
+    Request {
+        id,
+        body: RequestBody::Plan(PlanParams { platform, items, strategy: "heuristic".into() }),
+    }
+}
+
+/// Runs the load test against a fresh in-process daemon.
+pub fn serve_load(cfg: ServeLoadConfig) -> ServeLoadReport {
+    let p = gs_scatter::paper::table1_platform().len();
+    let engine = Arc::new(Engine::new(EngineConfig::default()));
+    let handle = serve(engine, "127.0.0.1:0").expect("bind ephemeral loopback port");
+    let addr = handle.addr().to_string();
+
+    // Cold phase: distinct item counts, one connection, every request a
+    // guaranteed miss. Latency = decode + plan + encode + loopback.
+    let mut client = Client::connect(&addr).expect("connect");
+    let mut shed = 0u64;
+    let mut cold = Vec::with_capacity(cfg.cold_requests);
+    for i in 0..cfg.cold_requests {
+        let req = plan_request(format!("cold-{i}"), cfg.items + 1 + i as u64);
+        let t = Instant::now();
+        let resp = client.call(&req).expect("cold response");
+        cold.push(t.elapsed().as_secs_f64());
+        if matches!(resp.outcome, Outcome::Error { code: gs_serve::protocol::ErrorCode::Overloaded, .. }) {
+            shed += 1;
+        }
+    }
+
+    // Prime the warm key, then hammer it from `clients` connections.
+    let primed = client.call(&plan_request("prime".into(), cfg.items)).expect("prime");
+    let (makespan, counts) = match primed.outcome {
+        Outcome::Plan(p) => (p.makespan, (p.counts, p.displs, p.order)),
+        other => panic!("prime answered {other:?}"),
+    };
+    let per_client = cfg.warm_requests / cfg.clients.max(1);
+    let wall = Instant::now();
+    let workers: Vec<_> = (0..cfg.clients)
+        .map(|c| {
+            let addr = addr.clone();
+            let baseline = counts.clone();
+            let items = cfg.items;
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                let mut lat = Vec::with_capacity(per_client);
+                let mut hit_only = true;
+                let mut consistent = true;
+                let mut shed = 0u64;
+                for i in 0..per_client {
+                    let req = plan_request(format!("warm-{c}-{i}"), items);
+                    let t = Instant::now();
+                    let resp = client.call(&req).expect("warm response");
+                    lat.push(t.elapsed().as_secs_f64());
+                    match resp.outcome {
+                        Outcome::Plan(plan) => {
+                            hit_only &= plan.cache == CacheStatus::Hit;
+                            consistent &=
+                                (plan.counts, plan.displs, plan.order) == baseline;
+                        }
+                        Outcome::Error {
+                            code: gs_serve::protocol::ErrorCode::Overloaded, ..
+                        } => {
+                            shed += 1;
+                            hit_only = false;
+                        }
+                        other => panic!("warm request answered {other:?}"),
+                    }
+                }
+                (lat, hit_only, consistent, shed)
+            })
+        })
+        .collect();
+
+    let mut warm = Vec::with_capacity(per_client * cfg.clients);
+    let mut hit_only = true;
+    let mut consistent = true;
+    for w in workers {
+        let (lat, h, cons, s) = w.join().expect("warm worker");
+        warm.extend(lat);
+        hit_only &= h;
+        consistent &= cons;
+        shed += s;
+    }
+    let warm_wall_secs = wall.elapsed().as_secs_f64();
+
+    handle.shutdown();
+    handle.join();
+
+    cold.sort_by(f64::total_cmp);
+    warm.sort_by(f64::total_cmp);
+    ServeLoadReport {
+        p,
+        items: cfg.items,
+        clients: cfg.clients,
+        cold_requests: cold.len() as u64,
+        warm_requests: warm.len() as u64,
+        makespan,
+        hit_only,
+        consistent,
+        shed,
+        cold_p50_secs: percentile(&cold, 0.50),
+        cold_p95_secs: percentile(&cold, 0.95),
+        cold_p99_secs: percentile(&cold, 0.99),
+        warm_p50_secs: percentile(&warm, 0.50),
+        warm_p95_secs: percentile(&warm, 0.95),
+        warm_p99_secs: percentile(&warm, 0.99),
+        warm_throughput_rps: warm.len() as f64 / warm_wall_secs.max(1e-12),
+        warm_wall_secs,
+    }
+}
+
+/// Renders a report as the `BENCH_serve[.smoke].json` document.
+pub fn serve_load_json(r: &ServeLoadReport) -> String {
+    let mut out = String::from("{\n  \"bench\": \"serve_load\",\n  \"schema\": 1,\n");
+    out.push_str(&format!("  \"p\": {},\n  \"items\": {},\n  \"clients\": {},\n", r.p, r.items, r.clients));
+    out.push_str(&format!(
+        "  \"cold_requests\": {},\n  \"warm_requests\": {},\n",
+        r.cold_requests, r.warm_requests
+    ));
+    out.push_str(&format!(
+        "  \"makespan\": {},\n  \"hit_only\": {},\n  \"consistent\": {},\n  \"shed\": {},\n",
+        r.makespan, r.hit_only, r.consistent, r.shed
+    ));
+    out.push_str(&format!(
+        "  \"cold_p50_secs\": {:.6},\n  \"cold_p95_secs\": {:.6},\n  \"cold_p99_secs\": {:.6},\n",
+        r.cold_p50_secs, r.cold_p95_secs, r.cold_p99_secs
+    ));
+    out.push_str(&format!(
+        "  \"warm_p50_secs\": {:.6},\n  \"warm_p95_secs\": {:.6},\n  \"warm_p99_secs\": {:.6},\n",
+        r.warm_p50_secs, r.warm_p95_secs, r.warm_p99_secs
+    ));
+    out.push_str(&format!(
+        "  \"warm_throughput_rps\": {:.1},\n  \"warm_wall_secs\": {:.3}\n}}\n",
+        r.warm_throughput_rps, r.warm_wall_secs
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_load_run_is_cached_and_consistent() {
+        let r = serve_load(ServeLoadConfig {
+            clients: 2,
+            warm_requests: 40,
+            cold_requests: 3,
+            items: 12_345,
+        });
+        assert_eq!(r.cold_requests, 3);
+        assert_eq!(r.warm_requests, 40);
+        assert!(r.hit_only, "warm responses must all be cache hits");
+        assert!(r.consistent, "warm plans must be bit-identical");
+        assert_eq!(r.shed, 0);
+        assert!(r.makespan > 0.0);
+        assert!(r.warm_p50_secs <= r.warm_p95_secs);
+        assert!(r.warm_p95_secs <= r.warm_p99_secs);
+        assert!(r.warm_throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn report_json_parses_back() {
+        let r = ServeLoadReport {
+            p: 13,
+            items: 817_101,
+            clients: 8,
+            cold_requests: 32,
+            warm_requests: 50_000,
+            makespan: 2.5,
+            hit_only: true,
+            consistent: true,
+            shed: 0,
+            cold_p50_secs: 0.0002,
+            cold_p95_secs: 0.0004,
+            cold_p99_secs: 0.0005,
+            warm_p50_secs: 0.0001,
+            warm_p95_secs: 0.0002,
+            warm_p99_secs: 0.0003,
+            warm_throughput_rps: 42_000.0,
+            warm_wall_secs: 1.19,
+        };
+        let doc = gs_scatter::obs::json::parse(&serve_load_json(&r)).unwrap();
+        assert_eq!(doc.get("bench").unwrap().as_str(), Some("serve_load"));
+        assert_eq!(doc.get("warm_requests").unwrap().as_u64(), Some(50_000));
+        assert_eq!(doc.get("makespan").unwrap().as_f64(), Some(2.5));
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&sorted, 0.50), 2.0);
+        assert_eq!(percentile(&sorted, 0.95), 4.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

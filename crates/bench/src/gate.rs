@@ -1,7 +1,8 @@
 //! The bench regression gate (`bench_gate` binary): re-runs the
 //! smoke-sized benchmarks and compares their **deterministic** fields
 //! against baselines committed in the repository
-//! (`BENCH_dp.smoke.json`, `BENCH_faults.smoke.json`).
+//! (`BENCH_dp.smoke.json`, `BENCH_faults.smoke.json`,
+//! `BENCH_serve.smoke.json`).
 //!
 //! Wall-clock fields (`*_secs`, speedups, `overhead_pct`) are
 //! machine-dependent and never compared; what is compared is the model's
@@ -12,6 +13,7 @@
 
 use crate::experiments::faultexp::FaultSweepRow;
 use crate::experiments::runtimes::DpPerfRow;
+use crate::experiments::serveexp::ServeLoadReport;
 use gs_scatter::obs::json::Json;
 
 /// The `(n, p)` points `algo_runtimes --smoke` times.
@@ -25,6 +27,13 @@ pub const DC_GATE_MIN_SPEEDUP: f64 = 3.0;
 pub const SMOKE_FAULT_ITEMS: usize = 2_000;
 /// Seeds of the `fault_sweep --smoke` random fault mixes.
 pub const SMOKE_FAULT_SEEDS: &[u64] = &[1999, 2000, 2001];
+/// Warm throughput the committed full `BENCH_serve.json` must record
+/// (plan requests per second on a cached platform).
+pub const SERVE_GATE_MIN_RPS: f64 = 10_000.0;
+/// Warm p50 latency bound the committed full `BENCH_serve.json` must
+/// record (seconds) — the "sub-millisecond median" contract of
+/// docs/serve.md.
+pub const SERVE_GATE_MAX_P50: f64 = 1e-3;
 
 /// `|a − b| ≤ tol·max(|b|, ε)` — relative closeness against baseline `b`.
 fn rel_close(fresh: f64, baseline: f64, tol: f64) -> bool {
@@ -174,6 +183,63 @@ pub fn check_dc_speedup(baseline: &Json) -> Vec<String> {
     bad
 }
 
+/// Compares a fresh `serve_load --smoke` run against its baseline. Only
+/// deterministic fields are compared: the request counts, the planned
+/// makespan, and the cache invariants (`hit_only`, `consistent`,
+/// `shed == 0`). Latency and throughput fields are machine-dependent
+/// and left to [`check_serve_perf`].
+pub fn check_serve(baseline: &Json, fresh: &ServeLoadReport, tol: f64) -> Vec<String> {
+    let mut bad = Vec::new();
+    let check = |bad: &mut Vec<String>, r: Result<(), String>| {
+        if let Err(e) = r {
+            bad.push(format!("serve: {e}"));
+        }
+    };
+    check(&mut bad, exact_u64(baseline, "p", fresh.p as u64));
+    check(&mut bad, exact_u64(baseline, "items", fresh.items));
+    check(&mut bad, exact_u64(baseline, "cold_requests", fresh.cold_requests));
+    check(&mut bad, exact_u64(baseline, "warm_requests", fresh.warm_requests));
+    check(&mut bad, exact_u64(baseline, "shed", fresh.shed));
+    check(&mut bad, close_f64(baseline, "makespan", fresh.makespan, tol));
+    for (key, fresh_val) in [("hit_only", fresh.hit_only), ("consistent", fresh.consistent)] {
+        match baseline.get(key).and_then(as_bool) {
+            Some(b) if b == fresh_val => {}
+            Some(b) => bad.push(format!("serve: {key} baseline {b} fresh {fresh_val}")),
+            None => bad.push(format!("serve: baseline lacks boolean `{key}`")),
+        }
+        if !fresh_val {
+            bad.push(format!("serve: `{key}` failed in the fresh run"));
+        }
+    }
+    bad
+}
+
+/// Checks the committed **full** `BENCH_serve.json` for the daemon's
+/// service-level contract: warm throughput ≥ [`SERVE_GATE_MIN_RPS`]
+/// requests/sec and warm p50 < [`SERVE_GATE_MAX_P50`]. Like
+/// [`check_dc_speedup`], this reads wall-clock numbers from the
+/// committed document (one machine, one run) rather than re-running the
+/// full-size load test in CI.
+pub fn check_serve_perf(baseline: &Json) -> Vec<String> {
+    let mut bad = Vec::new();
+    match field_f64(baseline, "warm_throughput_rps") {
+        Ok(rps) if rps < SERVE_GATE_MIN_RPS => bad.push(format!(
+            "serve: committed warm throughput {rps:.0} req/s < required \
+             {SERVE_GATE_MIN_RPS:.0} req/s"
+        )),
+        Ok(_) => {}
+        Err(e) => bad.push(format!("serve: {e}")),
+    }
+    match field_f64(baseline, "warm_p50_secs") {
+        Ok(p50) if p50 >= SERVE_GATE_MAX_P50 => bad.push(format!(
+            "serve: committed warm p50 {p50:.6}s >= bound {SERVE_GATE_MAX_P50}s"
+        )),
+        Ok(_) => {}
+        Err(e) => bad.push(format!("serve: {e}")),
+    }
+    bad
+}
+
 fn exact_u64(row: &Json, key: &str, fresh: u64) -> Result<(), String> {
     let b = field_u64(row, key)?;
     if b == fresh {
@@ -297,6 +363,67 @@ mod tests {
         // A baseline without the gate's row fails loudly.
         let other = parse(&dp_perf_json(&[dp_row()], 4)).unwrap();
         assert!(!check_dc_speedup(&other).is_empty());
+    }
+
+    fn serve_report() -> ServeLoadReport {
+        ServeLoadReport {
+            p: 13,
+            items: 817_101,
+            clients: 8,
+            cold_requests: 32,
+            warm_requests: 50_000,
+            makespan: 2.5,
+            hit_only: true,
+            consistent: true,
+            shed: 0,
+            cold_p50_secs: 2e-4,
+            cold_p95_secs: 4e-4,
+            cold_p99_secs: 5e-4,
+            warm_p50_secs: 1e-4,
+            warm_p95_secs: 2e-4,
+            warm_p99_secs: 3e-4,
+            warm_throughput_rps: 42_000.0,
+            warm_wall_secs: 1.19,
+        }
+    }
+
+    #[test]
+    fn serve_smoke_gate_compares_deterministic_fields_only() {
+        use crate::experiments::serveexp::serve_load_json;
+        let fresh = serve_report();
+        let baseline = parse(&serve_load_json(&fresh)).unwrap();
+        assert!(check_serve(&baseline, &fresh, 1e-4).is_empty());
+        // Timing changes never trip the smoke gate.
+        let mut slower = fresh.clone();
+        slower.warm_p50_secs *= 100.0;
+        slower.warm_throughput_rps /= 100.0;
+        assert!(check_serve(&baseline, &slower, 1e-4).is_empty());
+        // Cache-invariant regressions do.
+        let mut broken = fresh.clone();
+        broken.hit_only = false;
+        broken.shed = 3;
+        let bad = check_serve(&baseline, &broken, 1e-4);
+        assert!(bad.iter().any(|m| m.contains("hit_only")), "{bad:?}");
+        assert!(bad.iter().any(|m| m.contains("shed")), "{bad:?}");
+        // So does makespan drift.
+        let mut drift = fresh;
+        drift.makespan *= 1.001;
+        assert!(!check_serve(&baseline, &drift, 1e-4).is_empty());
+    }
+
+    #[test]
+    fn serve_perf_gate_reads_the_full_baseline() {
+        use crate::experiments::serveexp::serve_load_json;
+        let good = parse(&serve_load_json(&serve_report())).unwrap();
+        assert!(check_serve_perf(&good).is_empty());
+        let mut slow = serve_report();
+        slow.warm_throughput_rps = 900.0;
+        slow.warm_p50_secs = 0.05;
+        let msgs = check_serve_perf(&parse(&serve_load_json(&slow)).unwrap());
+        assert_eq!(msgs.len(), 2, "{msgs:?}");
+        // A baseline missing the fields fails loudly.
+        let empty = parse("{\"bench\": \"serve_load\"}").unwrap();
+        assert!(!check_serve_perf(&empty).is_empty());
     }
 
     #[test]

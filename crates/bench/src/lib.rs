@@ -19,11 +19,12 @@
 //! | `root_selection` | §3.4 root choice |
 //! | `strategy_ablation` | exact vs heuristic vs closed-form vs uniform |
 //! | `tomo_e2e` | §2.2 application end-to-end on the emulated grid |
+//! | `serve_load` | planning-daemon throughput/latency (docs/serve.md) |
 //! | `bench_gate` | CI regression gate vs committed smoke baselines |
 //! | `run_all` | everything above, in sequence |
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod experiments;
 pub mod gate;

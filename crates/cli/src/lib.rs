@@ -18,6 +18,7 @@
 
 pub mod commands;
 pub mod platform_file;
+pub mod serve_cmd;
 
 /// CLI-level errors with user-facing messages.
 #[derive(Debug)]
@@ -40,5 +41,11 @@ impl From<gs_scatter::error::PlanError> for CliError {
 impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> Self {
         CliError(format!("i/o error: {e}"))
+    }
+}
+
+impl From<gs_scatter::platform_file::PlatformFileError> for CliError {
+    fn from(e: gs_scatter::platform_file::PlatformFileError) -> Self {
+        CliError(e.0)
     }
 }

@@ -7,6 +7,7 @@ use gs_cli::commands::{
     cmd_calibrate, cmd_metrics, cmd_plan, cmd_report, cmd_report_drift, cmd_simulate, cmd_table1,
     cmd_trace, cmd_transform, PlanOptions,
 };
+use gs_cli::serve_cmd::{cmd_client, cmd_client_raw, start_daemon, ClientCmd, ServeOptions};
 use gs_cli::CliError;
 
 const USAGE: &str = "\
@@ -25,6 +26,19 @@ USAGE:
                                                 traces; prints a platform file
   gs metrics <platform> --items N [opts]        run a workload, dump runtime metrics
                                                 (Prometheus text format)
+
+PLANNING DAEMON (docs/serve.md):
+  gs serve [--addr A] [--threads T] [--shards S] [--max-inflight M]
+                                                run the long-lived planning daemon
+  gs client <addr> ping                         liveness check
+  gs client <addr> plan <platform> --items N [--strategy S]
+                                                plan via the daemon (cached)
+  gs client <addr> simulate <platform> --items N [--strategy S]
+                                                plan + simulate via the daemon
+  gs client <addr> calibrate <t1.json> [...]    fit costs from traces via the daemon
+  gs client <addr> metrics                      fetch the daemon's Prometheus text
+  gs client <addr> shutdown                     stop the daemon
+  gs client <addr> --json LINE                  send one raw protocol line verbatim
 
 FAULT INJECTION (docs/robustness.md):
   gs plan     ... --faults SPEC                 forecast degraded + recovered makespans
@@ -58,6 +72,12 @@ OPTIONS:
                        seed:<n>          add a seeded random fault mix
                      <who> = processor name or scatter position
   --no-recovery      fault-oblivious (degraded) mode: no timeout/retry/re-plan
+  --addr A           serve: bind address (default 127.0.0.1:7070; port 0 picks
+                     an ephemeral port, printed in the banner)
+  --shards S         serve: result/plan cache shards (default 16)
+  --max-inflight M   serve: planning computations admitted at once before the
+                     daemon sheds load with `overloaded` responses (default 64)
+  --json LINE        client: send LINE verbatim, print the raw response line
 
 The trace JSON schema is documented in docs/observability.md; a typical
 three-way check is:
@@ -107,6 +127,8 @@ fn run(args: &[String]) -> Result<(String, bool), CliError> {
     let mut item_bytes = 8usize;
     let mut platform_flag: Option<String> = None;
     let mut drift_threshold: Option<f64> = None;
+    let mut serve_opts = ServeOptions::default();
+    let mut json_line: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -135,6 +157,16 @@ fn run(args: &[String]) -> Result<(String, bool), CliError> {
                         .map_err(|_| bad("--drift-threshold"))?,
                 );
             }
+            "--addr" => serve_opts.addr = next_value(args, &mut i)?,
+            "--shards" => {
+                serve_opts.cache_shards =
+                    next_value(args, &mut i)?.parse().map_err(|_| bad("--shards"))?;
+            }
+            "--max-inflight" => {
+                serve_opts.max_inflight =
+                    next_value(args, &mut i)?.parse().map_err(|_| bad("--max-inflight"))?;
+            }
+            "--json" => json_line = Some(next_value(args, &mut i)?),
             "--faults" => opts.faults = Some(next_value(args, &mut i)?),
             "--no-recovery" => opts.no_recovery = true,
             "--emit-c" => emit_c = true,
@@ -189,6 +221,53 @@ fn run(args: &[String]) -> Result<(String, bool), CliError> {
         "metrics" => {
             let platform = read_file(positional.get(1))?;
             cmd_metrics(&platform, &opts, item_bytes).map(passing)
+        }
+        "serve" => {
+            serve_opts.planner_threads = opts.threads;
+            let (handle, banner) = start_daemon(&serve_opts)?;
+            // Print (and flush) before blocking so scripts can read the
+            // bound address while the daemon runs.
+            print!("{banner}");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            handle.join();
+            Ok(passing(String::new()))
+        }
+        "client" => {
+            let addr = positional
+                .get(1)
+                .ok_or_else(|| CliError("client needs a daemon address".into()))?
+                .clone();
+            if let Some(line) = json_line {
+                return cmd_client_raw(&addr, &line).map(passing);
+            }
+            let op = positional.get(2).map(String::as_str).unwrap_or("");
+            let params = |file: Option<&String>| -> Result<(String, u64, String), CliError> {
+                Ok((read_file(file)?, opts.items as u64, opts.strategy.clone()))
+            };
+            let cmd = match op {
+                "ping" => ClientCmd::Ping,
+                "plan" => {
+                    let (platform, items, strategy) = params(positional.get(3))?;
+                    ClientCmd::Plan { platform, items, strategy }
+                }
+                "simulate" => {
+                    let (platform, items, strategy) = params(positional.get(3))?;
+                    ClientCmd::Simulate { platform, items, strategy }
+                }
+                "calibrate" => {
+                    let traces: Vec<String> = positional[3..]
+                        .iter()
+                        .map(|p| read_file(Some(p)))
+                        .collect::<Result<_, _>>()?;
+                    ClientCmd::Calibrate { traces }
+                }
+                "metrics" => ClientCmd::Metrics,
+                "shutdown" => ClientCmd::Shutdown,
+                "" => return Err(CliError("client needs an operation".into())),
+                other => return Err(CliError(format!("unknown client operation `{other}`"))),
+            };
+            cmd_client(&addr, cmd).map(passing)
         }
         "transform" => {
             let source = read_file(positional.get(1))?;

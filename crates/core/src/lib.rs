@@ -86,6 +86,7 @@ pub mod ordering;
 pub mod paper;
 pub mod parallel;
 pub mod planner;
+pub mod platform_file;
 pub mod root;
 pub mod rounding;
 

@@ -58,6 +58,14 @@ const MAX_EXP: i32 = 20;
 const FINITE_BUCKETS: usize = (MAX_EXP - MIN_EXP + 1) as usize;
 
 /// A monotonically increasing count (events, bytes, cache hits…).
+///
+/// ```
+/// use gs_scatter::metrics::Counter;
+/// let c = Counter::new();
+/// c.inc();
+/// c.add(41);
+/// assert_eq!(c.get(), 42);
+/// ```
 #[derive(Debug, Default)]
 pub struct Counter {
     value: AtomicU64,
@@ -208,6 +216,16 @@ impl Histogram {
 
     /// Starts a scoped timer that `observe`s its elapsed wall-clock
     /// seconds into this histogram when dropped.
+    ///
+    /// ```
+    /// use gs_scatter::metrics::Registry;
+    /// let reg = Registry::new();
+    /// let lat = reg.histogram("req_seconds", "request latency");
+    /// {
+    ///     let _timer = lat.start_timer(); // observes on scope exit
+    /// }
+    /// assert_eq!(lat.count(), 1);
+    /// ```
     pub fn start_timer(self: &Arc<Histogram>) -> Timer {
         Timer { hist: Arc::clone(self), start: Instant::now() }
     }
@@ -404,6 +422,17 @@ impl HistogramSnapshot {
     /// Estimated quantile `q ∈ [0, 1]`: the upper bound of the bucket
     /// containing the `⌈q·count⌉`-th observation (0 when empty). An upper
     /// estimate, tight to one log₂ bucket.
+    ///
+    /// ```
+    /// use gs_scatter::metrics::Registry;
+    /// let reg = Registry::new();
+    /// let lat = reg.histogram("lat_seconds", "latency");
+    /// for _ in 0..99 { lat.observe(1e-4); }
+    /// lat.observe(2.0); // one slow outlier
+    /// let snap = &reg.snapshot().histograms[0];
+    /// assert!(snap.quantile(0.50) < 1e-3); // p50 stays in the fast bucket
+    /// assert!(snap.quantile(1.00) >= 2.0); // max covers the outlier
+    /// ```
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;

@@ -33,7 +33,10 @@ use crate::metrics::{
 
 // ---- writer ---------------------------------------------------------------
 
-fn push_escaped(out: &mut String, s: &str) {
+/// Appends `s` as a quoted, escaped JSON string. Public because every
+/// hand-rolled JSON writer in the workspace (traces here, the gs-serve
+/// wire protocol) must escape identically.
+pub fn push_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -49,9 +52,10 @@ fn push_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
-fn push_f64(out: &mut String, x: f64) {
-    // Rust's `Display` for f64 is the shortest representation that
-    // round-trips, which is exactly what a trace wants.
+/// Appends a finite `f64` as a JSON number. Rust's `Display` for f64 is
+/// the shortest representation that round-trips, which is exactly what a
+/// trace (or a wire protocol promising bit-identical plans) wants.
+pub fn push_f64(out: &mut String, x: f64) {
     out.push_str(&format!("{x}"));
 }
 

@@ -1,0 +1,233 @@
+//! The platform-file format: one processor per line.
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! proc dinadan   beta=0        alpha=0.009288
+//! proc pellinore beta=1.12e-5  alpha=0.009365
+//! proc merlin    beta=8.15e-5  alpha=0.003976  comm_intercept=0.02
+//! root dinadan
+//! ```
+//!
+//! * `beta` — link cost from the root, seconds per item (required);
+//! * `alpha` — compute cost, seconds per item (required);
+//! * `comm_intercept` / `comp_intercept` — optional affine intercepts;
+//! * `root <name>` — designates the root (default: the first processor).
+//!
+//! Duplicate names are allowed (Table 1 lists `leda` eight times); `root`
+//! refers to the first occurrence.
+//!
+//! This format is the lingua franca of every user-facing surface: the
+//! `gs` CLI reads and writes it, `gs calibrate` emits it, and the
+//! `gs-serve` planning daemon carries it verbatim inside the
+//! `platform` field of `plan`/`simulate` requests — which is why
+//! parsing lives here in the core crate rather than in any one frontend.
+
+use crate::cost::{CostFn, Platform, Processor};
+
+/// A parse failure, with a user-facing message (line numbers included
+/// where applicable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlatformFileError(pub String);
+
+impl std::fmt::Display for PlatformFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for PlatformFileError {}
+
+/// Parses a platform file's contents.
+///
+/// ```
+/// use gs_scatter::platform_file::parse_platform;
+/// let p = parse_platform("proc root beta=0 alpha=0.01\nproc w1 beta=1e-4 alpha=0.02\n").unwrap();
+/// assert_eq!(p.len(), 2);
+/// assert_eq!(p.procs()[1].name, "w1");
+/// ```
+pub fn parse_platform(text: &str) -> Result<Platform, PlatformFileError> {
+    let mut procs: Vec<Processor> = Vec::new();
+    let mut root_name: Option<String> = None;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let keyword = words.next().expect("non-empty line has a first word");
+        match keyword {
+            "proc" => {
+                let name = words
+                    .next()
+                    .ok_or_else(|| err(lineno, "proc needs a name"))?
+                    .to_string();
+                let mut beta: Option<f64> = None;
+                let mut alpha: Option<f64> = None;
+                let mut comm_icpt = 0.0f64;
+                let mut comp_icpt = 0.0f64;
+                for kv in words {
+                    let (k, v) = kv
+                        .split_once('=')
+                        .ok_or_else(|| err(lineno, &format!("expected key=value, got `{kv}`")))?;
+                    let v: f64 = v
+                        .parse()
+                        .map_err(|_| err(lineno, &format!("`{v}` is not a number")))?;
+                    if !v.is_finite() || v < 0.0 {
+                        return Err(err(lineno, &format!("{k} must be a non-negative number")));
+                    }
+                    match k {
+                        "beta" => beta = Some(v),
+                        "alpha" => alpha = Some(v),
+                        "comm_intercept" => comm_icpt = v,
+                        "comp_intercept" => comp_icpt = v,
+                        other => return Err(err(lineno, &format!("unknown key `{other}`"))),
+                    }
+                }
+                let beta = beta.ok_or_else(|| err(lineno, "proc needs beta=<s/item>"))?;
+                let alpha = alpha.ok_or_else(|| err(lineno, "proc needs alpha=<s/item>"))?;
+                let comm = mk_cost(comm_icpt, beta);
+                let comp = mk_cost(comp_icpt, alpha);
+                procs.push(Processor { name, comm, comp });
+            }
+            "root" => {
+                let name = words
+                    .next()
+                    .ok_or_else(|| err(lineno, "root needs a processor name"))?;
+                if words.next().is_some() {
+                    return Err(err(lineno, "root takes exactly one name"));
+                }
+                root_name = Some(name.to_string());
+            }
+            other => return Err(err(lineno, &format!("unknown directive `{other}`"))),
+        }
+    }
+
+    if procs.is_empty() {
+        return Err(PlatformFileError("platform file defines no processors".into()));
+    }
+    let root = match root_name {
+        None => 0,
+        Some(name) => procs
+            .iter()
+            .position(|p| p.name == name)
+            .ok_or_else(|| {
+                PlatformFileError(format!("root `{name}` is not a declared processor"))
+            })?,
+    };
+    Platform::new(procs, root).map_err(|e| PlatformFileError(e.to_string()))
+}
+
+fn mk_cost(intercept: f64, slope: f64) -> CostFn {
+    if intercept == 0.0 {
+        if slope == 0.0 {
+            CostFn::Zero
+        } else {
+            CostFn::Linear { slope }
+        }
+    } else {
+        CostFn::Affine { intercept, slope }
+    }
+}
+
+fn err(lineno: usize, msg: &str) -> PlatformFileError {
+    PlatformFileError(format!("line {}: {msg}", lineno + 1))
+}
+
+/// Renders a platform back into the file format (used by `gs table1` and
+/// `gs calibrate`; only linear/affine cost functions render, which is all
+/// the format can express).
+pub fn render_platform(platform: &Platform) -> String {
+    let mut out = String::from("# grid-scatter platform file (beta/alpha in seconds per item)\n");
+    for p in platform.procs() {
+        let (ci, b) = p.comm.affine_params().unwrap_or((0.0, 0.0));
+        let (pi, a) = p.comp.affine_params().unwrap_or((0.0, 0.0));
+        out.push_str(&format!("proc {:<12} beta={b:<12} alpha={a}", p.name));
+        if ci != 0.0 {
+            out.push_str(&format!(" comm_intercept={ci}"));
+        }
+        if pi != 0.0 {
+            out.push_str(&format!(" comp_intercept={pi}"));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("root {}\n", platform.procs()[platform.root()].name));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\n# testbed\nproc dinadan beta=0 alpha=0.009288\nproc pellinore beta=1.12e-5 alpha=0.009365 # inline comment\nroot dinadan\n";
+
+    #[test]
+    fn parses_sample() {
+        let p = parse_platform(SAMPLE).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.root(), 0);
+        assert_eq!(p.procs()[1].name, "pellinore");
+        assert!((p.procs()[1].comm.eval(100_000) - 1.12).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_root_is_first() {
+        let p = parse_platform("proc a beta=1 alpha=1\nproc b beta=2 alpha=2\n").unwrap();
+        assert_eq!(p.root(), 0);
+    }
+
+    #[test]
+    fn affine_intercepts() {
+        let p = parse_platform("proc a beta=0.5 alpha=1 comm_intercept=2 comp_intercept=3\n")
+            .unwrap();
+        assert_eq!(p.procs()[0].comm.eval(0), 2.0);
+        assert_eq!(p.procs()[0].comp.eval(2), 5.0);
+    }
+
+    #[test]
+    fn duplicate_names_root_binds_first() {
+        let p = parse_platform(
+            "proc leda beta=1 alpha=1\nproc leda beta=2 alpha=2\nroot leda\n",
+        )
+        .unwrap();
+        assert_eq!(p.root(), 0);
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let e = parse_platform("proc a beta=1 alpha=1\nbogus x\n").unwrap_err();
+        assert!(e.0.contains("line 2"), "{e}");
+        let e = parse_platform("proc a beta=x alpha=1\n").unwrap_err();
+        assert!(e.0.contains("not a number"), "{e}");
+        let e = parse_platform("proc a alpha=1\n").unwrap_err();
+        assert!(e.0.contains("beta"), "{e}");
+        let e = parse_platform("proc a beta=-1 alpha=1\n").unwrap_err();
+        assert!(e.0.contains("non-negative"), "{e}");
+        let e = parse_platform("").unwrap_err();
+        assert!(e.0.contains("no processors"), "{e}");
+        let e = parse_platform("proc a beta=1 alpha=1\nroot zz\n").unwrap_err();
+        assert!(e.0.contains("not a declared processor"), "{e}");
+    }
+
+    #[test]
+    fn round_trip_through_render() {
+        let p1 = parse_platform(SAMPLE).unwrap();
+        let text = render_platform(&p1);
+        let p2 = parse_platform(&text).unwrap();
+        assert_eq!(p1.len(), p2.len());
+        assert_eq!(p1.root(), p2.root());
+        for (a, b) in p1.procs().iter().zip(p2.procs()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.comm.eval(1000), b.comm.eval(1000));
+            assert_eq!(a.comp.eval(1000), b.comp.eval(1000));
+        }
+    }
+
+    #[test]
+    fn table1_round_trips() {
+        let t1 = crate::paper::table1_platform();
+        let p = parse_platform(&render_platform(&t1)).unwrap();
+        assert_eq!(p.len(), 16);
+        assert_eq!(p.root(), 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! The TCP front end: a listener accepting JSON-lines sessions (one
+//! request per line, one response per line, answered in order) and, on
+//! the same port, plain `GET /metrics` HTTP requests for Prometheus
+//! scrapers. Transport only — every decision is [`Engine::handle`]'s.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use gs_scatter::metrics::Registry;
+
+use crate::engine::Engine;
+use crate::protocol::{
+    decode_request, encode_response, Outcome, ProtocolError, RequestBody, Response,
+};
+
+/// A running daemon: the bound address plus the accept-loop thread.
+/// Obtain one with [`serve`]; stop it with [`ServerHandle::shutdown`]
+/// (or a `shutdown` request over the wire) and then
+/// [`ServerHandle::join`].
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address actually bound (resolves port 0 to the ephemeral
+    /// port the OS picked — how tests avoid collisions).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks the accept loop to exit after its next accept. Safe to call
+    /// more than once, and also triggered by a `shutdown` request.
+    pub fn shutdown(&self) {
+        request_stop(&self.stop, self.addr);
+    }
+
+    /// Waits for the accept loop to exit. Connection threads already
+    /// past accept finish their current session independently.
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Sets the stop flag and pokes the listener with a throwaway
+/// connection so a blocking `accept` observes it.
+fn request_stop(stop: &AtomicBool, addr: SocketAddr) {
+    stop.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect(addr);
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:7070"`, or port `0` for an ephemeral
+/// port) and serves requests on it until shut down. Each connection
+/// gets its own thread; the engine's admission control bounds the
+/// planning work they can queue, not the connection count.
+pub fn serve(engine: Arc<Engine>, addr: &str) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    let accept_thread = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if accept_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(conn) = conn else { continue };
+            // Responses are one small line each; never wait for Nagle.
+            let _ = conn.set_nodelay(true);
+            Registry::global()
+                .counter("serve_connections_total", "TCP connections accepted")
+                .inc();
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&accept_stop);
+            std::thread::spawn(move || {
+                let _ = session(&engine, conn, &stop, addr);
+            });
+        }
+    });
+    Ok(ServerHandle { addr, stop, accept_thread: Some(accept_thread) })
+}
+
+/// Serves one connection: either a single HTTP `GET /metrics` exchange
+/// or a JSON-lines request/response session.
+fn session(
+    engine: &Engine,
+    conn: TcpStream,
+    stop: &AtomicBool,
+    addr: SocketAddr,
+) -> std::io::Result<()> {
+    let mut writer = conn.try_clone()?;
+    let mut reader = BufReader::new(conn);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // peer closed
+        }
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with("GET /metrics") {
+            return write_metrics_http(&mut writer);
+        }
+        let (response, shutdown) = respond(engine, line);
+        writer.write_all(encode_response(&response).as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if shutdown {
+            request_stop(stop, addr);
+            return Ok(());
+        }
+    }
+}
+
+/// Decodes and handles one request line; the flag says whether it asked
+/// the daemon to shut down.
+fn respond(engine: &Engine, line: &str) -> (Response, bool) {
+    match decode_request(line) {
+        Ok(req) => {
+            let shutdown = matches!(req.body, RequestBody::Shutdown);
+            (engine.handle(req), shutdown)
+        }
+        Err(ProtocolError { code, message, id }) => (
+            Response {
+                id: id.unwrap_or_default(),
+                outcome: Outcome::Error { code, message },
+            },
+            false,
+        ),
+    }
+}
+
+/// Answers a Prometheus scrape: minimal HTTP/1.1, close-delimited.
+fn write_metrics_http(writer: &mut TcpStream) -> std::io::Result<()> {
+    let body = Registry::global().snapshot().to_prometheus();
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(body.as_bytes())?;
+    writer.flush()
+}

@@ -1,0 +1,175 @@
+//! Property tests for the wire codec: any request/response the types
+//! can express must survive encode → decode exactly; any line with
+//! extra unknown members must still decode to the same value (forward
+//! compatibility); and arbitrary garbage must fail with `bad_request`
+//! rather than panic or misparse.
+
+use gs_serve::protocol::{
+    decode_request, decode_response, encode_request, encode_response, CacheStatus, ErrorCode,
+    Outcome, PlanParams, PlanResult, Request, RequestBody, Response, SimResult,
+};
+use proptest::prelude::*;
+
+/// Strings covering every escape class the writer knows about.
+fn tricky_string() -> impl Strategy<Value = String> {
+    const ALPHABET: &[char] =
+        &['a', 'Z', '"', '\\', '{', '}', ',', ':', '\n', '\r', '\t', ' ', 'é', '𝄞', '\u{1}', '7'];
+    collection::vec(0usize..ALPHABET.len(), 0..16)
+        .prop_map(|idx| idx.into_iter().map(|i| ALPHABET[i]).collect())
+}
+
+/// Non-negative finite `f64`s across magnitudes (makespans are secs).
+fn makespan() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(|bits| {
+        let v = f64::from_bits(bits).abs();
+        if v.is_finite() {
+            v
+        } else {
+            (bits >> 12) as f64 * 1e-6
+        }
+    })
+}
+
+/// Integers that survive the f64-backed JSON number representation.
+fn wire_u64() -> impl Strategy<Value = u64> {
+    0u64..(1 << 53)
+}
+
+fn plan_params() -> impl Strategy<Value = PlanParams> {
+    (tricky_string(), wire_u64(), tricky_string())
+        .prop_map(|(platform, items, strategy)| PlanParams { platform, items, strategy })
+}
+
+fn request_body() -> impl Strategy<Value = RequestBody> {
+    (0usize..6, plan_params(), collection::vec(tricky_string(), 0..4)).prop_map(
+        |(variant, params, traces)| match variant {
+            0 => RequestBody::Ping,
+            1 => RequestBody::Plan(params),
+            2 => RequestBody::Simulate(params),
+            3 => RequestBody::Calibrate { traces },
+            4 => RequestBody::Metrics,
+            _ => RequestBody::Shutdown,
+        },
+    )
+}
+
+fn cache_status() -> impl Strategy<Value = CacheStatus> {
+    (0usize..3).prop_map(|variant| match variant {
+        0 => CacheStatus::Miss,
+        1 => CacheStatus::Hit,
+        _ => CacheStatus::Coalesced,
+    })
+}
+
+fn error_code() -> impl Strategy<Value = ErrorCode> {
+    (0usize..5).prop_map(|variant| match variant {
+        0 => ErrorCode::BadRequest,
+        1 => ErrorCode::UnsupportedVersion,
+        2 => ErrorCode::PlanFailed,
+        3 => ErrorCode::Overloaded,
+        _ => ErrorCode::Other,
+    })
+}
+
+fn outcome() -> impl Strategy<Value = Outcome> {
+    let u64s = || collection::vec(wire_u64(), 0..6);
+    let payload = (
+        (makespan(), makespan(), cache_status()),
+        (u64s(), u64s(), u64s()),
+        tricky_string(),
+        error_code(),
+    );
+    (0usize..7, payload).prop_map(
+        |(variant, ((span_a, span_b, cache), (counts, displs, order), text, code))| {
+            match variant {
+                0 => Outcome::Pong,
+                1 => Outcome::Plan(PlanResult { makespan: span_a, counts, displs, order, cache }),
+                2 => Outcome::Simulate(SimResult {
+                    predicted_makespan: span_a,
+                    simulated_makespan: span_b,
+                    cache,
+                }),
+                3 => Outcome::Calibrate { platform: text },
+                4 => Outcome::Metrics { prometheus: text },
+                5 => Outcome::ShuttingDown,
+                _ => Outcome::Error { code, message: text },
+            }
+        },
+    )
+}
+
+/// Splices an unknown member into an encoded object, right after the
+/// opening brace — what a newer peer's extra fields look like on the
+/// wire.
+fn with_unknown_member(line: &str, value_json: &str) -> String {
+    let rest = line.strip_prefix('{').expect("encoded lines are objects");
+    format!("{{\"x_future_field\": {value_json}, {rest}")
+}
+
+/// Printable-ASCII garbage lines.
+fn ascii_garbage() -> impl Strategy<Value = String> {
+    collection::vec(0x20u8..0x7f, 0..60)
+        .prop_map(|bytes| String::from_utf8(bytes).expect("printable ascii"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn requests_round_trip((id, body) in (tricky_string(), request_body())) {
+        let req = Request { id, body };
+        let line = encode_request(&req);
+        prop_assert!(!line.contains('\n'), "one request per line: {:?}", line);
+        prop_assert_eq!(decode_request(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn responses_round_trip((id, outcome) in (tricky_string(), outcome())) {
+        let resp = Response { id, outcome };
+        let line = encode_response(&resp);
+        prop_assert!(!line.contains('\n'), "one response per line: {:?}", line);
+        prop_assert_eq!(decode_response(&line).unwrap(), resp);
+    }
+
+    #[test]
+    fn unknown_members_are_ignored((req_body, variant) in (request_body(), 0usize..6)) {
+        let extras = [
+            "null", "true", "-12.5", "\"s\"",
+            "[1, [2], {\"k\": 3}]", "{\"nested\": {\"deep\": []}}",
+        ];
+        let req = Request { id: "fwd".into(), body: req_body };
+        let line = with_unknown_member(&encode_request(&req), extras[variant]);
+        prop_assert_eq!(decode_request(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn garbage_never_panics_and_fails_closed(line in ascii_garbage()) {
+        // Either the fuzz line happens to be a valid request, or it must
+        // fail with a structured error — never a panic.
+        if let Err(e) = decode_request(&line) {
+            prop_assert!(
+                matches!(e.code, ErrorCode::BadRequest | ErrorCode::UnsupportedVersion),
+                "{:?} -> {:?}", line, e
+            );
+        }
+        let _ = decode_response(&line);
+    }
+
+    #[test]
+    fn truncations_of_valid_lines_fail_closed(body in request_body()) {
+        let line = encode_request(&Request { id: "t".into(), body });
+        // Cutting anywhere inside the object must yield an error, not a
+        // misparse: the closing brace is gone, so the parser cannot
+        // accept any prefix.
+        for cut in 1..line.len().min(40) {
+            if !line.is_char_boundary(line.len() - cut) {
+                continue; // the id/platform may hold multi-byte chars
+            }
+            let truncated = &line[..line.len() - cut];
+            prop_assert!(
+                decode_request(truncated).is_err(),
+                "truncated line decoded: {:?}", truncated
+            );
+        }
+    }
+}

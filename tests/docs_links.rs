@@ -1,10 +1,13 @@
 //! Documentation as a first-class artifact: every relative markdown
 //! link under `docs/` (and in `README.md`) must resolve, and the worked
-//! console examples in `docs/robustness.md` and `docs/observability.md`
-//! must reproduce — each `$ gs …` command is re-run through the CLI's
-//! library entry points and compared line by line against the output
-//! shown in the document (`...` lines elide; `planning:` timing lines
-//! are ignored, they are the only nondeterministic output).
+//! console examples in `docs/robustness.md`, `docs/observability.md`,
+//! and `docs/serve.md` must reproduce — each `$ gs …` command is re-run
+//! through the CLI's library entry points and compared line by line
+//! against the output shown in the document (`...` lines elide;
+//! `planning:` timing lines are ignored, they are the only
+//! nondeterministic output). `gs serve … &` commands start a real
+//! daemon on an ephemeral port; subsequent `gs client` commands are
+//! routed to it, so the serve walkthrough exercises real sockets.
 
 use std::collections::HashMap;
 use std::fs;
@@ -14,6 +17,16 @@ use gs_cli::commands::{
     cmd_calibrate, cmd_metrics, cmd_plan, cmd_report, cmd_report_drift, cmd_simulate, cmd_trace,
     PlanOptions,
 };
+use gs_cli::serve_cmd::{cmd_client, start_daemon, ClientCmd, ServeOptions};
+
+/// Daemon state for `gs serve` / `gs client` walkthroughs: the running
+/// server (if any) plus the mapping from the address the document
+/// shows to the ephemeral address the test actually bound.
+#[derive(Default)]
+struct Daemons {
+    handle: Option<gs_serve::ServerHandle>,
+    addrs: HashMap<String, String>,
+}
 
 fn repo_root() -> &'static Path {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -92,11 +105,13 @@ fn fenced_blocks(text: &str) -> Vec<Fence> {
 
 /// Parses one `gs …` command line into a call against the CLI library,
 /// reading "files" (platforms and redirected outputs alike) from `vfs`.
-fn run_gs(cmdline: &str, vfs: &mut HashMap<String, String>) {
+fn run_gs(cmdline: &str, vfs: &mut HashMap<String, String>, daemons: &mut Daemons) {
     let (cmd, redirect) = match cmdline.split_once(" > ") {
         Some((c, f)) => (c.trim(), Some(f.trim().to_string())),
         None => (cmdline.trim(), None),
     };
+    // `gs serve … &` backgrounds the daemon; strip the shell operator.
+    let cmd = cmd.strip_suffix(" &").unwrap_or(cmd);
     let words: Vec<&str> = cmd.split_whitespace().collect();
     assert_eq!(words[0], "gs", "walkthrough commands invoke gs: {cmdline}");
 
@@ -107,6 +122,7 @@ fn run_gs(cmdline: &str, vfs: &mut HashMap<String, String>) {
     let mut item_bytes = 8usize;
     let mut platform_flag: Option<String> = None;
     let mut drift_threshold: Option<f64> = None;
+    let mut addr_flag: Option<String> = None;
     let mut i = 1;
     while i < words.len() {
         match words[i] {
@@ -147,6 +163,10 @@ fn run_gs(cmdline: &str, vfs: &mut HashMap<String, String>) {
                 i += 1;
                 drift_threshold = Some(words[i].parse().unwrap());
             }
+            "--addr" => {
+                i += 1;
+                addr_flag = Some(words[i].to_string());
+            }
             flag if flag.starts_with("--") => panic!("walkthrough uses unknown flag {flag}"),
             word => positional.push(word),
         }
@@ -181,6 +201,55 @@ fn run_gs(cmdline: &str, vfs: &mut HashMap<String, String>) {
             cmd_calibrate(&texts).unwrap()
         }
         "metrics" => cmd_metrics(&read(vfs, positional[1]), &opts, item_bytes).unwrap(),
+        "serve" => {
+            // Bind an ephemeral port, remember it under the address the
+            // document shows. A backgrounded daemon prints nothing here
+            // (its banner goes to the daemon's own stdout).
+            let documented = addr_flag.clone().unwrap_or_else(|| "127.0.0.1:7070".into());
+            let (handle, _banner) = start_daemon(&ServeOptions {
+                addr: "127.0.0.1:0".into(),
+                ..Default::default()
+            })
+            .unwrap();
+            daemons.addrs.insert(documented, handle.addr().to_string());
+            assert!(
+                daemons.handle.replace(handle).is_none(),
+                "walkthrough starts a second daemon without shutting down the first"
+            );
+            String::new()
+        }
+        "client" => {
+            let documented = positional[1];
+            let addr = daemons
+                .addrs
+                .get(documented)
+                .unwrap_or_else(|| panic!("walkthrough talks to `{documented}` before serving"))
+                .clone();
+            let params = |file: &str| (read(vfs, file), opts.items as u64, opts.strategy.clone());
+            let client_cmd = match positional[2] {
+                "ping" => ClientCmd::Ping,
+                "plan" => {
+                    let (platform, items, strategy) = params(positional[3]);
+                    ClientCmd::Plan { platform, items, strategy }
+                }
+                "simulate" => {
+                    let (platform, items, strategy) = params(positional[3]);
+                    ClientCmd::Simulate { platform, items, strategy }
+                }
+                "calibrate" => ClientCmd::Calibrate {
+                    traces: positional[3..].iter().map(|f| read(vfs, f)).collect(),
+                },
+                "metrics" => ClientCmd::Metrics,
+                "shutdown" => ClientCmd::Shutdown,
+                other => panic!("walkthrough uses unknown client operation {other}"),
+            };
+            let shutting_down = matches!(client_cmd, ClientCmd::Shutdown);
+            let out = cmd_client(&addr, client_cmd).unwrap();
+            if shutting_down {
+                daemons.handle.take().expect("daemon running").join();
+            }
+            out
+        }
         other => panic!("walkthrough uses unknown subcommand {other}"),
     };
     match redirect {
@@ -250,6 +319,17 @@ fn platform_fences(blocks: &[Fence]) -> Vec<String> {
 /// against the library, comparing output line by line. Returns the
 /// number of commands replayed.
 fn replay_console_blocks(blocks: &[Fence], vfs: &mut HashMap<String, String>) -> usize {
+    let mut daemons = Daemons::default();
+    let n = replay_console_blocks_with(blocks, vfs, &mut daemons);
+    assert!(daemons.handle.is_none(), "walkthrough left a daemon running");
+    n
+}
+
+fn replay_console_blocks_with(
+    blocks: &[Fence],
+    vfs: &mut HashMap<String, String>,
+    daemons: &mut Daemons,
+) -> usize {
     let console: Vec<&Fence> = blocks.iter().filter(|b| b.lang == "console").collect();
     let mut commands_run = 0;
     for block in console {
@@ -266,7 +346,7 @@ fn replay_console_blocks(blocks: &[Fence], vfs: &mut HashMap<String, String>) ->
                 i += 1;
             }
             let redirected = cmd.contains(" > ");
-            run_gs(cmd, vfs);
+            run_gs(cmd, vfs, daemons);
             if redirected {
                 assert!(expected.is_empty(), "redirected command shows no output: {cmd}");
             } else {
@@ -292,6 +372,23 @@ fn robustness_walkthrough_reproduces() {
 
     let commands_run = replay_console_blocks(&blocks, &mut vfs);
     assert!(commands_run >= 6, "the walkthrough exercises the full CLI story");
+}
+
+#[test]
+fn serve_walkthrough_reproduces() {
+    let text = fs::read_to_string(repo_root().join("docs/serve.md")).unwrap();
+    let blocks = fenced_blocks(&text);
+
+    let platforms = platform_fences(&blocks);
+    assert!(!platforms.is_empty(), "serve.md defines demo.platform in a ```text fence");
+    let mut vfs: HashMap<String, String> = HashMap::new();
+    vfs.insert("demo.platform".into(), platforms[0].clone());
+
+    let commands_run = replay_console_blocks(&blocks, &mut vfs);
+    assert!(
+        commands_run >= 7,
+        "serve, ping, plan (miss + hit), simulate, metrics, shutdown replayed"
+    );
 }
 
 #[test]
