@@ -12,4 +12,5 @@ pub mod ordering;
 pub mod roots;
 pub mod runtimes;
 pub mod serveexp;
+pub mod simexp;
 pub mod tomo;

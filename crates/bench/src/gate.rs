@@ -14,6 +14,7 @@
 use crate::experiments::faultexp::FaultSweepRow;
 use crate::experiments::runtimes::DpPerfRow;
 use crate::experiments::serveexp::ServeLoadReport;
+use crate::experiments::simexp::SimScaleReport;
 use gs_scatter::obs::json::Json;
 
 /// The `(n, p)` points `algo_runtimes --smoke` times.
@@ -34,6 +35,16 @@ pub const SERVE_GATE_MIN_RPS: f64 = 10_000.0;
 /// record (seconds) — the "sub-millisecond median" contract of
 /// docs/serve.md.
 pub const SERVE_GATE_MAX_P50: f64 = 1e-3;
+/// Required fast-path-over-classic-engine events/sec speedup the
+/// committed full `BENCH_sim.json` must record on at least one
+/// classic-timed row with `p >= `[`SIM_GATE_MIN_RANKS`]
+/// (docs/simulation.md). The classic engine's boxed-closure data path
+/// only goes cache-miss bound at deep queues, so the margin lives at
+/// the top of the sweep — the p = 10^6 row in the committed document.
+pub const SIM_GATE_MIN_SPEEDUP: f64 = 10.0;
+/// Smallest `p` eligible for the sim speedup gate (tiny worlds are
+/// dominated by setup, not the event loop).
+pub const SIM_GATE_MIN_RANKS: usize = 10_000;
 
 /// `|a − b| ≤ tol·max(|b|, ε)` — relative closeness against baseline `b`.
 fn rel_close(fresh: f64, baseline: f64, tol: f64) -> bool {
@@ -240,6 +251,109 @@ pub fn check_serve_perf(baseline: &Json) -> Vec<String> {
     bad
 }
 
+/// Compares a fresh `sim_scale --smoke` sweep against its baseline.
+/// Only deterministic fields are compared: exact event counts and queue
+/// peaks, makespans (tolerance — the baseline rounds), and the
+/// engine-agreement booleans (`identical` per row, `pool_identical`
+/// overall), which must also hold in the fresh run.
+pub fn check_sim(baseline: &Json, fresh: &SimScaleReport, tol: f64) -> Vec<String> {
+    let mut bad = Vec::new();
+    let check = |bad: &mut Vec<String>, ctx: &str, r: Result<(), String>| {
+        if let Err(e) = r {
+            bad.push(format!("{ctx}: {e}"));
+        }
+    };
+    check(&mut bad, "sim", exact_u64(baseline, "items_per_rank", fresh.items_per_rank));
+    check(&mut bad, "sim", exact_u64(baseline, "pool_ranks", fresh.pool_ranks as u64));
+    match baseline.get("pool_identical").and_then(as_bool) {
+        Some(b) if b == fresh.pool_identical => {}
+        Some(b) => {
+            bad.push(format!("sim: pool_identical baseline {b} fresh {}", fresh.pool_identical))
+        }
+        None => bad.push("sim: baseline lacks boolean `pool_identical`".into()),
+    }
+    if !fresh.pool_identical {
+        bad.push("sim: pooled execution diverged from the simulation in the fresh run".into());
+    }
+    let rows = match rows_of(baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            bad.push(format!("sim: {e}"));
+            return bad;
+        }
+    };
+    if rows.len() != fresh.rows.len() {
+        bad.push(format!(
+            "sim: baseline has {} row(s), fresh run has {}",
+            rows.len(),
+            fresh.rows.len()
+        ));
+        return bad;
+    }
+    for (row, f) in rows.iter().zip(&fresh.rows) {
+        let ctx = format!("sim row p={}", f.p);
+        check(&mut bad, &ctx, exact_u64(row, "p", f.p as u64));
+        check(&mut bad, &ctx, exact_u64(row, "items", f.items));
+        check(&mut bad, &ctx, exact_u64(row, "events", f.events));
+        check(&mut bad, &ctx, exact_u64(row, "queue_peak", f.queue_peak as u64));
+        check(&mut bad, &ctx, close_f64(row, "makespan", f.makespan, tol));
+        match row.get("identical").and_then(as_bool) {
+            Some(b) if b == f.identical => {}
+            Some(b) => bad.push(format!("{ctx}: identical baseline {b} fresh {}", f.identical)),
+            None => bad.push(format!("{ctx}: baseline row lacks boolean `identical`")),
+        }
+        if !f.identical {
+            bad.push(format!("{ctx}: classic and fast engines diverged in the fresh run"));
+        }
+    }
+    bad
+}
+
+/// Checks the committed **full** `BENCH_sim.json` for the fast path's
+/// performance contract: among rows with `p >= `[`SIM_GATE_MIN_RANKS`]
+/// where the classic engine was timed, the best events/sec speedup must
+/// reach [`SIM_GATE_MIN_SPEEDUP`]x, and at least one such row must
+/// exist. The gate reads the best row rather than every row because the
+/// classic engine degrades with queue depth — at p = 10^4 it is merely
+/// a few times slower, at p = 10^6 it is an order of magnitude slower —
+/// and the contract is about what the fast path buys at headline scale.
+/// Like [`check_dc_speedup`], this reads wall-clock numbers from the
+/// committed document rather than re-running the full-size sweep in CI.
+pub fn check_sim_perf(baseline: &Json) -> Vec<String> {
+    let rows = match rows_of(baseline) {
+        Ok(r) => r,
+        Err(e) => return vec![format!("sim: {e}")],
+    };
+    let mut bad = Vec::new();
+    let mut best: Option<(u64, f64)> = None;
+    for row in rows {
+        let p = row.get("p").and_then(Json::as_u64).unwrap_or(0);
+        let classic = row.get("classic_secs").and_then(Json::as_f64).unwrap_or(0.0);
+        if (p as usize) < SIM_GATE_MIN_RANKS || classic <= 0.0 {
+            continue;
+        }
+        match field_f64(row, "fast_secs") {
+            Ok(fast) => {
+                let speedup = classic / fast.max(1e-12);
+                if best.is_none_or(|(_, s)| speedup > s) {
+                    best = Some((p, speedup));
+                }
+            }
+            Err(e) => bad.push(format!("sim: p={p}: {e}")),
+        }
+    }
+    match best {
+        None => bad.push(format!(
+            "sim: baseline has no classic-timed row with p >= {SIM_GATE_MIN_RANKS} to gate on"
+        )),
+        Some((p, speedup)) if speedup < SIM_GATE_MIN_SPEEDUP => bad.push(format!(
+            "sim: best speedup {speedup:.2}x (at p={p}) < required {SIM_GATE_MIN_SPEEDUP}x"
+        )),
+        Some(_) => {}
+    }
+    bad
+}
+
 fn exact_u64(row: &Json, key: &str, fresh: u64) -> Result<(), String> {
     let b = field_u64(row, key)?;
     if b == fresh {
@@ -424,6 +538,91 @@ mod tests {
         // A baseline missing the fields fails loudly.
         let empty = parse("{\"bench\": \"serve_load\"}").unwrap();
         assert!(!check_serve_perf(&empty).is_empty());
+    }
+
+    fn sim_report() -> SimScaleReport {
+        use crate::experiments::simexp::SimScaleRow;
+        SimScaleReport {
+            items_per_rank: 10,
+            rows: vec![SimScaleRow {
+                p: 10_000,
+                items: 100_000,
+                events: 40_000,
+                queue_peak: 321,
+                makespan: 1.5,
+                identical: true,
+                classic_secs: 2.0,
+                fast_secs: 0.1,
+                classic_events_per_sec: 20_000.0,
+                fast_events_per_sec: 400_000.0,
+                speedup: 20.0,
+                peak_rss_bytes: 123_456_789,
+            }],
+            pool_ranks: 1_000,
+            pool_threads: 4,
+            pool_identical: true,
+            pool_secs: 0.5,
+        }
+    }
+
+    #[test]
+    fn sim_smoke_gate_compares_deterministic_fields_only() {
+        use crate::experiments::simexp::sim_scale_json;
+        let fresh = sim_report();
+        let baseline = parse(&sim_scale_json(&fresh)).unwrap();
+        assert!(check_sim(&baseline, &fresh, 1e-4).is_empty());
+        // Timing changes never trip the smoke gate.
+        let mut slower = fresh.clone();
+        slower.rows[0].classic_secs *= 100.0;
+        slower.rows[0].fast_secs *= 100.0;
+        slower.rows[0].speedup = 1.0;
+        slower.rows[0].peak_rss_bytes *= 10;
+        slower.pool_secs *= 50.0;
+        assert!(check_sim(&baseline, &slower, 1e-4).is_empty());
+        // Event-count and agreement regressions do.
+        let mut broken = fresh.clone();
+        broken.rows[0].events += 1;
+        broken.rows[0].identical = false;
+        broken.pool_identical = false;
+        let bad = check_sim(&baseline, &broken, 1e-4);
+        assert!(bad.iter().any(|m| m.contains("events")), "{bad:?}");
+        assert!(bad.iter().any(|m| m.contains("diverged")), "{bad:?}");
+        assert!(bad.iter().any(|m| m.contains("pool_identical")), "{bad:?}");
+        // So does makespan drift.
+        let mut drift = fresh;
+        drift.rows[0].makespan *= 1.001;
+        assert!(!check_sim(&baseline, &drift, 1e-4).is_empty());
+    }
+
+    #[test]
+    fn sim_perf_gate_reads_the_full_baseline() {
+        use crate::experiments::simexp::sim_scale_json;
+        let good = parse(&sim_scale_json(&sim_report())).unwrap();
+        assert!(check_sim_perf(&good).is_empty());
+        // Below the 10x contract on every eligible row: caught.
+        let mut slow = sim_report();
+        slow.rows[0].fast_secs = 1.0; // 2x
+        let msgs = check_sim_perf(&parse(&sim_scale_json(&slow)).unwrap());
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+        assert!(msgs[0].contains("best speedup"), "{msgs:?}");
+        // The contract is on the *best* eligible row: a modest speedup
+        // at p=10^4 is fine as long as the deep-queue row clears 10x.
+        let mut mixed = sim_report();
+        let mut deep = mixed.rows[0].clone();
+        mixed.rows[0].fast_secs = 0.5; // 4x at p=10^4
+        deep.p = 1_000_000;
+        deep.classic_secs = 1.0;
+        deep.fast_secs = 0.069; // ~14x at p=10^6
+        mixed.rows.push(deep);
+        assert!(check_sim_perf(&parse(&sim_scale_json(&mixed)).unwrap()).is_empty());
+        // Small-p rows are exempt, but a baseline with *only* exempt
+        // rows fails loudly.
+        let mut tiny = sim_report();
+        tiny.rows[0].p = 500;
+        tiny.rows[0].fast_secs = 1.0;
+        let msgs = check_sim_perf(&parse(&sim_scale_json(&tiny)).unwrap());
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+        assert!(msgs[0].contains("no classic-timed row"), "{msgs:?}");
     }
 
     #[test]

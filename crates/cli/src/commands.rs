@@ -6,9 +6,14 @@ use gs_gridsim::export::to_csv;
 use gs_gridsim::fault::{simulate_plan_ft, FtScatterSim};
 use gs_gridsim::gantt::{legend, render_gantt};
 use gs_gridsim::sim::simulate_plan;
-use gs_minimpi::{executed_trace, executed_trace_ft, run_world, FtConfig, TimeModel, WorldConfig};
+use gs_gridsim::{proportional_counts, simulate_star, synthetic_star};
+use gs_minimpi::{
+    executed_trace, executed_trace_ft, run_world, run_world_pooled, FtConfig, TimeModel,
+    WorldConfig,
+};
 use gs_scatter::calibrate::{Calibration, DriftReport};
-use gs_scatter::cost::Platform;
+use gs_scatter::cost::{CostFn, Platform};
+use gs_scatter::intern::NameInterner;
 use gs_scatter::fault::{FaultPlan, RecoveryConfig};
 use gs_scatter::obs::json::{trace_from_json, trace_to_json};
 use gs_scatter::obs::{Incident, Trace, TraceSummary};
@@ -581,6 +586,137 @@ pub fn cmd_metrics(
     Ok(gs_scatter::metrics::Registry::global().snapshot().to_prometheus())
 }
 
+/// Options for `gs sim` (the synthetic big-star capacity command).
+#[derive(Debug, Clone, Default)]
+pub struct SimOptions {
+    /// Number of simulated ranks (root included, scheduled last).
+    pub ranks: usize,
+    /// Data items scattered over the star (`0` = ten per rank).
+    pub items: usize,
+    /// `Some(threads)`: after simulating, execute the same plan on the
+    /// pooled gs-minimpi runtime with this many workers (`0` = one per
+    /// core) and check the virtual clocks against the simulation.
+    pub pool: Option<usize>,
+    /// Suppress the wall-clock throughput line so the output is fully
+    /// deterministic (CI gates and the docs/simulation.md walkthrough).
+    pub smoke: bool,
+    /// Print the run as observability-JSON (interned placeholder names)
+    /// instead of the summary lines. Capped at 10 000 ranks.
+    pub emit_trace: bool,
+}
+
+/// Largest world `--pool` will execute: beyond this, per-rank channels
+/// and result slots stop being "a few hundred MB" (docs/simulation.md
+/// documents the capacity ladder: simulate at 10⁶, execute at 10⁴–10⁵).
+const SIM_POOL_MAX_RANKS: usize = 100_000;
+
+/// Largest world `--emit-trace` will serialize (4 events/rank of JSON).
+const SIM_TRACE_MAX_RANKS: usize = 10_000;
+
+/// `gs sim`: simulates a scatter + compute phase on the deterministic
+/// synthetic heterogeneous star (`docs/simulation.md`) at `--ranks`
+/// scale, on the calendar-queue fast path. With `--pool T` the same
+/// plan is then *executed* on the pooled gs-minimpi runtime and the
+/// per-rank virtual clocks are compared bit-for-bit against the
+/// simulated finish times.
+pub fn cmd_sim(opts: &SimOptions) -> Result<String, CliError> {
+    if opts.ranks == 0 {
+        return Err(CliError("sim needs --ranks N (at least 1)".into()));
+    }
+    if opts.ranks > 4_000_000 {
+        return Err(CliError("sim caps at 4 000 000 ranks".into()));
+    }
+    if opts.emit_trace && opts.ranks > SIM_TRACE_MAX_RANKS {
+        return Err(CliError(format!(
+            "--emit-trace caps at {SIM_TRACE_MAX_RANKS} ranks (4 events per rank of JSON)"
+        )));
+    }
+    let items = if opts.items == 0 { opts.ranks.saturating_mul(10) as u64 } else {
+        opts.items as u64
+    };
+    let (beta, alpha) = synthetic_star(opts.ranks);
+    let counts = proportional_counts(&alpha, items);
+    let comm: Vec<f64> = beta.iter().zip(&counts).map(|(b, &c)| b * c as f64).collect();
+    let work: Vec<f64> = alpha.iter().zip(&counts).map(|(a, &c)| a * c as f64).collect();
+
+    let started = std::time::Instant::now();
+    let sim = simulate_star(&comm, &work, opts.emit_trace);
+    let wall = started.elapsed().as_secs_f64();
+
+    if opts.emit_trace {
+        // Big-sim runs never materialise name strings; the trace carries
+        // the interner's placeholder form (`#<id>`). `gs report` resolves
+        // them against sibling traces (see `render_comparison`).
+        let names: Vec<String> =
+            (0..opts.ranks).map(|i| NameInterner::placeholder(i as u32)).collect();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let counts_usize: Vec<usize> = counts.iter().map(|&c| c as usize).collect();
+        let trace = sim.into_scatter_sim().trace(&name_refs, &counts_usize, 1);
+        return Ok(trace_to_json(&trace));
+    }
+
+    let mut out = format!("sim: ranks={} items={items} engine=calendar\n", opts.ranks);
+    out.push_str(&format!(
+        "sim: events={} queue-peak={} makespan={:.6}s\n",
+        sim.events_processed, sim.queue_peak, sim.makespan
+    ));
+    if !opts.smoke {
+        out.push_str(&format!(
+            "sim: wall={:.3}s events/sec={:.0}\n",
+            wall,
+            sim.events_processed as f64 / wall.max(1e-9)
+        ));
+    }
+
+    if let Some(requested) = opts.pool {
+        if opts.ranks > SIM_POOL_MAX_RANKS {
+            return Err(CliError(format!(
+                "--pool executes at most {SIM_POOL_MAX_RANKS} ranks; simulate-only above that"
+            )));
+        }
+        let threads = if requested == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            requested
+        }
+        .min(opts.ranks);
+        // Scatter u8 payloads so one item is one byte: the pooled
+        // runtime's per-byte link costs are then exactly the per-item
+        // `beta` slopes and the clocks reproduce the simulation bit for
+        // bit.
+        let model = TimeModel {
+            link: beta.iter().map(|&b| CostFn::Linear { slope: b }).collect(),
+            compute: alpha.iter().map(|&a| CostFn::Linear { slope: a }).collect(),
+        };
+        let counts_usize: Vec<usize> = counts.iter().map(|&c| c as usize).collect();
+        let root = opts.ranks - 1;
+        let data: Vec<u8> = vec![0u8; items as usize];
+        let clocks = run_world_pooled(
+            opts.ranks,
+            threads,
+            root,
+            WorldConfig::with_time(model),
+            |comm| {
+                let sendbuf = if comm.rank() == root { Some(&data[..]) } else { None };
+                let mine = comm.scatterv(root, sendbuf, &counts_usize);
+                comm.model_compute(mine.len());
+                comm.now()
+            },
+        );
+        let executed_makespan = clocks.iter().fold(0.0f64, |m, &c| m.max(c));
+        let identical = clocks.len() == sim.timeline.finish.len()
+            && clocks
+                .iter()
+                .zip(&sim.timeline.finish)
+                .all(|(c, f)| c.to_bits() == f.to_bits());
+        out.push_str(&format!(
+            "pool: threads={threads} ranks={} executed-makespan={:.6}s identical={identical}\n",
+            opts.ranks, executed_makespan
+        ));
+    }
+    Ok(out)
+}
+
 /// `gs report --drift-threshold`: the regular report, followed by a
 /// [`DriftReport`] of every trace against the platform file the run
 /// *assumed*. The boolean is the gate — `false` (a flagged rank, or
@@ -618,16 +754,44 @@ pub fn cmd_report_drift(
 /// others, whatever their rank numbers are.
 fn render_comparison(traces: &[Trace]) -> String {
     let summaries: Vec<TraceSummary> = traces.iter().map(TraceSummary::from_trace).collect();
+    // Big-sim traces carry interned placeholder names (`#42`,
+    // docs/simulation.md): the simulator never materialised the name
+    // strings. A sibling trace of the same run usually did — so when a
+    // name parses as a placeholder, borrow the first real name any other
+    // trace gives the same rank position. Rows then key (and pair) on
+    // real processor names instead of raw ids.
+    let resolved: Vec<Vec<String>> = summaries
+        .iter()
+        .map(|s| {
+            s.ranks
+                .iter()
+                .enumerate()
+                .map(|(ri, r)| {
+                    if NameInterner::parse_placeholder(&r.name).is_none() {
+                        return r.name.clone();
+                    }
+                    summaries
+                        .iter()
+                        .filter_map(|o| o.ranks.get(ri))
+                        .find(|o| NameInterner::parse_placeholder(&o.name).is_none())
+                        .map(|o| o.name.clone())
+                        .unwrap_or_else(|| r.name.clone())
+                })
+                .collect()
+        })
+        .collect();
     // Per summary: (name, occurrence) → finish.
     let keyed: Vec<Vec<((&str, usize), f64)>> = summaries
         .iter()
-        .map(|s| {
+        .zip(&resolved)
+        .map(|(s, names)| {
             let mut seen = std::collections::HashMap::new();
             s.ranks
                 .iter()
-                .map(|r| {
-                    let k = seen.entry(r.name.as_str()).or_insert(0usize);
-                    let key = (r.name.as_str(), *k);
+                .zip(names)
+                .map(|(r, name)| {
+                    let k = seen.entry(name.as_str()).or_insert(0usize);
+                    let key = (name.as_str(), *k);
                     *k += 1;
                     (key, r.finish)
                 })
@@ -695,6 +859,62 @@ mod tests {
 
     fn opts(items: usize) -> PlanOptions {
         PlanOptions { items, ..Default::default() }
+    }
+
+    fn sim_opts(ranks: usize) -> SimOptions {
+        SimOptions { ranks, smoke: true, ..Default::default() }
+    }
+
+    #[test]
+    fn sim_smoke_output_is_deterministic() {
+        let o = sim_opts(1000);
+        let a = cmd_sim(&o).unwrap();
+        let b = cmd_sim(&o).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("sim: ranks=1000 items=10000 engine=calendar"), "{a}");
+        assert!(a.contains("sim: events=4000"), "{a}");
+        assert!(!a.contains("wall="), "smoke output must omit wall-clock: {a}");
+        let timed = cmd_sim(&SimOptions { smoke: false, ..sim_opts(1000) }).unwrap();
+        assert!(timed.contains("events/sec="), "{timed}");
+    }
+
+    #[test]
+    fn sim_pooled_clocks_match_the_simulator_bit_for_bit() {
+        for threads in [1usize, 4] {
+            let o = SimOptions { items: 500, pool: Some(threads), ..sim_opts(50) };
+            let out = cmd_sim(&o).unwrap();
+            assert!(out.contains(&format!("pool: threads={threads} ranks=50")), "{out}");
+            assert!(out.contains("identical=true"), "{out}");
+        }
+    }
+
+    #[test]
+    fn sim_rejects_bad_sizes() {
+        assert!(cmd_sim(&sim_opts(0)).is_err());
+        assert!(cmd_sim(&sim_opts(5_000_000)).is_err());
+        let o = SimOptions { emit_trace: true, ..sim_opts(20_000) };
+        assert!(cmd_sim(&o).is_err());
+        let o = SimOptions { pool: Some(2), ..sim_opts(200_000) };
+        assert!(cmd_sim(&o).is_err());
+    }
+
+    #[test]
+    fn sim_trace_round_trips_and_report_resolves_placeholders() {
+        let o = SimOptions { items: 30, emit_trace: true, ..sim_opts(3) };
+        let json = cmd_sim(&o).unwrap();
+        let trace = trace_from_json(&json).unwrap();
+        trace.validate().unwrap();
+        assert_eq!(trace.names, vec!["#0", "#1", "#2"]);
+        // Paired with a named trace of the same width, the three-way
+        // diff swaps the placeholders for the sibling's real names.
+        let named = cmd_trace(PLATFORM, &opts(30), "simulated", 1).unwrap();
+        let report = cmd_report(&[json, named], 40).unwrap();
+        let cmp = report
+            .split("finish-time comparison")
+            .nth(1)
+            .expect("comparison section");
+        assert!(!cmp.contains("#0"), "placeholders must be resolved: {cmp}");
+        assert!(cmp.contains("w1"), "{cmp}");
     }
 
     #[test]

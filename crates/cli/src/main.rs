@@ -4,8 +4,8 @@
 use std::process::ExitCode;
 
 use gs_cli::commands::{
-    cmd_calibrate, cmd_metrics, cmd_plan, cmd_report, cmd_report_drift, cmd_simulate, cmd_table1,
-    cmd_trace, cmd_transform, PlanOptions,
+    cmd_calibrate, cmd_metrics, cmd_plan, cmd_report, cmd_report_drift, cmd_sim, cmd_simulate,
+    cmd_table1, cmd_trace, cmd_transform, PlanOptions, SimOptions,
 };
 use gs_cli::serve_cmd::{cmd_client, cmd_client_raw, start_daemon, ClientCmd, ServeOptions};
 use gs_cli::CliError;
@@ -26,6 +26,9 @@ USAGE:
                                                 traces; prints a platform file
   gs metrics <platform> --items N [opts]        run a workload, dump runtime metrics
                                                 (Prometheus text format)
+  gs sim --ranks N [--pool T] [opts]            simulate a synthetic big star at N ranks
+                                                (docs/simulation.md); --pool also
+                                                executes it on the pooled runtime
 
 PLANNING DAEMON (docs/serve.md):
   gs serve [--addr A] [--threads T] [--shards S] [--max-inflight M]
@@ -78,6 +81,12 @@ OPTIONS:
   --max-inflight M   serve: planning computations admitted at once before the
                      daemon sheds load with `overloaded` responses (default 64)
   --json LINE        client: send LINE verbatim, print the raw response line
+  --ranks N          sim: world size, root included (up to 4 000 000)
+  --pool T           sim: execute the plan on the pooled runtime with T worker
+                     threads (0 = one per core) and diff clocks vs the simulation
+  --smoke            sim: omit the wall-clock line — output becomes deterministic
+  --emit-trace       sim: print observability JSON (interned `#<id>` names,
+                     resolved by `gs report` against sibling traces) instead
 
 The trace JSON schema is documented in docs/observability.md; a typical
 three-way check is:
@@ -129,6 +138,7 @@ fn run(args: &[String]) -> Result<(String, bool), CliError> {
     let mut drift_threshold: Option<f64> = None;
     let mut serve_opts = ServeOptions::default();
     let mut json_line: Option<String> = None;
+    let mut sim_opts = SimOptions::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -167,6 +177,15 @@ fn run(args: &[String]) -> Result<(String, bool), CliError> {
                     next_value(args, &mut i)?.parse().map_err(|_| bad("--max-inflight"))?;
             }
             "--json" => json_line = Some(next_value(args, &mut i)?),
+            "--ranks" => {
+                sim_opts.ranks = next_value(args, &mut i)?.parse().map_err(|_| bad("--ranks"))?;
+            }
+            "--pool" => {
+                sim_opts.pool =
+                    Some(next_value(args, &mut i)?.parse().map_err(|_| bad("--pool"))?);
+            }
+            "--smoke" => sim_opts.smoke = true,
+            "--emit-trace" => sim_opts.emit_trace = true,
             "--faults" => opts.faults = Some(next_value(args, &mut i)?),
             "--no-recovery" => opts.no_recovery = true,
             "--emit-c" => emit_c = true,
@@ -221,6 +240,10 @@ fn run(args: &[String]) -> Result<(String, bool), CliError> {
         "metrics" => {
             let platform = read_file(positional.get(1))?;
             cmd_metrics(&platform, &opts, item_bytes).map(passing)
+        }
+        "sim" => {
+            sim_opts.items = opts.items;
+            cmd_sim(&sim_opts).map(passing)
         }
         "serve" => {
             serve_opts.planner_threads = opts.threads;

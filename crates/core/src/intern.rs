@@ -1,0 +1,124 @@
+//! Processor-name interning: `String` names ↔ dense `u32` ids.
+//!
+//! At million-rank scale the simulator must not carry one heap `String`
+//! per rank through every event. An interner assigns each distinct name
+//! a dense `u32` once; the hot paths then deal in bare ids, and only the
+//! boundaries (trace emission, `gs report`) resolve back.
+//!
+//! Ids that escape a process without their interner — e.g. a trace
+//! emitted from a big-sim run that never materialised names — render as
+//! the **placeholder** form `#<id>` (`#42`). Consumers that hold richer
+//! context (like `gs report` with sibling traces of the same platform)
+//! can re-resolve placeholders by rank position; see
+//! [`NameInterner::parse_placeholder`].
+
+use std::collections::HashMap;
+
+/// An interned-name table. Ids are dense, starting at 0, in first-intern
+/// order.
+#[derive(Debug, Clone, Default)]
+pub struct NameInterner {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl NameInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        NameInterner::default()
+    }
+
+    /// Interns `name`, returning its id (existing id if already known).
+    ///
+    /// # Panics
+    /// Panics after `u32::MAX` distinct names.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("interner full: more than u32::MAX names");
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        id
+    }
+
+    /// The name behind `id`, if interned here.
+    pub fn get(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(|s| s.as_str())
+    }
+
+    /// The id of `name`, if interned here.
+    pub fn lookup(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// The name behind `id`, or its placeholder form `#<id>` when the id
+    /// is unknown.
+    pub fn resolve(&self, id: u32) -> String {
+        match self.get(id) {
+            Some(s) => s.to_string(),
+            None => Self::placeholder(id),
+        }
+    }
+
+    /// The placeholder rendering of an id: `#<id>`.
+    pub fn placeholder(id: u32) -> String {
+        format!("#{id}")
+    }
+
+    /// Parses a placeholder (`#<id>`) back into its id. Returns `None`
+    /// for anything else — including real names that merely start with
+    /// `#` followed by non-digits.
+    pub fn parse_placeholder(name: &str) -> Option<u32> {
+        let digits = name.strip_prefix('#')?;
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        digits.parse().ok()
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut it = NameInterner::new();
+        assert_eq!(it.intern("a"), 0);
+        assert_eq!(it.intern("b"), 1);
+        assert_eq!(it.intern("a"), 0);
+        assert_eq!(it.len(), 2);
+        assert_eq!(it.get(0), Some("a"));
+        assert_eq!(it.lookup("b"), Some(1));
+        assert_eq!(it.get(7), None);
+    }
+
+    #[test]
+    fn resolve_falls_back_to_placeholder() {
+        let mut it = NameInterner::new();
+        it.intern("w0");
+        assert_eq!(it.resolve(0), "w0");
+        assert_eq!(it.resolve(3), "#3");
+    }
+
+    #[test]
+    fn placeholder_round_trip() {
+        assert_eq!(NameInterner::parse_placeholder("#0"), Some(0));
+        assert_eq!(NameInterner::parse_placeholder("#4294967295"), Some(u32::MAX));
+        assert_eq!(NameInterner::parse_placeholder("#12x"), None);
+        assert_eq!(NameInterner::parse_placeholder("#"), None);
+        assert_eq!(NameInterner::parse_placeholder("w1"), None);
+        assert_eq!(NameInterner::parse_placeholder("#-1"), None);
+    }
+}

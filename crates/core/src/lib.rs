@@ -79,6 +79,7 @@ pub mod error;
 pub mod fault;
 pub mod gather;
 pub mod heuristic;
+pub mod intern;
 pub mod metrics;
 pub mod multiround;
 pub mod obs;
@@ -106,6 +107,7 @@ pub mod prelude {
         RecoveryConfig, SendOutcome,
     };
     pub use crate::heuristic::{heuristic_distribution, HeuristicSolution};
+    pub use crate::intern::NameInterner;
     pub use crate::metrics::{MetricsSnapshot, Registry};
     pub use crate::obs::{
         Event, EventKind, Incident, IncidentKind, PlanTiming, Trace, TraceSource, TraceSummary,

@@ -368,6 +368,21 @@ impl Trace {
         }
     }
 
+    /// An empty trace over interned rank ids (see [`crate::intern`]).
+    ///
+    /// Each id resolves through `interner` to its display name; ids the
+    /// interner does not know render as `#<id>` placeholders, which
+    /// consumers holding sibling traces of the same platform can
+    /// re-resolve by rank position (`gs report` does).
+    pub fn new_interned(
+        source: TraceSource,
+        item_bytes: u64,
+        ids: &[u32],
+        interner: &crate::intern::NameInterner,
+    ) -> Trace {
+        Trace::new(source, item_bytes, ids.iter().map(|&id| interner.resolve(id)).collect())
+    }
+
     /// The trace's display name: the source, refined by the scenario
     /// label when one is set (`simulated/recovered`).
     pub fn display_name(&self) -> String {

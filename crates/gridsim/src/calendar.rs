@@ -1,0 +1,381 @@
+//! A calendar queue (Brown 1988): an amortised-O(1) priority queue for
+//! event timestamps.
+//!
+//! The binary heap behind [`crate::engine::Engine`] costs `O(log n)` per
+//! operation with a data-dependent comparison chain; at 10⁵–10⁶ pending
+//! events that becomes the simulator's bottleneck. A calendar queue hashes
+//! each event by time into one of `n_buckets` "days" of width `width`
+//! seconds and pops by scanning the current day — `O(1)` amortised when
+//! the width tracks the mean event spacing, which periodic resizes
+//! maintain.
+//!
+//! **Determinism contract** (normative, see `docs/simulation.md`): pops
+//! come out in strictly ascending `(time, seq)` order, where `seq` is the
+//! caller-supplied insertion sequence number. This is exactly the order of
+//! the engine's binary heap, so the two structures are observationally
+//! equivalent — a property enforced by `tests/proptest_simscale.rs`.
+//!
+//! The implementation favours that contract over raw speed: buckets are
+//! kept sorted ascending in a `VecDeque` (the minimum pops off the front
+//! in `O(1)`, and a push that lands at the back — the common case for
+//! the near-monotone schedules event simulations produce — is a single
+//! compare plus append), and a full empty sweep falls back to a direct
+//! minimum search rather than spinning over empty years.
+
+use std::collections::VecDeque;
+
+/// One scheduled entry.
+struct Entry<T> {
+    time: f64,
+    seq: u64,
+    payload: T,
+}
+
+/// Statistics a queue reports about itself (for `sim_*` metrics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CalendarStats {
+    /// Number of bucket-array rebuilds (grow or shrink).
+    pub resizes: u64,
+    /// Peak number of simultaneously pending events.
+    pub peak_len: usize,
+}
+
+/// A deterministic calendar queue ordered by `(time, seq)`.
+///
+/// `time` must be finite and non-NaN; `seq` must be unique per entry
+/// (the engine's monotone insertion counter). Entries may be pushed in
+/// any time order — pushing before the current scan position rewinds
+/// the scan, so correctness never depends on monotone insertion.
+pub struct CalendarQueue<T> {
+    buckets: Vec<VecDeque<Entry<T>>>,
+    /// Seconds per bucket.
+    width: f64,
+    /// Cached `1 / width` — [`day_of`](Self::day_of) is on the per-event
+    /// hot path and a multiply is several times cheaper than a divide.
+    inv_width: f64,
+    len: usize,
+    /// Virtual day (window index) the pop scan is currently examining;
+    /// the bucket is `cur_day & (n - 1)`. The scan compares *days*, not
+    /// float window bounds: an entry is due exactly when
+    /// `day_of(entry.time) <= cur_day`. Because placement and scanning
+    /// use the same (monotone) day function, no entry can ever sit on a
+    /// window boundary and be misclassified — a hazard a running
+    /// `top += width` float accumulator does have (ulp drift can defer a
+    /// boundary entry by a whole year, reordering it past later events).
+    cur_day: u64,
+    stats: CalendarStats,
+}
+
+/// Initial / minimum bucket count (kept a power of two for cheap masks).
+const MIN_BUCKETS: usize = 16;
+
+impl<T> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        CalendarQueue::new()
+    }
+}
+
+impl<T> CalendarQueue<T> {
+    /// An empty queue (1-second buckets until the first rebuild).
+    pub fn new() -> Self {
+        CalendarQueue::with_width(1.0)
+    }
+
+    /// An empty queue with `width` seconds per bucket. Pass the expected
+    /// mean spacing between event times: at ~1 entry per bucket the
+    /// queue is O(1) per operation from the start, without waiting for a
+    /// resize to refit a bad default. Width is a performance hint only —
+    /// pop order is identical for every width.
+    pub fn with_width(width: f64) -> Self {
+        let inv_width = 1.0 / width;
+        assert!(
+            width.is_finite() && width > 0.0 && inv_width.is_finite() && inv_width > 0.0,
+            "bucket width must be positive and invertible"
+        );
+        CalendarQueue {
+            buckets: (0..MIN_BUCKETS).map(|_| VecDeque::new()).collect(),
+            width,
+            inv_width,
+            len: 0,
+            cur_day: 0,
+            stats: CalendarStats::default(),
+        }
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Resize/peak statistics accumulated so far.
+    pub fn stats(&self) -> CalendarStats {
+        self.stats
+    }
+
+    /// Virtual day (window index) of `time`. Monotone in `time`
+    /// (multiply by a positive constant, then a saturating cast), which
+    /// is the only property pop-order correctness needs. `as u64`
+    /// saturates on overflow: astronomically late entries all land on
+    /// day `u64::MAX` and pop last, via the min-seek fallback.
+    fn day_of(&self, time: f64) -> u64 {
+        (time * self.inv_width) as u64
+    }
+
+    /// Bucket index for day `day` (bucket count is a power of two).
+    fn bucket_of(&self, day: u64) -> usize {
+        (day & (self.buckets.len() as u64 - 1)) as usize
+    }
+
+    /// Schedules `payload` at `time` with tie-break rank `seq`.
+    pub fn push(&mut self, time: f64, seq: u64, payload: T) {
+        assert!(time.is_finite(), "event time must be finite");
+        let day = self.day_of(time);
+        if self.len == 0 || day < self.cur_day {
+            // (Re-)anchor the scan: either this is the only entry, or it
+            // lands before the current scan window and the scan must
+            // rewind so it cannot be skipped. Scanning from an earlier
+            // day is always safe (it only re-examines buckets).
+            self.cur_day = day;
+        }
+        let b = self.bucket_of(day);
+        let bucket = &mut self.buckets[b];
+        // Buckets are sorted ascending by (time, seq): the minimum sits
+        // at the front and pops in O(1). A push that sorts after the
+        // current back — the common case for near-monotone schedules —
+        // is a single compare plus append.
+        let at_back = match bucket.back() {
+            None => true,
+            Some(e) => e.time < time || (e.time == time && e.seq < seq),
+        };
+        if at_back {
+            bucket.push_back(Entry { time, seq, payload });
+        } else {
+            let idx = bucket
+                .partition_point(|e| e.time < time || (e.time == time && e.seq < seq));
+            bucket.insert(idx, Entry { time, seq, payload });
+        }
+        self.len += 1;
+        self.stats.peak_len = self.stats.peak_len.max(self.len);
+        if self.len > 2 * self.buckets.len() {
+            self.rebuild(self.buckets.len() * 2);
+        }
+    }
+
+    /// Advances the scan until the current day's bucket front is the
+    /// global minimum and is due (its day is not after `cur_day`).
+    /// Requires `len > 0`.
+    fn locate_min(&mut self) {
+        debug_assert!(self.len > 0);
+        loop {
+            let n = self.buckets.len();
+            for _ in 0..n {
+                let b = self.bucket_of(self.cur_day);
+                if let Some(front) = self.buckets[b].front() {
+                    if self.day_of(front.time) <= self.cur_day {
+                        return;
+                    }
+                }
+                self.cur_day = self.cur_day.saturating_add(1);
+            }
+            // A whole year of empty windows: the next event is far away.
+            // Jump the scan straight to the global minimum instead of
+            // spinning through more empty years.
+            self.seek_to_min();
+        }
+    }
+
+    /// The minimum entry's `(time, seq)` without removing it.
+    ///
+    /// Takes `&mut self` because finding the minimum advances the
+    /// internal scan position — an immediately following
+    /// [`pop`](CalendarQueue::pop) is then `O(1)`.
+    pub fn peek(&mut self) -> Option<(f64, u64)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.locate_min();
+        let b = self.bucket_of(self.cur_day);
+        let e = self.buckets[b].front().expect("locate_min found an entry");
+        Some((e.time, e.seq))
+    }
+
+    /// Removes and returns the minimum entry as `(time, seq, payload)`.
+    pub fn pop(&mut self) -> Option<(f64, u64, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.locate_min();
+        let b = self.bucket_of(self.cur_day);
+        let e = self.buckets[b].pop_front().expect("locate_min found an entry");
+        self.len -= 1;
+        if self.len < self.buckets.len() / 2 && self.buckets.len() > MIN_BUCKETS {
+            self.rebuild(self.buckets.len() / 2);
+        }
+        Some((e.time, e.seq, e.payload))
+    }
+
+    /// Points the scan at the day holding the global minimum entry.
+    fn seek_to_min(&mut self) {
+        debug_assert!(self.len > 0);
+        let mut best: Option<(f64, u64)> = None;
+        for bucket in &self.buckets {
+            if let Some(e) = bucket.front() {
+                let better = match best {
+                    None => true,
+                    Some((t, s)) => e.time < t || (e.time == t && e.seq < s),
+                };
+                if better {
+                    best = Some((e.time, e.seq));
+                }
+            }
+        }
+        let (t, _) = best.expect("len > 0 implies a minimum exists");
+        self.cur_day = self.day_of(t);
+    }
+
+    /// Rebuilds the bucket array with `new_n` buckets and a width fitted
+    /// to the current contents.
+    fn rebuild(&mut self, new_n: usize) {
+        let new_n = new_n.max(MIN_BUCKETS);
+        let mut entries: Vec<Entry<T>> = Vec::with_capacity(self.len);
+        for bucket in &mut self.buckets {
+            entries.extend(bucket.drain(..));
+        }
+        debug_assert_eq!(entries.len(), self.len);
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for e in &entries {
+            lo = lo.min(e.time);
+            hi = hi.max(e.time);
+        }
+        // Spread the span over the new bucket count (~1 entry/bucket if
+        // uniform). A degenerate span keeps the previous width.
+        let span = hi - lo;
+        if span > 0.0 {
+            let w = span / new_n as f64;
+            let inv = 1.0 / w;
+            if w.is_finite() && w > 0.0 && inv.is_finite() && inv > 0.0 {
+                self.width = w;
+                self.inv_width = inv;
+            }
+        }
+        self.buckets = (0..new_n).map(|_| VecDeque::new()).collect();
+        self.len = 0;
+        let anchor = if entries.is_empty() { 0.0 } else { lo };
+        self.cur_day = self.day_of(anchor);
+        let peak = self.stats.peak_len;
+        for e in entries {
+            self.push(e.time, e.seq, e.payload);
+        }
+        self.stats.peak_len = peak; // rebuild must not inflate the peak
+        self.stats.resizes += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = CalendarQueue::new();
+        for (i, t) in [5.0, 1.0, 3.0, 2.0, 4.0].into_iter().enumerate() {
+            q.push(t, i as u64, t);
+        }
+        let mut out = Vec::new();
+        while let Some((t, _, _)) = q.pop() {
+            out.push(t);
+        }
+        assert_eq!(out, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn ties_break_by_seq() {
+        let mut q = CalendarQueue::new();
+        for seq in [3u64, 1, 2] {
+            q.push(7.0, seq, seq);
+        }
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_sorted() {
+        let mut q = CalendarQueue::new();
+        q.push(10.0, 0, "a");
+        q.push(20.0, 1, "b");
+        assert_eq!(q.pop().unwrap().2, "a");
+        // Push earlier than the already-scanned position but after the
+        // last pop — must still come out before "b".
+        q.push(12.0, 2, "c");
+        assert_eq!(q.pop().unwrap().2, "c");
+        assert_eq!(q.pop().unwrap().2, "b");
+    }
+
+    #[test]
+    fn rewinds_for_out_of_order_push() {
+        let mut q = CalendarQueue::new();
+        q.push(1000.0, 0, "far");
+        // Walk the scan forward by popping nothing yet; now push early.
+        q.push(1.0, 1, "near");
+        assert_eq!(q.pop().unwrap().2, "near");
+        assert_eq!(q.pop().unwrap().2, "far");
+    }
+
+    #[test]
+    fn grows_and_shrinks_through_resizes() {
+        let mut q = CalendarQueue::new();
+        for i in 0..10_000u64 {
+            q.push(i as f64 * 0.25, i, i);
+        }
+        assert!(q.stats().resizes > 0, "10k entries must trigger growth");
+        assert_eq!(q.stats().peak_len, 10_000);
+        let mut prev = -1.0;
+        for want in 0..10_000u64 {
+            let (t, seq, v) = q.pop().unwrap();
+            assert!(t >= prev);
+            prev = t;
+            assert_eq!(seq, want);
+            assert_eq!(v, want);
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn sparse_far_future_events_use_min_seek() {
+        let mut q = CalendarQueue::new();
+        // Huge gaps relative to the initial width force the year-sweep
+        // fallback; order must survive.
+        for (i, t) in [1e9, 1.0, 1e6, 1e3].into_iter().enumerate() {
+            q.push(t, i as u64, t);
+        }
+        let mut out = Vec::new();
+        while let Some((t, _, _)) = q.pop() {
+            out.push(t);
+        }
+        assert_eq!(out, vec![1.0, 1e3, 1e6, 1e9]);
+    }
+
+    #[test]
+    fn identical_times_all_in_one_bucket() {
+        let mut q = CalendarQueue::new();
+        for seq in 0..100u64 {
+            q.push(42.0, seq, seq);
+        }
+        for want in 0..100u64 {
+            assert_eq!(q.pop().unwrap().1, want);
+        }
+    }
+
+    #[test]
+    fn empty_queue_pops_none() {
+        let mut q: CalendarQueue<()> = CalendarQueue::new();
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+}

@@ -302,6 +302,15 @@ pub fn simulate_scatter_ft(
         assignments.iter().flatten().map(|&(lo, hi)| hi - lo).sum();
     debug_assert_eq!(computed_items + lost_items, n, "items must be conserved");
 
+    // The fault path is event-driven too (every delivery and compute
+    // interval is a start/end pair); account it under the same sim_*
+    // families the plain engine uses.
+    let reg = gs_scatter::metrics::Registry::global();
+    reg.counter("sim_runs_total", "discrete-event scatter simulations run").inc();
+    let computing = assignments.iter().filter(|a| !a.is_empty()).count();
+    reg.counter("sim_events_total", "simulator events processed")
+        .add(2 * (deliveries.len() + computing) as u64);
+
     let dead = (0..p).map(|r| session.is_dead(r)).collect();
     Ok(FtScatterSim {
         timeline,

@@ -24,6 +24,8 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod bigsim;
+pub mod calendar;
 pub mod chart;
 pub mod engine;
 pub mod export;
@@ -36,6 +38,11 @@ pub mod metrics;
 pub mod multiport;
 pub mod sim;
 
+pub use bigsim::{
+    proportional_counts, simulate_star, simulate_synthetic_star, star_durations, synthetic_star,
+    BigScatterSim,
+};
+pub use calendar::{CalendarQueue, CalendarStats};
 pub use engine::{Engine, SimEvent, SimEventKind};
 pub use fault::{simulate_plan_ft, simulate_scatter_ft, FtScatterSim, ReplanRecord};
 pub use installments::{simulate_installments, split_installments, InstallmentRun};
@@ -43,7 +50,7 @@ pub use load::LoadTrace;
 pub use masterworker::{simulate_master_worker, MasterWorkerConfig, MasterWorkerRun};
 pub use metrics::RunMetrics;
 pub use multiport::{simulate_multiport, MultiportConfig};
-pub use sim::{simulate_plan, simulate_scatter, ScatterSim, SimConfig};
+pub use sim::{simulate_plan, simulate_scatter, simulate_scatter_on, ScatterSim, SimConfig};
 
 /// Re-export of the paper's Table-1 platform for convenience.
 pub use gs_scatter::paper;

@@ -138,11 +138,29 @@ pub fn simulate_scatter(
     counts: &[usize],
     config: &SimConfig,
 ) -> ScatterSim {
+    simulate_scatter_on(procs, counts, config, Engine::new())
+}
+
+/// [`simulate_scatter`] on a caller-supplied [`Engine`], so the queue
+/// backend can be chosen explicitly: [`Engine::with_heap_pinned`] is the
+/// seed engine's data path and serves as the `BENCH_sim.json` classic
+/// baseline, [`Engine::with_calendar`] forces the calendar from the
+/// start, and the backend-equivalence proptests drive all three through
+/// this one entry point. The engine must be fresh (time zero, empty
+/// queue); pop order — and therefore the result — is identical for
+/// every backend.
+pub fn simulate_scatter_on(
+    procs: &[&Processor],
+    counts: &[usize],
+    config: &SimConfig,
+    mut engine: Engine,
+) -> ScatterSim {
     assert_eq!(procs.len(), counts.len(), "one count per processor");
     assert!(
         config.loads.is_empty() || config.loads.len() == procs.len(),
         "loads must be empty or match the processor count"
     );
+    assert!(engine.now() == 0.0 && engine.pending() == 0, "engine must be fresh");
     let p = procs.len();
     let loads = if config.loads.is_empty() {
         vec![LoadTrace::none(); p]
@@ -158,7 +176,6 @@ pub fn simulate_scatter(
         finish: vec![0.0; p],
     }));
 
-    let mut engine = Engine::new();
     if p > 0 {
         schedule_send(&mut engine, state.clone(), 0, p);
     }

@@ -7,7 +7,10 @@
 //!
 //! * **ranks are OS threads** exchanging real bytes over channels
 //!   (crossbeam), so programs written against it actually move data and
-//!   compute results;
+//!   compute results; worlds wider than the machine can instead
+//!   multiplex thousands of logical ranks onto a bounded worker pool
+//!   ([`run_world_pooled`]) with bit-identical results for the
+//!   root-centric patterns documented in `docs/simulation.md`;
 //! * collectives (`scatter`, `scatterv`, `gather`, `gatherv`, `bcast`,
 //!   `barrier`, `reduce`, `allreduce`) are implemented over point-to-point
 //!   sends with the **root serializing its transfers in rank order** — the
@@ -60,4 +63,4 @@ pub use message::Tag;
 pub use nonblocking::RecvRequest;
 pub use time::TimeModel;
 pub use trace::{executed_trace, CommOp, CommRecord};
-pub use world::{run_world, WorldConfig};
+pub use world::{run_world, run_world_pooled, WorldConfig};

@@ -1,8 +1,12 @@
-//! World construction: spawn one thread per rank, wire the channels, run.
+//! World construction: spawn one thread per rank, wire the channels, run —
+//! or, for worlds far wider than the machine, multiplex the ranks onto a
+//! bounded worker pool ([`run_world_pooled`]).
 
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
-use crossbeam::channel::unbounded;
+use crossbeam::channel::{unbounded, Receiver};
 
 use crate::comm::Comm;
 use crate::message::Message;
@@ -71,6 +75,119 @@ where
     .expect("scope itself cannot fail beyond rank panics");
 
     results
+        .into_iter()
+        .map(|r| r.expect("every rank produced a result"))
+        .collect()
+}
+
+/// Runs `f` on `size` logical ranks multiplexed onto at most `threads`
+/// OS threads, and returns each rank's result, indexed by rank.
+///
+/// Each worker thread pulls a rank off a queue and runs it **to
+/// completion** before taking the next — ranks are not preempted. The
+/// unbounded per-rank inboxes make sends non-blocking, so messages to a
+/// rank that has not started yet simply wait in its channel. Results are
+/// **bit-identical** to [`run_world`]: a rank's observable behaviour
+/// (received bytes, virtual clocks, communication records) depends only
+/// on message contents and per-sender order, both of which are
+/// scheduling-independent.
+///
+/// `root` is scheduled first. This matters for the **capacity limit**
+/// documented in `docs/simulation.md`: a pooled world supports
+/// *root-centric* communication patterns — every blocking receive is
+/// either (a) performed by `root`, or (b) a receive from `root` or from
+/// a rank that needs nothing in return. `scatterv`, `scatterv_ft`,
+/// `gatherv`, `bcast`, `reduce` and (with `root = 0`) `barrier`/
+/// `allreduce` qualify; patterns where non-root ranks block on each
+/// other (rings, nearest-neighbour halos) can deadlock on a bounded
+/// pool and need [`run_world`]. When `root` itself blocks on receives
+/// (gather-like patterns), `threads >= 2` is required so other ranks
+/// can still be scheduled; scatter-only patterns run fine on one thread.
+///
+/// # Panics
+/// Panics if `size == 0`, `threads == 0`, `root >= size`, or if the
+/// time model covers a different number of ranks. Panics in any rank
+/// propagate, as in [`run_world`].
+pub fn run_world_pooled<T, F>(
+    size: usize,
+    threads: usize,
+    root: usize,
+    config: WorldConfig,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Send + Sync,
+{
+    assert!(size > 0, "a world needs at least one rank");
+    assert!(threads > 0, "a pool needs at least one worker");
+    assert!(root < size, "root rank {root} out of range (size {size})");
+    if let Some(m) = &config.time {
+        assert_eq!(m.len(), size, "time model must cover every rank");
+    }
+    let threads = threads.min(size);
+    let model = config.time.map(Arc::new);
+
+    let (senders, receivers): (Vec<_>, Vec<_>) =
+        (0..size).map(|_| unbounded::<Message>()).unzip();
+
+    // Job queue: every rank with its inbox, root first so gather-like
+    // patterns find the blocking rank already running.
+    let mut queue: VecDeque<(usize, Receiver<Message>)> = VecDeque::with_capacity(size);
+    let mut inboxes: Vec<Option<Receiver<Message>>> = receivers.into_iter().map(Some).collect();
+    queue.push_back((root, inboxes[root].take().expect("root inbox present")));
+    for (rank, inbox) in inboxes.iter_mut().enumerate() {
+        if let Some(inbox) = inbox.take() {
+            queue.push_back((rank, inbox));
+        }
+    }
+    let jobs = Mutex::new(queue);
+
+    let reg = gs_scatter::metrics::Registry::global();
+    reg.counter("mpi_pool_ranks_total", "logical ranks executed on the worker pool")
+        .add(size as u64);
+    reg.gauge("mpi_pool_threads", "worker threads of the last pooled world").set(threads as f64);
+
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..size).map(|_| None).collect());
+    let busy = AtomicUsize::new(0);
+    let peak = AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let senders = senders.clone();
+            let model = model.clone();
+            let (f, results, busy, peak, jobs) = (&f, &results, &busy, &peak, &jobs);
+            handles.push(scope.spawn(move |_| {
+                loop {
+                    // Pop under the lock in its own statement — a
+                    // `while let` would keep the guard (and starve the
+                    // other workers) for the whole rank execution.
+                    let job = jobs.lock().expect("job queue lock").pop_front();
+                    let Some((rank, inbox)) = job else { break };
+                    let now = busy.fetch_add(1, Ordering::Relaxed) + 1;
+                    peak.fetch_max(now, Ordering::Relaxed);
+                    let mut comm = Comm::new(rank, size, senders.clone(), inbox, model.clone());
+                    let out = f(&mut comm);
+                    drop(comm);
+                    busy.fetch_sub(1, Ordering::Relaxed);
+                    results.lock().expect("results lock")[rank] = Some(out);
+                }
+            }));
+        }
+        for h in handles {
+            if let Err(e) = h.join() {
+                std::panic::resume_unwind(e);
+            }
+        }
+    })
+    .expect("scope itself cannot fail beyond rank panics");
+
+    reg.gauge("mpi_pool_occupancy", "peak busy workers of the last pooled world")
+        .set(peak.load(Ordering::Relaxed) as f64);
+
+    results
+        .into_inner()
+        .expect("results lock")
         .into_iter()
         .map(|r| r.expect("every rank produced a result"))
         .collect()
@@ -224,6 +341,104 @@ mod tests {
             mine.iter().sum::<u64>()
         });
         assert_eq!(out, vec![6]);
+    }
+
+    #[test]
+    fn pooled_matches_threaded_results() {
+        let data: Vec<f64> = (0..60).map(|i| i as f64).collect();
+        let body = |c: &mut Comm| {
+            let counts = [30usize, 20, 10];
+            let mine = c.scatterv(0, if c.rank() == 0 { Some(&data[..]) } else { None }, &counts);
+            mine.iter().sum::<f64>()
+        };
+        let threaded = run_world(3, WorldConfig::default(), body);
+        for threads in [1usize, 2, 8] {
+            let pooled = run_world_pooled(3, threads, 0, WorldConfig::default(), body);
+            assert_eq!(pooled, threaded, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pooled_virtual_time_scatter_is_bit_identical() {
+        let model = || TimeModel {
+            link: vec![
+                CostFn::Zero,
+                CostFn::Linear { slope: 1.0 },
+                CostFn::Linear { slope: 2.0 },
+            ],
+            compute: vec![CostFn::Zero; 3],
+        };
+        let body = |c: &mut Comm| {
+            let data: Vec<u8> = (0..12).collect();
+            let counts = [4usize, 4, 4];
+            let _mine =
+                c.scatterv(0, if c.rank() == 0 { Some(&data[..]) } else { None }, &counts);
+            c.now()
+        };
+        let threaded = run_world(3, WorldConfig::with_time(model()), body);
+        let pooled = run_world_pooled(3, 2, 0, WorldConfig::with_time(model()), body);
+        let t_bits: Vec<u64> = threaded.iter().map(|t| t.to_bits()).collect();
+        let p_bits: Vec<u64> = pooled.iter().map(|t| t.to_bits()).collect();
+        assert_eq!(p_bits, t_bits);
+    }
+
+    #[test]
+    fn pooled_gather_needs_only_two_workers() {
+        // Root (scheduled first) blocks on receives from every other
+        // rank; one extra worker cycles through the remaining ranks.
+        let out = run_world_pooled(6, 2, 0, WorldConfig::default(), |c| {
+            let doubled: Vec<f64> = vec![c.rank() as f64 * 2.0];
+            c.gatherv(0, &doubled)
+        });
+        let gathered = out[0].as_ref().unwrap();
+        assert_eq!(gathered, &vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn pooled_scatter_only_runs_on_one_worker() {
+        // Root never receives, so even a single worker drains the world:
+        // the root finishes first, then each rank finds its block waiting.
+        let data: Vec<u32> = (0..12).collect();
+        let out = run_world_pooled(4, 1, 0, WorldConfig::default(), |c| {
+            c.scatter(0, if c.rank() == 0 { Some(&data[..]) } else { None })
+        });
+        assert_eq!(out[0], vec![0, 1, 2]);
+        assert_eq!(out[3], vec![9, 10, 11]);
+    }
+
+    #[test]
+    fn pooled_nonzero_root_is_scheduled_first() {
+        // Root = last rank (the planner's convention): gather to it on a
+        // minimal pool.
+        let out = run_world_pooled(5, 2, 4, WorldConfig::default(), |c| {
+            c.gatherv(4, &[c.rank() as u64])
+        });
+        assert_eq!(out[4].as_ref().unwrap(), &vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pooled_wide_world_on_small_pool() {
+        // 64 logical ranks on 4 workers: far wider than the pool.
+        let data: Vec<u64> = (0..64).collect();
+        let out = run_world_pooled(64, 4, 0, WorldConfig::default(), |c| {
+            let mine =
+                c.scatterv(0, if c.rank() == 0 { Some(&data[..]) } else { None }, &[1usize; 64]);
+            mine[0]
+        });
+        assert_eq!(out, (0..64u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pooled_rank_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            run_world_pooled(4, 2, 0, WorldConfig::default(), |c| {
+                if c.rank() == 3 {
+                    panic!("pooled worker exploded");
+                }
+                c.rank()
+            })
+        });
+        assert!(result.is_err());
     }
 
     #[test]

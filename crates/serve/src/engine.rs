@@ -77,6 +77,9 @@ struct Flight {
     cv: Condvar,
 }
 
+/// One shard of the finished-answer cache: key hash → computed result.
+type ResultShard = RwLock<HashMap<u64, Arc<Computed>>>;
+
 /// The daemon's brain: caches, coalescing, admission, instrumentation.
 /// Cheap to share behind an [`Arc`]; every method takes `&self`.
 #[derive(Debug)]
@@ -89,7 +92,7 @@ pub struct Engine {
     plan_cache: Arc<PlanCache>,
     /// Finished answers keyed by `(op, platform, items, strategy)`
     /// hash, sharded to keep unrelated requests off each other's locks.
-    results: Box<[RwLock<HashMap<u64, Arc<Computed>>>]>,
+    results: Box<[ResultShard]>,
     /// Key → in-flight computation, for request coalescing.
     inflight: Mutex<HashMap<u64, Arc<Flight>>>,
 }

@@ -1,7 +1,7 @@
 //! Documentation as a first-class artifact: every relative markdown
 //! link under `docs/` (and in `README.md`) must resolve, and the worked
 //! console examples in `docs/robustness.md`, `docs/observability.md`,
-//! and `docs/serve.md` must reproduce — each `$ gs …` command is re-run
+//! `docs/serve.md`, and `docs/simulation.md` must reproduce — each `$ gs …` command is re-run
 //! through the CLI's library entry points and compared line by line
 //! against the output shown in the document (`...` lines elide;
 //! `planning:` timing lines are ignored, they are the only
@@ -14,8 +14,8 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use gs_cli::commands::{
-    cmd_calibrate, cmd_metrics, cmd_plan, cmd_report, cmd_report_drift, cmd_simulate, cmd_trace,
-    PlanOptions,
+    cmd_calibrate, cmd_metrics, cmd_plan, cmd_report, cmd_report_drift, cmd_sim, cmd_simulate,
+    cmd_trace, PlanOptions, SimOptions,
 };
 use gs_cli::serve_cmd::{cmd_client, start_daemon, ClientCmd, ServeOptions};
 
@@ -123,6 +123,9 @@ fn run_gs(cmdline: &str, vfs: &mut HashMap<String, String>, daemons: &mut Daemon
     let mut platform_flag: Option<String> = None;
     let mut drift_threshold: Option<f64> = None;
     let mut addr_flag: Option<String> = None;
+    let mut ranks = 0usize;
+    let mut pool: Option<usize> = None;
+    let mut smoke = false;
     let mut i = 1;
     while i < words.len() {
         match words[i] {
@@ -167,6 +170,15 @@ fn run_gs(cmdline: &str, vfs: &mut HashMap<String, String>, daemons: &mut Daemon
                 i += 1;
                 addr_flag = Some(words[i].to_string());
             }
+            "--ranks" => {
+                i += 1;
+                ranks = words[i].parse().unwrap();
+            }
+            "--pool" => {
+                i += 1;
+                pool = Some(words[i].parse().unwrap());
+            }
+            "--smoke" => smoke = true,
             flag if flag.starts_with("--") => panic!("walkthrough uses unknown flag {flag}"),
             word => positional.push(word),
         }
@@ -201,6 +213,14 @@ fn run_gs(cmdline: &str, vfs: &mut HashMap<String, String>, daemons: &mut Daemon
             cmd_calibrate(&texts).unwrap()
         }
         "metrics" => cmd_metrics(&read(vfs, positional[1]), &opts, item_bytes).unwrap(),
+        "sim" => cmd_sim(&SimOptions {
+            ranks,
+            items: opts.items,
+            pool,
+            smoke,
+            emit_trace: false,
+        })
+        .unwrap(),
         "serve" => {
             // Bind an ephemeral port, remember it under the address the
             // document shows. A backgrounded daemon prints nothing here
@@ -388,6 +408,20 @@ fn serve_walkthrough_reproduces() {
     assert!(
         commands_run >= 7,
         "serve, ping, plan (miss + hit), simulate, metrics, shutdown replayed"
+    );
+}
+
+#[test]
+fn simulation_walkthrough_reproduces() {
+    let text = fs::read_to_string(repo_root().join("docs/simulation.md")).unwrap();
+    let blocks = fenced_blocks(&text);
+
+    // `gs sim` builds its synthetic star internally — no platform file.
+    let mut vfs: HashMap<String, String> = HashMap::new();
+    let commands_run = replay_console_blocks(&blocks, &mut vfs);
+    assert!(
+        commands_run >= 3,
+        "simulate, pooled execution, and the 10^5 capacity check replayed"
     );
 }
 

@@ -1,0 +1,345 @@
+//! Determinism contract of the million-rank simulation stack
+//! (`docs/simulation.md`), property-tested:
+//!
+//! * the [`CalendarQueue`] pops in exactly the reference `(time, seq)`
+//!   order — FIFO among ties — under arbitrary interleaved pushes and
+//!   pops on tie-heavy time grids;
+//! * the auto-migrating [`Engine`] (heap → calendar past the depth
+//!   threshold) and the pure calendar backend fire events in the same
+//!   order as the seed's pinned binary heap;
+//! * `simulate_scatter_on` produces bit-identical timelines on every
+//!   engine backend, and the arena fast path ([`simulate_star`])
+//!   matches the classic engine bit for bit on random stars, zero-work
+//!   ties included;
+//! * the pooled gs-minimpi runtime ([`run_world_pooled`]) is
+//!   bit-identical to thread-per-rank [`run_world`] — payloads, virtual
+//!   clocks, and communication records — across worker counts, and the
+//!   same holds for the fault-tolerant scatter under seeded fault
+//!   plans (traces and incidents included).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use grid_scatter::gridsim::{
+    proportional_counts, simulate_scatter_on, simulate_star, synthetic_star, CalendarQueue,
+    Engine, SimConfig,
+};
+use grid_scatter::minimpi::{run_world, run_world_pooled, FtConfig, TimeModel, WorldConfig};
+use grid_scatter::scatter::cost::{CostFn, Processor};
+use grid_scatter::scatter::fault::{FaultPlan, RecoveryConfig};
+use proptest::prelude::*;
+
+const ITEM_BYTES: u64 = 8;
+
+/// One interleaved queue operation: `Push(delta_step)` schedules at
+/// `now + delta_step * 0.25` (step 0 forces ties at the current
+/// minimum), `Pop` drains one event.
+#[derive(Debug, Clone, Copy)]
+enum QueueOp {
+    Push(u8),
+    Pop,
+}
+
+fn queue_op() -> impl Strategy<Value = QueueOp> {
+    // 3:2 push:pop mix; the vendored proptest has no `prop_oneof`, so
+    // weight by hand over a small integer.
+    (0u8..5, 0u8..4)
+        .prop_map(|(k, d)| if k < 3 { QueueOp::Push(d) } else { QueueOp::Pop })
+}
+
+/// A star platform in scatter order (root last, free self-link) with
+/// per-worker link and compute slopes drawn from tie-heavy grids.
+fn star_procs(p: usize, betas: &[f64], alphas: &[f64]) -> Vec<Processor> {
+    (0..p)
+        .map(|i| {
+            if i == p - 1 {
+                Processor::linear("root", 0.0, alphas[i % alphas.len()])
+            } else {
+                Processor::linear(format!("w{i}"), betas[i % betas.len()], alphas[i % alphas.len()])
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Calendar pops follow the reference min-`(time, seq)` order under
+    /// interleaved pushes and pops, with times drawn from a 4-value
+    /// grid so every bucket sees collisions.
+    #[test]
+    fn calendar_pops_in_reference_order(
+        ops in proptest::collection::vec(queue_op(), 0..200),
+    ) {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        let mut model: Vec<(f64, u64, u32)> = Vec::new();
+        let mut seq = 0u64;
+        let mut payload = 0u32;
+        let mut now = 0.0f64;
+        let check_pop = |q: &mut CalendarQueue<u32>, model: &mut Vec<(f64, u64, u32)>,
+                             now: &mut f64| {
+            // Reference: strict min by (time, seq) — times are finite
+            // and non-negative, so partial_cmp is total here.
+            let best = model
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1))
+                })
+                .map(|(i, _)| i);
+            match (q.pop(), best) {
+                (None, None) => {}
+                (Some((t, s, v)), Some(i)) => {
+                    let (mt, ms, mv) = model.remove(i);
+                    prop_assert_eq!(t.to_bits(), mt.to_bits(), "pop time");
+                    prop_assert_eq!(s, ms, "FIFO among ties");
+                    prop_assert_eq!(v, mv, "payload");
+                    *now = t;
+                }
+                (got, want) => {
+                    prop_assert!(false, "pop mismatch: queue {got:?} vs model index {want:?}");
+                }
+            }
+            Ok(())
+        };
+        for op in ops {
+            match op {
+                QueueOp::Push(step) => {
+                    let t = now + f64::from(step) * 0.25;
+                    seq += 1;
+                    payload += 1;
+                    q.push(t, seq, payload);
+                    model.push((t, seq, payload));
+                }
+                QueueOp::Pop => check_pop(&mut q, &mut model, &mut now)?,
+            }
+        }
+        while !model.is_empty() || !q.is_empty() {
+            check_pop(&mut q, &mut model, &mut now)?;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The auto-migrating engine and the pure calendar backend fire
+    /// events in exactly the pinned heap's order — enough upfront
+    /// events to push the auto engine over its migration threshold,
+    /// times from a 16-value grid so ties are everywhere.
+    #[test]
+    fn engine_backends_fire_in_heap_order(
+        steps in proptest::collection::vec(0u8..16, 1100..1400),
+    ) {
+        let times: Vec<f64> = steps.iter().map(|&s| f64::from(s) * 0.5).collect();
+        let run = |mut engine: Engine| -> (Vec<(u64, usize)>, bool) {
+            let fired: Rc<RefCell<Vec<(u64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+            for (k, &t) in times.iter().enumerate() {
+                let fired = Rc::clone(&fired);
+                engine.schedule_at(t, move |e| {
+                    fired.borrow_mut().push((e.now().to_bits(), k));
+                });
+            }
+            let migrated = engine.is_calendar();
+            engine.run();
+            (Rc::try_unwrap(fired).unwrap().into_inner(), migrated)
+        };
+        let (heap_order, heap_migrated) = run(Engine::with_heap_pinned());
+        let (auto_order, auto_migrated) = run(Engine::new());
+        let (cal_order, _) = run(Engine::with_calendar());
+        prop_assert!(!heap_migrated, "pinned engine never migrates");
+        prop_assert!(auto_migrated, "depth > threshold must migrate the default engine");
+        prop_assert_eq!(&auto_order, &heap_order, "migrated order == heap order");
+        prop_assert_eq!(&cal_order, &heap_order, "calendar order == heap order");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `simulate_scatter_on` is backend-independent: heap-pinned,
+    /// auto, and calendar engines produce bit-identical timelines and
+    /// event streams on random heterogeneous stars.
+    #[test]
+    fn scatter_sim_is_backend_independent(
+        p in 2usize..40,
+        beta_idx in proptest::collection::vec(0usize..4, 5),
+        alpha_idx in proptest::collection::vec(0usize..3, 5),
+        per in 1usize..20,
+    ) {
+        // Discrete slope grids so equal comm/compute durations (ties)
+        // occur constantly.
+        const BETA_GRID: [f64; 4] = [0.0, 1e-4, 2e-4, 5e-4];
+        const ALPHA_GRID: [f64; 3] = [1e-3, 2e-3, 8e-3];
+        let betas: Vec<f64> = beta_idx.iter().map(|&i| BETA_GRID[i]).collect();
+        let alphas: Vec<f64> = alpha_idx.iter().map(|&i| ALPHA_GRID[i]).collect();
+        let procs = star_procs(p, &betas, &alphas);
+        let view: Vec<&Processor> = procs.iter().collect();
+        let counts = vec![per; p];
+        let cfg = SimConfig::ideal();
+        let heap = simulate_scatter_on(&view, &counts, &cfg, Engine::with_heap_pinned());
+        let auto = simulate_scatter_on(&view, &counts, &cfg, Engine::new());
+        let cal = simulate_scatter_on(&view, &counts, &cfg, Engine::with_calendar());
+        for other in [&auto, &cal] {
+            prop_assert_eq!(heap.makespan.to_bits(), other.makespan.to_bits());
+            prop_assert_eq!(&heap.timeline, &other.timeline);
+            prop_assert_eq!(heap.events.len(), other.events.len());
+        }
+    }
+
+    /// The arena fast path matches the classic engine bit for bit on
+    /// random stars — zero-work and zero-comm ties included, the same
+    /// equivalence `sim_scale` asserts at 10^7 ranks.
+    #[test]
+    fn fast_path_matches_classic_engine(
+        p in 1usize..60,
+        grid in proptest::collection::vec((0usize..3, 0usize..3), 6),
+        per in 1u64..12,
+    ) {
+        // Zero entries included: zero-comm and zero-work transfers are
+        // where tie-breaking actually decides the event order.
+        const BETA_GRID: [f64; 3] = [0.0, 1e-4, 3e-4];
+        const ALPHA_GRID: [f64; 3] = [0.0, 2e-3, 7e-3];
+        let betas: Vec<f64> = (0..p).map(|i| BETA_GRID[grid[i % grid.len()].0]).collect();
+        let alphas: Vec<f64> = (0..p).map(|i| ALPHA_GRID[grid[i % grid.len()].1]).collect();
+        let counts: Vec<u64> = vec![per; p];
+        let comm: Vec<f64> = betas.iter().zip(&counts).map(|(b, &c)| b * c as f64).collect();
+        let work: Vec<f64> = alphas.iter().zip(&counts).map(|(a, &c)| a * c as f64).collect();
+        let fast = simulate_star(&comm, &work, true);
+
+        let procs: Vec<Processor> = betas
+            .iter()
+            .zip(&alphas)
+            .enumerate()
+            .map(|(i, (&b, &a))| Processor::linear(format!("w{i}"), b, a))
+            .collect();
+        let view: Vec<&Processor> = procs.iter().collect();
+        let counts_usize: Vec<usize> = counts.iter().map(|&c| c as usize).collect();
+        let classic =
+            simulate_scatter_on(&view, &counts_usize, &SimConfig::ideal(), Engine::with_heap_pinned());
+
+        prop_assert_eq!(fast.makespan.to_bits(), classic.makespan.to_bits());
+        prop_assert_eq!(&fast.timeline, &classic.timeline);
+        prop_assert_eq!(fast.events.len(), classic.events.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Pooled execution is bit-identical to thread-per-rank: same
+    /// payloads, same virtual clocks, same communication records — for
+    /// any worker count, including a single worker for the scatter-only
+    /// (root never blocks) pattern.
+    #[test]
+    fn pooled_world_matches_thread_per_rank(
+        p in 2usize..12,
+        threads in 1usize..6,
+        per in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        // Deterministic per-seed heterogeneity on a coarse grid.
+        let beta = |i: usize| 1e-4 * ((seed.wrapping_add(i as u64) % 5) + 1) as f64;
+        let alpha = |i: usize| 1e-3 * ((seed.wrapping_mul(31).wrapping_add(i as u64) % 7) + 1) as f64;
+        let root = p - 1;
+        let model = TimeModel {
+            link: (0..p).map(|i| CostFn::Linear { slope: if i == root { 0.0 } else { beta(i) } }).collect(),
+            compute: (0..p).map(|i| CostFn::Linear { slope: alpha(i) }).collect(),
+        };
+        let counts = vec![per; p];
+        let total = per * p;
+        let data: Vec<u64> = (0..total as u64).collect();
+        let body = |comm: &mut grid_scatter::minimpi::Comm| {
+            comm.enable_tracing();
+            let sendbuf = if comm.rank() == root { Some(&data[..]) } else { None };
+            let mine = comm.scatterv(root, sendbuf, &counts);
+            comm.model_compute(mine.len());
+            (mine, comm.now().to_bits(), comm.take_trace())
+        };
+        let reference = run_world(p, WorldConfig::with_time(model.clone()), body);
+        let pooled = run_world_pooled(p, threads, root, WorldConfig::with_time(model), body);
+        prop_assert_eq!(&pooled, &reference);
+    }
+
+    /// The same bit-identity holds for the fault-tolerant scatter under
+    /// seeded fault plans, recovered and degraded mode: payloads,
+    /// clocks, traces, and incident logs all agree rank by rank.
+    /// (`scatterv_ft` has the root blocking on acknowledgements, so the
+    /// pool needs at least two workers.)
+    #[test]
+    fn pooled_ft_scatter_matches_thread_per_rank(
+        p in 2usize..6,
+        threads in 2usize..5,
+        seed in any::<u64>(),
+        degraded in any::<bool>(),
+    ) {
+        let betas = [2e-4, 5e-4, 1e-4, 3e-4, 0.0];
+        let alphas = [4e-3, 2e-3, 8e-3, 3e-3, 5e-3];
+        let procs: Vec<Processor> = (0..p)
+            .map(|i| {
+                if i == p - 1 {
+                    Processor::linear("root", 0.0, alphas[i])
+                } else {
+                    Processor::linear(format!("w{i}"), betas[i], alphas[i])
+                }
+            })
+            .collect();
+        let counts = vec![30usize; p];
+        let total: usize = counts.iter().sum();
+
+        // Horizon for the plan: the fault-free makespan of this layout.
+        let view: Vec<&Processor> = procs.iter().collect();
+        let clean = grid_scatter::gridsim::fault::simulate_scatter_ft(
+            &view, &counts, &FaultPlan::none(), None,
+        ).unwrap();
+        let faults = FaultPlan::seeded(seed, p, clean.makespan);
+        let recovery = if degraded { None } else { Some(RecoveryConfig::default()) };
+        let config = FtConfig {
+            faults,
+            recovery,
+            procs: procs.clone(),
+            item_bytes: ITEM_BYTES,
+        };
+        let data: Vec<u64> = (0..total as u64).collect();
+        let body = |c: &mut grid_scatter::minimpi::Comm| {
+            c.enable_tracing();
+            let mine = c.scatterv_ft(
+                &config,
+                if c.rank() == p - 1 { Some(&data) } else { None },
+                &counts,
+            );
+            c.model_compute_ft(&config, mine.len());
+            (mine, c.now().to_bits(), c.take_trace(), c.take_incidents())
+        };
+        let reference = run_world(p, WorldConfig::default(), body);
+        let pooled = run_world_pooled(p, threads, p - 1, WorldConfig::default(), body);
+        prop_assert_eq!(&pooled, &reference);
+    }
+}
+
+/// The synthetic sweep star itself: fast path == classic at a CI-sized
+/// point, so the bench-gate equivalence is anchored by a plain test
+/// too, not only by the committed document.
+#[test]
+fn synthetic_star_fast_path_matches_classic() {
+    let p = 2000;
+    let items = p as u64 * 10;
+    let (beta, alpha) = synthetic_star(p);
+    let counts = proportional_counts(&alpha, items);
+    let comm: Vec<f64> = beta.iter().zip(&counts).map(|(b, &c)| b * c as f64).collect();
+    let work: Vec<f64> = alpha.iter().zip(&counts).map(|(a, &c)| a * c as f64).collect();
+    let fast = simulate_star(&comm, &work, false);
+
+    let procs: Vec<Processor> = beta
+        .iter()
+        .zip(&alpha)
+        .enumerate()
+        .map(|(i, (&b, &a))| Processor::linear(format!("w{i}"), b, a))
+        .collect();
+    let view: Vec<&Processor> = procs.iter().collect();
+    let counts_usize: Vec<usize> = counts.iter().map(|&c| c as usize).collect();
+    let classic =
+        simulate_scatter_on(&view, &counts_usize, &SimConfig::ideal(), Engine::with_heap_pinned());
+    assert_eq!(fast.makespan.to_bits(), classic.makespan.to_bits());
+    assert_eq!(fast.timeline, classic.timeline);
+}
