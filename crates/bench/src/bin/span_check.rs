@@ -1,0 +1,107 @@
+//! CI validator for Chrome trace-event span exports (`gs sim --spans`,
+//! `gs trace --spans`, `gs serve --span-log`): parses the file with the
+//! in-tree JSON reader and checks the structural contract of
+//! `docs/observability.md` — a `traceEvents` array whose members are
+//! `"M"` metadata events (name + pid) or `"X"` complete events (name,
+//! cat, finite non-negative ts/dur, pid, tid, and a span id / parent
+//! pair in `args`), with `"X"` events sorted by timestamp and span ids
+//! unique. Exits nonzero, naming the offending event, on any violation.
+//!
+//! Usage: `span_check [FILE]` (default `sim_spans.json`).
+
+use std::process::ExitCode;
+
+use gs_scatter::obs::json::{parse, Json};
+
+fn check(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: missing `traceEvents` array"))?;
+
+    let mut spans = 0usize;
+    let mut last_ts = f64::NEG_INFINITY;
+    let mut ids = std::collections::HashSet::new();
+    for (i, e) in events.iter().enumerate() {
+        let field = |key: &str| {
+            e.get(key).ok_or_else(|| format!("{path}: event {i}: missing `{key}`"))
+        };
+        let str_field = |key: &str| {
+            field(key)?
+                .as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| format!("{path}: event {i}: `{key}` is not a string"))
+        };
+        let num_field = |key: &str| {
+            field(key)?
+                .as_f64()
+                .ok_or_else(|| format!("{path}: event {i}: `{key}` is not a number"))
+        };
+        str_field("name")?;
+        num_field("pid")?;
+        match str_field("ph")?.as_str() {
+            "M" => {
+                field("args")?
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("{path}: event {i}: metadata lacks args.name"))?;
+            }
+            "X" => {
+                spans += 1;
+                str_field("cat")?;
+                num_field("tid")?;
+                for key in ["ts", "dur"] {
+                    let v = num_field(key)?;
+                    if !v.is_finite() || v < 0.0 {
+                        return Err(format!(
+                            "{path}: event {i}: `{key}` = {v} (must be finite and >= 0)"
+                        ));
+                    }
+                }
+                let ts = num_field("ts")?;
+                if ts < last_ts {
+                    return Err(format!(
+                        "{path}: event {i}: ts {ts} out of order (previous {last_ts})"
+                    ));
+                }
+                last_ts = ts;
+                let args = field("args")?;
+                let id = args
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("{path}: event {i}: span lacks args.id"))?;
+                if id.parse::<u64>().map_or(true, |n| n == 0) {
+                    return Err(format!("{path}: event {i}: args.id `{id}` is not a span id"));
+                }
+                if !ids.insert(id.to_owned()) {
+                    return Err(format!("{path}: event {i}: duplicate span id {id}"));
+                }
+                args.get("parent")
+                    .and_then(Json::as_str)
+                    .and_then(|p| p.parse::<u64>().ok())
+                    .ok_or_else(|| format!("{path}: event {i}: span lacks args.parent"))?;
+            }
+            other => return Err(format!("{path}: event {i}: unknown phase `{other}`")),
+        }
+    }
+    if spans == 0 {
+        return Err(format!("{path}: no `X` span events — nothing was recorded"));
+    }
+    Ok(spans)
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "sim_spans.json".into());
+    match check(&path) {
+        Ok(spans) => {
+            println!("span_check: {path}: {spans} spans ok");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("span_check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -15,8 +15,8 @@ use gs_scatter::calibrate::{Calibration, DriftReport};
 use gs_scatter::cost::{CostFn, Platform};
 use gs_scatter::intern::NameInterner;
 use gs_scatter::fault::{FaultPlan, RecoveryConfig};
-use gs_scatter::obs::json::{trace_from_json, trace_to_json};
-use gs_scatter::obs::{Incident, Trace, TraceSummary};
+use gs_scatter::obs::json::{self, metrics_to_json, trace_from_json, trace_to_json, Json};
+use gs_scatter::obs::{span, Incident, Trace, TraceSummary};
 use gs_scatter::ordering::OrderPolicy;
 use gs_scatter::planner::{Plan, Planner, Strategy};
 use gs_transform::{emit_plan_arrays, transform_source, CodegenOptions};
@@ -563,6 +563,30 @@ pub fn cmd_metrics(
     opts: &PlanOptions,
     item_bytes: usize,
 ) -> Result<String, CliError> {
+    run_metrics_workload(platform_text, opts, item_bytes)?;
+    Ok(gs_scatter::metrics::Registry::global().snapshot().to_prometheus())
+}
+
+/// `gs metrics --json`: the same workload as [`cmd_metrics`], dumped as
+/// the machine-readable metrics object of the trace schema
+/// ([`metrics_to_json`]) instead of Prometheus text exposition.
+pub fn cmd_metrics_json(
+    platform_text: &str,
+    opts: &PlanOptions,
+    item_bytes: usize,
+) -> Result<String, CliError> {
+    run_metrics_workload(platform_text, opts, item_bytes)?;
+    let mut out = metrics_to_json(&gs_scatter::metrics::Registry::global().snapshot());
+    out.push('\n');
+    Ok(out)
+}
+
+/// Plans and runs the small workload both metrics front-ends report on.
+fn run_metrics_workload(
+    platform_text: &str,
+    opts: &PlanOptions,
+    item_bytes: usize,
+) -> Result<(), CliError> {
     if item_bytes == 0 {
         return Err(CliError("--item-bytes must be positive".into()));
     }
@@ -583,7 +607,7 @@ pub fn cmd_metrics(
             run_executed(&platform, &plan, &names, &counts, item_bytes);
         }
     }
-    Ok(gs_scatter::metrics::Registry::global().snapshot().to_prometheus())
+    Ok(())
 }
 
 /// Options for `gs sim` (the synthetic big-star capacity command).
@@ -713,6 +737,126 @@ pub fn cmd_sim(opts: &SimOptions) -> Result<String, CliError> {
             "pool: threads={threads} ranks={} executed-makespan={:.6}s identical={identical}\n",
             opts.ranks, executed_makespan
         ));
+    }
+    Ok(out)
+}
+
+/// Runs `f` with span tracing enabled and returns its result paired
+/// with the spans it recorded, serialized as Chrome trace-event JSON
+/// ([`span::chrome_trace_json`]). Tracing is reset first so leftovers
+/// from earlier work in the process do not pollute the export, and
+/// disabled again afterwards (off is the normative default,
+/// docs/observability.md).
+fn with_spans<T>(f: impl FnOnce() -> Result<T, CliError>) -> Result<(T, String), CliError> {
+    span::set_enabled(true);
+    span::reset();
+    let result = f();
+    let spans = span::drain();
+    span::set_enabled(false);
+    Ok((result?, span::chrome_trace_json(&spans)))
+}
+
+/// `gs trace --spans FILE`: [`cmd_trace`] with span tracing on. Returns
+/// `(trace json, spans json)`; the caller writes the second to `FILE`.
+pub fn cmd_trace_spanned(
+    platform_text: &str,
+    opts: &PlanOptions,
+    source: &str,
+    item_bytes: usize,
+) -> Result<(String, String), CliError> {
+    with_spans(|| cmd_trace(platform_text, opts, source, item_bytes))
+}
+
+/// `gs sim --spans FILE`: [`cmd_sim`] with span tracing on. Returns
+/// `(sim output, spans json)`; the caller writes the second to `FILE`.
+pub fn cmd_sim_spanned(opts: &SimOptions) -> Result<(String, String), CliError> {
+    with_spans(|| cmd_sim(opts))
+}
+
+/// Most rows `gs report --spans` prints (the vocabulary of span names
+/// is small and fixed, so this is rarely reached).
+const SPAN_REPORT_TOP: usize = 20;
+
+/// `gs report --spans FILE`: reads a Chrome trace-event file exported
+/// by `--spans`/`--span-log` and prints a self-time summary — one row
+/// per `(category, name)` pair, ranked by total self time (a span's
+/// duration minus its children's, clamped at zero: concurrent children
+/// may together outlast their parent).
+pub fn cmd_report_spans(spans_text: &str) -> Result<String, CliError> {
+    let doc = json::parse(spans_text).map_err(|e| CliError(format!("spans: {e}")))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| CliError("spans: missing `traceEvents` array".into()))?;
+    // Keep the duration events; metadata rows carry no time.
+    struct Ev<'a> {
+        cat: &'a str,
+        name: &'a str,
+        dur: f64,
+        id: Option<&'a str>,
+        parent: Option<&'a str>,
+    }
+    let mut evs = Vec::new();
+    for e in events {
+        if e.get("ph").and_then(Json::as_str) != Some("X") {
+            continue;
+        }
+        let (Some(name), Some(dur)) =
+            (e.get("name").and_then(Json::as_str), e.get("dur").and_then(Json::as_f64))
+        else {
+            return Err(CliError("spans: X event lacks name/dur".into()));
+        };
+        let args = e.get("args");
+        evs.push(Ev {
+            cat: e.get("cat").and_then(Json::as_str).unwrap_or(""),
+            name,
+            dur,
+            id: args.and_then(|a| a.get("id")).and_then(Json::as_str),
+            parent: args.and_then(|a| a.get("parent")).and_then(Json::as_str),
+        });
+    }
+    // Self time: duration minus the children's durations. A parent id
+    // that is absent from the file (a worker span whose coordinator
+    // landed elsewhere) leaves the child counted as a root.
+    let by_id: std::collections::HashMap<&str, usize> = evs
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| e.id.map(|id| (id, i)))
+        .collect();
+    let mut self_us: Vec<f64> = evs.iter().map(|e| e.dur).collect();
+    for e in &evs {
+        if let Some(pi) = e.parent.filter(|p| *p != "0").and_then(|p| by_id.get(p)) {
+            self_us[*pi] -= e.dur;
+        }
+    }
+    let mut groups: std::collections::BTreeMap<(&str, &str), (usize, f64, f64)> =
+        std::collections::BTreeMap::new();
+    for (e, &s) in evs.iter().zip(&self_us) {
+        let g = groups.entry((e.cat, e.name)).or_insert((0, 0.0, 0.0));
+        g.0 += 1;
+        g.1 += e.dur;
+        g.2 += s.max(0.0);
+    }
+    let mut rows: Vec<(&str, &str, usize, f64, f64)> =
+        groups.iter().map(|(&(c, n), &(k, t, s))| (c, n, k, t, s)).collect();
+    rows.sort_by(|a, b| b.4.total_cmp(&a.4).then_with(|| (a.0, a.1).cmp(&(b.0, b.1))));
+
+    let mut out = format!("span summary: {} spans, {} names\n", evs.len(), rows.len());
+    let name_w =
+        rows.iter().map(|r| r.1.len()).chain(std::iter::once("name".len())).max().unwrap_or(4);
+    out.push_str(&format!(
+        "{:<5} {:<name_w$} {:>7} {:>12} {:>12}\n",
+        "cat", "name", "spans", "total(ms)", "self(ms)"
+    ));
+    for (cat, name, count, total, selft) in rows.iter().take(SPAN_REPORT_TOP) {
+        out.push_str(&format!(
+            "{cat:<5} {name:<name_w$} {count:>7} {:>12.3} {:>12.3}\n",
+            total / 1000.0,
+            selft / 1000.0
+        ));
+    }
+    if rows.len() > SPAN_REPORT_TOP {
+        out.push_str(&format!("... {} more names\n", rows.len() - SPAN_REPORT_TOP));
     }
     Ok(out)
 }
@@ -915,6 +1059,68 @@ mod tests {
             .expect("comparison section");
         assert!(!cmp.contains("#0"), "placeholders must be resolved: {cmp}");
         assert!(cmp.contains("w1"), "{cmp}");
+    }
+
+    /// Re-serializes a trace with the given processor names (the knob
+    /// the placeholder edge-case tests turn).
+    fn renamed(json: &str, names: &[&str]) -> String {
+        let mut t = trace_from_json(json).unwrap();
+        t.names = names.iter().map(|s| s.to_string()).collect();
+        trace_to_json(&t)
+    }
+
+    /// The comparison section of a two-trace report.
+    fn comparison_of(a: String, b: String) -> String {
+        let report = cmd_report(&[a, b], 40).unwrap();
+        report.split("finish-time comparison").nth(1).expect("comparison section").to_string()
+    }
+
+    #[test]
+    fn report_keeps_placeholders_no_sibling_can_resolve() {
+        // Every trace carries placeholders at position 0: there is no
+        // donor name, so `#0` (and the sibling's `#5`) print verbatim
+        // as distinct rows, while positions 1..2 resolve normally.
+        let base = cmd_trace(PLATFORM, &opts(30), "simulated", 1).unwrap();
+        let cmp = comparison_of(
+            renamed(&base, &["#0", "#1", "#2"]),
+            renamed(&base, &["#5", "w2", "root"]),
+        );
+        assert!(cmp.contains("#0"), "unresolvable placeholder must survive: {cmp}");
+        assert!(cmp.contains("#5"), "{cmp}");
+        assert!(!cmp.contains("#1"), "positions with a real donor must resolve: {cmp}");
+        assert!(cmp.contains("w2"), "{cmp}");
+    }
+
+    #[test]
+    fn report_does_not_rewrite_names_that_only_look_like_placeholders() {
+        // `#12x` fails `NameInterner::parse_placeholder` (trailing
+        // non-digit): it is a real — if eccentric — processor name and
+        // must not be swapped for the sibling's name at that position.
+        assert_eq!(NameInterner::parse_placeholder("#12x"), None);
+        assert_eq!(NameInterner::parse_placeholder("w1"), None);
+        assert_eq!(NameInterner::parse_placeholder(""), None);
+        assert_eq!(NameInterner::parse_placeholder("#"), None);
+        let base = cmd_trace(PLATFORM, &opts(30), "simulated", 1).unwrap();
+        let cmp = comparison_of(
+            renamed(&base, &["#12x", "w2", "root"]),
+            renamed(&base, &["w1", "w2", "root"]),
+        );
+        assert!(cmp.contains("#12x"), "{cmp}");
+        assert!(cmp.contains("w1"), "{cmp}");
+    }
+
+    #[test]
+    fn report_resolves_a_literal_placeholder_name_by_position_not_id() {
+        // The donor trace names its rank 0 `#7`: resolution is by rank
+        // *position*, so the placeholder `#0` borrows nothing from the
+        // id 7 — it keeps looking and finds nothing real at position 0.
+        let base = cmd_trace(PLATFORM, &opts(30), "simulated", 1).unwrap();
+        let cmp = comparison_of(
+            renamed(&base, &["#0", "w2", "root"]),
+            renamed(&base, &["#7", "w2", "root"]),
+        );
+        assert!(cmp.contains("#0"), "{cmp}");
+        assert!(cmp.contains("#7"), "{cmp}");
     }
 
     #[test]
@@ -1246,6 +1452,83 @@ mod tests {
         assert!(out.contains("ft_sends_total"), "{out}");
         assert!(out.contains("ft_replans_total"), "{out}");
         assert!(cmd_metrics(PLATFORM, &opts(500), 0).is_err());
+    }
+
+    #[test]
+    fn metrics_json_is_machine_readable() {
+        let out = cmd_metrics_json(PLATFORM, &opts(500), 8).unwrap();
+        let doc = json::parse(&out).expect("valid JSON");
+        let counters = doc.get("counters").and_then(Json::as_arr).expect("counters array");
+        assert!(counters
+            .iter()
+            .any(|c| c.get("name").and_then(Json::as_str) == Some("mpi_sends_total")));
+        assert!(doc.get("histograms").and_then(Json::as_arr).is_some());
+        assert!(out.ends_with('\n'), "shell-friendly trailing newline");
+        assert!(cmd_metrics_json(PLATFORM, &opts(500), 0).is_err());
+    }
+
+    /// One test drives every span-capturing front-end: span tracing is
+    /// process-global state, so exercising it from a single test keeps
+    /// the library tests race-free.
+    #[test]
+    fn spanned_commands_export_chrome_traces_and_report_summarizes_them() {
+        let (out, spans) = cmd_sim_spanned(&sim_opts(500)).unwrap();
+        assert!(out.starts_with("sim: ranks=500"), "{out}");
+        let doc = json::parse(&spans).expect("valid Chrome trace JSON");
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let names: Vec<&str> =
+            events.iter().filter_map(|e| e.get("name").and_then(Json::as_str)).collect();
+        assert!(names.contains(&"sim.star"), "{names:?}");
+        assert!(names.contains(&"sim.run"), "{names:?}");
+
+        let summary = cmd_report_spans(&spans).unwrap();
+        assert!(summary.starts_with("span summary:"), "{summary}");
+        assert!(summary.contains("sim.star"), "{summary}");
+
+        // The DP planner under `gs trace --spans` contributes dp.* spans.
+        let mut o = opts(2000);
+        o.strategy = "exact".into();
+        let (_, spans) = cmd_trace_spanned(PLATFORM, &o, "simulated", 8).unwrap();
+        assert!(spans.contains("\"dp.solve\""), "{spans}");
+        assert!(spans.contains("\"sim.scatter\""), "{spans}");
+
+        // Capture is scoped: tracing is off again afterwards.
+        assert!(!span::enabled());
+    }
+
+    #[test]
+    fn report_spans_computes_self_time_and_rejects_junk() {
+        // A 100µs parent with one 30µs child: self = 70µs for the
+        // parent, 30µs for the child; an id-less virtual span and an
+        // unknown parent id are both tolerated.
+        let text = r#"{"traceEvents":[
+            {"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"wall clock"}},
+            {"name":"a","cat":"t","ph":"X","ts":0,"dur":100,"pid":1,"tid":1,
+             "args":{"id":"1","parent":"0"}},
+            {"name":"b","cat":"t","ph":"X","ts":10,"dur":30,"pid":1,"tid":1,
+             "args":{"id":"2","parent":"1"}},
+            {"name":"c","cat":"t","ph":"X","ts":20,"dur":5,"pid":1,"tid":1,
+             "args":{"id":"3","parent":"999"}}
+        ]}"#;
+        let out = cmd_report_spans(text).unwrap();
+        assert!(out.starts_with("span summary: 3 spans, 3 names\n"), "{out}");
+        let row = |name: &str| {
+            out.lines()
+                .find(|l| l.split_whitespace().nth(1) == Some(name))
+                .unwrap_or_else(|| panic!("no row for {name}: {out}"))
+                .to_string()
+        };
+        assert!(row("a").ends_with("0.100        0.070"), "{out}");
+        assert!(row("b").ends_with("0.030        0.030"), "{out}");
+        assert!(row("c").ends_with("0.005        0.005"), "{out}");
+        // Ranked by self time: a (70) before b (30) before c (5).
+        let pos =
+            |n: &str| out.lines().position(|l| l.split_whitespace().nth(1) == Some(n)).unwrap();
+        assert!(pos("a") < pos("b") && pos("b") < pos("c"));
+
+        assert!(cmd_report_spans("{}").is_err());
+        assert!(cmd_report_spans("not json").is_err());
+        assert!(cmd_report_spans(r#"{"traceEvents":[{"ph":"X"}]}"#).is_err());
     }
 
     #[test]

@@ -4,8 +4,9 @@
 use std::process::ExitCode;
 
 use gs_cli::commands::{
-    cmd_calibrate, cmd_metrics, cmd_plan, cmd_report, cmd_report_drift, cmd_sim, cmd_simulate,
-    cmd_table1, cmd_trace, cmd_transform, PlanOptions, SimOptions,
+    cmd_calibrate, cmd_metrics, cmd_metrics_json, cmd_plan, cmd_report, cmd_report_drift,
+    cmd_report_spans, cmd_sim, cmd_sim_spanned, cmd_simulate, cmd_table1, cmd_trace,
+    cmd_trace_spanned, cmd_transform, PlanOptions, SimOptions,
 };
 use gs_cli::serve_cmd::{cmd_client, cmd_client_raw, start_daemon, ClientCmd, ServeOptions};
 use gs_cli::CliError;
@@ -21,11 +22,13 @@ USAGE:
   gs simulate <platform> --items N --csv        ... as CSV
   gs trace <platform> --items N --source S      export a run as observability JSON
   gs report <trace.json> [<t2.json> <t3.json>]  summary + Gantt per trace; diff if several
+  gs report --spans <spans.json>                self-time summary of an exported span file
   gs transform <file.c> <platform> --items N    rewrite MPI_Scatter call sites
   gs calibrate <t1.json> [<t2.json> ...]        fit per-processor costs from executed
                                                 traces; prints a platform file
   gs metrics <platform> --items N [opts]        run a workload, dump runtime metrics
-                                                (Prometheus text format)
+                                                (Prometheus text format; --json for
+                                                the machine-readable object)
   gs sim --ranks N [--pool T] [opts]            simulate a synthetic big star at N ranks
                                                 (docs/simulation.md); --pool also
                                                 executes it on the pooled runtime
@@ -80,7 +83,14 @@ OPTIONS:
   --shards S         serve: result/plan cache shards (default 16)
   --max-inflight M   serve: planning computations admitted at once before the
                      daemon sheds load with `overloaded` responses (default 64)
-  --json LINE        client: send LINE verbatim, print the raw response line
+  --json [LINE]      client: send LINE verbatim, print the raw response line;
+                     metrics: dump the machine-readable JSON object instead of
+                     Prometheus text
+  --spans FILE       trace/sim: record hierarchical spans during the run and
+                     write them to FILE as Chrome trace-event JSON (load at
+                     chrome://tracing or ui.perfetto.dev); docs/observability.md
+  --span-log DIR     serve: enable span tracing and write one Chrome trace file
+                     req-<id>.json per answered request into DIR
   --ranks N          sim: world size, root included (up to 4 000 000)
   --pool T           sim: execute the plan on the pooled runtime with T worker
                      threads (0 = one per core) and diff clocks vs the simulation
@@ -138,6 +148,8 @@ fn run(args: &[String]) -> Result<(String, bool), CliError> {
     let mut drift_threshold: Option<f64> = None;
     let mut serve_opts = ServeOptions::default();
     let mut json_line: Option<String> = None;
+    let mut metrics_json = false;
+    let mut spans_out: Option<String> = None;
     let mut sim_opts = SimOptions::default();
     let mut i = 0;
     while i < args.len() {
@@ -176,7 +188,20 @@ fn run(args: &[String]) -> Result<(String, bool), CliError> {
                 serve_opts.max_inflight =
                     next_value(args, &mut i)?.parse().map_err(|_| bad("--max-inflight"))?;
             }
-            "--json" => json_line = Some(next_value(args, &mut i)?),
+            // `--json` is dual-mode: `gs client` takes a raw protocol
+            // line as its value, `gs metrics` takes none. The command
+            // word precedes its flags, so dispatch on it.
+            "--json" => {
+                if positional.first().map(String::as_str) == Some("client") {
+                    json_line = Some(next_value(args, &mut i)?);
+                } else {
+                    metrics_json = true;
+                }
+            }
+            "--spans" => spans_out = Some(next_value(args, &mut i)?),
+            "--span-log" => {
+                serve_opts.span_log = Some(next_value(args, &mut i)?.into());
+            }
             "--ranks" => {
                 sim_opts.ranks = next_value(args, &mut i)?.parse().map_err(|_| bad("--ranks"))?;
             }
@@ -213,9 +238,19 @@ fn run(args: &[String]) -> Result<(String, bool), CliError> {
         }
         "trace" => {
             let platform = read_file(positional.get(1))?;
-            cmd_trace(&platform, &opts, &source, item_bytes).map(passing)
+            match &spans_out {
+                None => cmd_trace(&platform, &opts, &source, item_bytes).map(passing),
+                Some(path) => {
+                    let (out, spans) = cmd_trace_spanned(&platform, &opts, &source, item_bytes)?;
+                    std::fs::write(path, spans)?;
+                    Ok(passing(out))
+                }
+            }
         }
         "report" => {
+            if let Some(path) = &spans_out {
+                return cmd_report_spans(&read_file(Some(path))?).map(passing);
+            }
             let texts: Vec<String> = positional[1..]
                 .iter()
                 .map(|p| read_file(Some(p)))
@@ -239,11 +274,22 @@ fn run(args: &[String]) -> Result<(String, bool), CliError> {
         }
         "metrics" => {
             let platform = read_file(positional.get(1))?;
-            cmd_metrics(&platform, &opts, item_bytes).map(passing)
+            if metrics_json {
+                cmd_metrics_json(&platform, &opts, item_bytes).map(passing)
+            } else {
+                cmd_metrics(&platform, &opts, item_bytes).map(passing)
+            }
         }
         "sim" => {
             sim_opts.items = opts.items;
-            cmd_sim(&sim_opts).map(passing)
+            match &spans_out {
+                None => cmd_sim(&sim_opts).map(passing),
+                Some(path) => {
+                    let (out, spans) = cmd_sim_spanned(&sim_opts)?;
+                    std::fs::write(path, spans)?;
+                    Ok(passing(out))
+                }
+            }
         }
         "serve" => {
             serve_opts.planner_threads = opts.threads;

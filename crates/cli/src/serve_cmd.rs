@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use gs_serve::engine::{Engine, EngineConfig};
 use gs_serve::protocol::{Outcome, PlanParams, Request, RequestBody, Response};
-use gs_serve::server::{serve, ServerHandle};
+use gs_serve::server::{serve_with_span_log, ServerHandle};
 use gs_serve::Client;
 
 use crate::CliError;
@@ -24,6 +24,9 @@ pub struct ServeOptions {
     pub cache_shards: usize,
     /// Admission budget before requests are shed.
     pub max_inflight: usize,
+    /// `--span-log DIR`: enable span tracing and write one Chrome
+    /// trace-event file per answered request into this directory.
+    pub span_log: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -34,6 +37,7 @@ impl Default for ServeOptions {
             planner_threads: cfg.planner_threads,
             cache_shards: cfg.cache_shards,
             max_inflight: cfg.max_inflight,
+            span_log: None,
         }
     }
 }
@@ -48,7 +52,10 @@ pub fn start_daemon(opts: &ServeOptions) -> Result<(ServerHandle, String), CliEr
         cache_shards: opts.cache_shards,
         max_inflight: opts.max_inflight,
     }));
-    let handle = serve(engine, &opts.addr)
+    if opts.span_log.is_some() {
+        gs_scatter::obs::span::set_enabled(true);
+    }
+    let handle = serve_with_span_log(engine, &opts.addr, opts.span_log.clone())
         .map_err(|e| CliError(format!("cannot bind {}: {e}", opts.addr)))?;
     let banner = format!("serving on {} (protocol v{})\n", handle.addr(), gs_serve::PROTOCOL_VERSION);
     Ok((handle, banner))

@@ -41,6 +41,7 @@ use std::sync::Arc;
 
 use crate::cost::{CostFn, Platform, Processor};
 use crate::error::PlanError;
+use crate::obs::span;
 use crate::obs::{Incident, IncidentKind};
 use crate::ordering::OrderPolicy;
 use crate::planner::{PlanCache, Planner, Strategy};
@@ -655,6 +656,44 @@ impl FaultSession {
         nominal_dt: f64,
         recovery: Option<&RecoveryConfig>,
     ) -> SendOutcome {
+        let out = self.send_inner(rank, now, recovery, nominal_dt);
+        if span::enabled() {
+            // Virtual-clock spans, one per attempt (plus the backoff
+            // idles between them), on the receiver's lane.
+            for (k, a) in out.attempts.iter().enumerate() {
+                let outcome = a.failure.map_or("delivered", FailureCause::as_str);
+                span::record_virtual(
+                    "ft",
+                    "ft.attempt",
+                    rank as u64,
+                    a.start,
+                    a.end,
+                    vec![("attempt", (k + 1).to_string()), ("outcome", outcome.to_string())],
+                );
+                if let Some(next) = out.attempts.get(k + 1) {
+                    if next.start > a.end {
+                        span::record_virtual(
+                            "ft",
+                            "ft.backoff",
+                            rank as u64,
+                            a.end,
+                            next.start,
+                            Vec::new(),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn send_inner(
+        &mut self,
+        rank: usize,
+        now: f64,
+        recovery: Option<&RecoveryConfig>,
+        nominal_dt: f64,
+    ) -> SendOutcome {
         let dt_eff = self.plan.link_factor(rank) * nominal_dt;
         let crash = self.plan.crash_time(rank);
 
@@ -828,6 +867,7 @@ pub fn replan_residual_with(
 ) -> Result<ResidualPlan, PlanError> {
     assert_eq!(procs.len(), alive.len(), "one liveness flag per processor");
     assert!(alive.last().copied().unwrap_or(false), "the root must survive");
+    let mut replan_span = span::span("ft", "ft.replan");
     let reg = crate::metrics::Registry::global();
     reg.counter("ft_replans_total", "residual re-plans after failures").inc();
     let replan_timer = reg
@@ -845,12 +885,14 @@ pub fn replan_residual_with(
         planner = planner.plan_cache(Arc::clone(c));
     }
     let plan = planner.plan(residual as usize)?;
-    if let (Some(c), Some(before)) = (cache, hits_before) {
-        if c.hits() > before {
-            reg.counter("ft_warm_replans_total", "residual re-plans that warm-started").inc();
-        }
+    let warm = hits_before.zip(cache).is_some_and(|(before, c)| c.hits() > before);
+    if warm {
+        reg.counter("ft_warm_replans_total", "residual re-plans that warm-started").inc();
     }
     replan_timer.stop();
+    replan_span.attr("residual", residual);
+    replan_span.attr("survivors", positions.len());
+    replan_span.attr("warm", warm);
     Ok(ResidualPlan {
         positions,
         counts: plan.counts_in_order().iter().map(|&c| c as u64).collect(),

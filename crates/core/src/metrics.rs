@@ -150,6 +150,10 @@ pub struct Histogram {
     count: AtomicU64,
     /// Σ of observed values, as `f64` bits (CAS-updated).
     sum_bits: AtomicU64,
+    /// Most recent exemplar (e.g. the request id behind the last
+    /// observation). Exposed by the JSON exporter only — the Prometheus
+    /// text format 0.0.4 has no exemplar syntax.
+    exemplar: Mutex<Option<String>>,
 }
 
 impl Default for Histogram {
@@ -158,6 +162,7 @@ impl Default for Histogram {
             buckets: (0..=FINITE_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
             count: AtomicU64::new(0),
             sum_bits: AtomicU64::new(0),
+            exemplar: Mutex::new(None),
         }
     }
 }
@@ -202,6 +207,24 @@ impl Histogram {
                 Err(seen) => cur = seen,
             }
         }
+    }
+
+    /// Records one observation and remembers `exemplar` (typically a
+    /// request id) as the series' most recent exemplar. The exemplar
+    /// travels in JSON snapshots only, never in the Prometheus text
+    /// format.
+    pub fn observe_with_exemplar(&self, v: f64, exemplar: &str) {
+        self.observe(v);
+        if v.is_finite() && v >= 0.0 {
+            *self.exemplar.lock().expect("histogram exemplar poisoned") =
+                Some(exemplar.to_string());
+        }
+    }
+
+    /// The most recent exemplar recorded by
+    /// [`Histogram::observe_with_exemplar`], if any.
+    pub fn exemplar(&self) -> Option<String> {
+        self.exemplar.lock().expect("histogram exemplar poisoned").clone()
     }
 
     /// Number of observations.
@@ -276,15 +299,30 @@ enum Metric {
     Histogram { help: String, handle: Arc<Histogram> },
 }
 
+/// One time series' identity: metric (family) name plus its sorted
+/// label pairs. The `BTreeMap` order — by name, then labels — is what
+/// keeps all series of one family adjacent in every export.
+type SeriesKey = (String, Vec<(String, String)>);
+
 /// A named collection of metrics.
 ///
 /// `counter`/`gauge`/`histogram` get-or-create: the first call registers
 /// the metric, later calls (from any thread) return the same handle. A
 /// name registered as one kind and requested as another panics — that is
-/// a programming error, not a runtime condition.
+/// a programming error, not a runtime condition. The `*_with` variants
+/// register **labeled** series: same family name, distinct label sets,
+/// one `# HELP`/`# TYPE` preamble per family in the Prometheus export
+/// (`serve_latency_seconds{op="plan"}` vs `…{op="ping"}`).
 #[derive(Debug, Default)]
 pub struct Registry {
-    metrics: Mutex<BTreeMap<String, Metric>>,
+    metrics: Mutex<BTreeMap<SeriesKey, Metric>>,
+}
+
+fn series_key(name: &str, labels: &[(&str, &str)]) -> SeriesKey {
+    let mut labels: Vec<(String, String)> =
+        labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+    labels.sort();
+    (name.to_string(), labels)
 }
 
 impl Registry {
@@ -301,10 +339,20 @@ impl Registry {
         GLOBAL.get_or_init(Registry::new)
     }
 
-    /// Gets or creates the counter `name`.
+    /// Gets or creates the (unlabeled) counter `name`.
     pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Gets or creates the counter series `name{labels}`.
+    pub fn counter_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Counter> {
         let mut m = self.metrics.lock().expect("metrics registry poisoned");
-        let entry = m.entry(name.to_string()).or_insert_with(|| Metric::Counter {
+        let entry = m.entry(series_key(name, labels)).or_insert_with(|| Metric::Counter {
             help: help.to_string(),
             handle: Arc::new(Counter::new()),
         });
@@ -314,10 +362,15 @@ impl Registry {
         }
     }
 
-    /// Gets or creates the gauge `name`.
+    /// Gets or creates the (unlabeled) gauge `name`.
     pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Gets or creates the gauge series `name{labels}`.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
         let mut m = self.metrics.lock().expect("metrics registry poisoned");
-        let entry = m.entry(name.to_string()).or_insert_with(|| Metric::Gauge {
+        let entry = m.entry(series_key(name, labels)).or_insert_with(|| Metric::Gauge {
             help: help.to_string(),
             handle: Arc::new(Gauge::new()),
         });
@@ -327,10 +380,20 @@ impl Registry {
         }
     }
 
-    /// Gets or creates the histogram `name`.
+    /// Gets or creates the (unlabeled) histogram `name`.
     pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Gets or creates the histogram series `name{labels}`.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
         let mut m = self.metrics.lock().expect("metrics registry poisoned");
-        let entry = m.entry(name.to_string()).or_insert_with(|| Metric::Histogram {
+        let entry = m.entry(series_key(name, labels)).or_insert_with(|| Metric::Histogram {
             help: help.to_string(),
             handle: Arc::new(Histogram::new()),
         });
@@ -340,29 +403,33 @@ impl Registry {
         }
     }
 
-    /// Freezes the current state of every registered metric, sorted by
-    /// name.
+    /// Freezes the current state of every registered series, sorted by
+    /// name then label set.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let m = self.metrics.lock().expect("metrics registry poisoned");
         let mut snap = MetricsSnapshot::default();
-        for (name, metric) in m.iter() {
+        for ((name, labels), metric) in m.iter() {
             match metric {
                 Metric::Counter { help, handle } => snap.counters.push(CounterSnapshot {
                     name: name.clone(),
                     help: help.clone(),
+                    labels: labels.clone(),
                     value: handle.get(),
                 }),
                 Metric::Gauge { help, handle } => snap.gauges.push(GaugeSnapshot {
                     name: name.clone(),
                     help: help.clone(),
+                    labels: labels.clone(),
                     value: handle.get(),
                 }),
                 Metric::Histogram { help, handle } => snap.histograms.push(HistogramSnapshot {
                     name: name.clone(),
                     help: help.clone(),
+                    labels: labels.clone(),
                     count: handle.count(),
                     sum: handle.sum(),
                     buckets: handle.snapshot(),
+                    exemplar: handle.exemplar(),
                 }),
             }
         }
@@ -381,41 +448,82 @@ pub struct BucketCount {
     pub count: u64,
 }
 
-/// Frozen state of one counter.
+/// Frozen state of one counter series.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CounterSnapshot {
-    /// Metric name (Prometheus-safe: `[a-z0-9_]`).
+    /// Metric (family) name (Prometheus-safe: `[a-z0-9_]`).
     pub name: String,
     /// One-line description.
     pub help: String,
+    /// Label pairs identifying this series within the family, sorted by
+    /// key; empty for unlabeled metrics.
+    pub labels: Vec<(String, String)>,
     /// Value at snapshot time.
     pub value: u64,
 }
 
-/// Frozen state of one gauge.
+/// Frozen state of one gauge series.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GaugeSnapshot {
-    /// Metric name.
+    /// Metric (family) name.
     pub name: String,
     /// One-line description.
     pub help: String,
+    /// Label pairs, sorted by key; empty for unlabeled metrics.
+    pub labels: Vec<(String, String)>,
     /// Value at snapshot time.
     pub value: f64,
 }
 
-/// Frozen state of one histogram.
+/// Frozen state of one histogram series.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistogramSnapshot {
-    /// Metric name.
+    /// Metric (family) name.
     pub name: String,
     /// One-line description.
     pub help: String,
+    /// Label pairs, sorted by key; empty for unlabeled metrics.
+    pub labels: Vec<(String, String)>,
     /// Total observations.
     pub count: u64,
     /// Sum of observations.
     pub sum: f64,
     /// Non-empty buckets, ascending by bound.
     pub buckets: Vec<BucketCount>,
+    /// Most recent exemplar (see [`Histogram::observe_with_exemplar`]).
+    /// JSON-only: the text exposition never carries it.
+    pub exemplar: Option<String>,
+}
+
+/// Escapes a HELP text for the Prometheus text exposition format 0.0.4:
+/// `\` becomes `\\` and a line feed becomes `\n` (those are the only two
+/// escapes the spec defines for help lines).
+pub fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value for the Prometheus text exposition format
+/// 0.0.4: `\` becomes `\\`, `"` becomes `\"`, and a line feed becomes
+/// `\n`.
+pub fn escape_label_value(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Renders sorted label pairs as `{k="v",…}` (values escaped), plus any
+/// `extra` pre-rendered pairs (the histogram `le` bound). Empty input →
+/// empty string.
+fn render_labels(labels: &[(String, String)], extra: Option<&str>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some(e) = extra {
+        parts.push(e.to_string());
+    }
+    format!("{{{}}}", parts.join(","))
 }
 
 impl HistogramSnapshot {
@@ -468,8 +576,10 @@ impl MetricsSnapshot {
     }
 
     /// Renders the snapshot in the Prometheus text exposition format
-    /// (`# HELP`/`# TYPE` preambles, cumulative `le` buckets,
-    /// `_sum`/`_count` series).
+    /// 0.0.4: one `# HELP`/`# TYPE` preamble per metric family (emitted
+    /// at its first series; the snapshot keeps same-name series
+    /// adjacent), label values and HELP text escaped per the spec,
+    /// cumulative `le` buckets, `_sum`/`_count` series.
     pub fn to_prometheus(&self) -> String {
         fn fmt_f64(v: f64) -> String {
             if v == f64::INFINITY {
@@ -478,52 +588,68 @@ impl MetricsSnapshot {
                 format!("{v}")
             }
         }
+        fn preamble(out: &mut String, last: &mut String, name: &str, help: &str, kind: &str) {
+            if last != name {
+                let _ = writeln!(out, "# HELP {} {}", name, escape_help(help));
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+                *last = name.to_string();
+            }
+        }
         let mut out = String::new();
+        let mut last = String::new();
         for c in &self.counters {
-            let _ = writeln!(out, "# HELP {} {}", c.name, c.help);
-            let _ = writeln!(out, "# TYPE {} counter", c.name);
-            let _ = writeln!(out, "{} {}", c.name, c.value);
+            preamble(&mut out, &mut last, &c.name, &c.help, "counter");
+            let _ = writeln!(out, "{}{} {}", c.name, render_labels(&c.labels, None), c.value);
         }
         for g in &self.gauges {
-            let _ = writeln!(out, "# HELP {} {}", g.name, g.help);
-            let _ = writeln!(out, "# TYPE {} gauge", g.name);
-            let _ = writeln!(out, "{} {}", g.name, fmt_f64(g.value));
+            preamble(&mut out, &mut last, &g.name, &g.help, "gauge");
+            let _ =
+                writeln!(out, "{}{} {}", g.name, render_labels(&g.labels, None), fmt_f64(g.value));
         }
         for h in &self.histograms {
-            let _ = writeln!(out, "# HELP {} {}", h.name, h.help);
-            let _ = writeln!(out, "# TYPE {} histogram", h.name);
+            preamble(&mut out, &mut last, &h.name, &h.help, "histogram");
             let mut cumulative = 0u64;
             for b in &h.buckets {
                 cumulative += b.count;
+                let le = format!("le=\"{}\"", fmt_f64(b.le));
                 let _ = writeln!(
                     out,
-                    "{}_bucket{{le=\"{}\"}} {cumulative}",
+                    "{}_bucket{} {cumulative}",
                     h.name,
-                    fmt_f64(b.le)
+                    render_labels(&h.labels, Some(&le))
                 );
             }
-            let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", h.name, h.count);
-            let _ = writeln!(out, "{}_sum {}", h.name, fmt_f64(h.sum));
-            let _ = writeln!(out, "{}_count {}", h.name, h.count);
+            let _ = writeln!(
+                out,
+                "{}_bucket{} {}",
+                h.name,
+                render_labels(&h.labels, Some("le=\"+Inf\"")),
+                h.count
+            );
+            let labels = render_labels(&h.labels, None);
+            let _ = writeln!(out, "{}_sum{labels} {}", h.name, fmt_f64(h.sum));
+            let _ = writeln!(out, "{}_count{labels} {}", h.name, h.count);
         }
         out
     }
 
-    /// Renders a short human-readable digest: one line per metric, with
+    /// Renders a short human-readable digest: one line per series, with
     /// p50/p95/p99 for histograms.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for c in &self.counters {
-            let _ = writeln!(out, "{:<32} {}", c.name, c.value);
+            let series = format!("{}{}", c.name, render_labels(&c.labels, None));
+            let _ = writeln!(out, "{series:<32} {}", c.value);
         }
         for g in &self.gauges {
-            let _ = writeln!(out, "{:<32} {}", g.name, g.value);
+            let series = format!("{}{}", g.name, render_labels(&g.labels, None));
+            let _ = writeln!(out, "{series:<32} {}", g.value);
         }
         for h in &self.histograms {
+            let series = format!("{}{}", h.name, render_labels(&h.labels, None));
             let _ = writeln!(
                 out,
-                "{:<32} count={} sum={:.6}s p50≤{:.3e} p95≤{:.3e} p99≤{:.3e}",
-                h.name,
+                "{series:<32} count={} sum={:.6}s p50≤{:.3e} p95≤{:.3e} p99≤{:.3e}",
                 h.count,
                 h.sum,
                 h.quantile(0.50),
@@ -574,9 +700,11 @@ mod tests {
         let snap = HistogramSnapshot {
             name: "t".into(),
             help: String::new(),
+            labels: Vec::new(),
             count: h.count(),
             sum: h.sum(),
             buckets: h.snapshot(),
+            exemplar: None,
         };
         // p50 lands in the fast bucket, p99 in the slow tail.
         assert!(snap.quantile(0.50) < 1e-3, "{}", snap.quantile(0.50));
@@ -675,6 +803,162 @@ mod tests {
         let reg = Registry::new();
         reg.gauge("thing", "thing");
         reg.counter("thing", "thing");
+    }
+
+    #[test]
+    fn labeled_series_share_one_family_preamble() {
+        let reg = Registry::new();
+        reg.counter_with("ops_total", "ops by kind", &[("op", "plan")]).add(2);
+        reg.counter_with("ops_total", "ops by kind", &[("op", "ping")]).add(5);
+        let h = reg.histogram_with("lat_seconds", "latency by op", &[("op", "plan")]);
+        h.observe(0.25);
+        reg.histogram_with("lat_seconds", "latency by op", &[("op", "shed")]).observe(0.5);
+        let text = reg.snapshot().to_prometheus();
+        assert_eq!(text.matches("# HELP ops_total").count(), 1);
+        assert_eq!(text.matches("# TYPE ops_total").count(), 1);
+        assert!(text.contains("ops_total{op=\"ping\"} 5"));
+        assert!(text.contains("ops_total{op=\"plan\"} 2"));
+        assert_eq!(text.matches("# TYPE lat_seconds histogram").count(), 1);
+        assert!(text.contains("lat_seconds_bucket{op=\"plan\",le=\"0.25\"} 1"));
+        assert!(text.contains("lat_seconds_bucket{op=\"shed\",le=\"+Inf\"} 1"));
+        assert!(text.contains("lat_seconds_sum{op=\"plan\"} 0.25"));
+        assert!(text.contains("lat_seconds_count{op=\"shed\"} 1"));
+    }
+
+    #[test]
+    fn labeled_and_unlabeled_series_are_distinct() {
+        let reg = Registry::new();
+        reg.counter("n_total", "n").add(1);
+        reg.counter_with("n_total", "n", &[("k", "v")]).add(10);
+        let snap = reg.snapshot();
+        let values: Vec<u64> = snap.counters.iter().map(|c| c.value).collect();
+        assert_eq!(values, vec![1, 10]);
+    }
+
+    #[test]
+    fn exemplar_is_kept_in_snapshot_but_not_in_text() {
+        let reg = Registry::new();
+        let h = reg.histogram("x_seconds", "x");
+        h.observe_with_exemplar(0.1, "req-42");
+        h.observe_with_exemplar(f64::NAN, "req-ignored"); // dropped observation
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms[0].exemplar.as_deref(), Some("req-42"));
+        assert!(!snap.to_prometheus().contains("req-42"));
+    }
+
+    #[test]
+    fn escaping_follows_the_text_format_spec() {
+        assert_eq!(escape_help(r"a\b" ), r"a\\b");
+        assert_eq!(escape_help("two\nlines"), "two\\nlines");
+        assert_eq!(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_label_value("a\\b\nc"), "a\\\\b\\nc");
+    }
+
+    /// Satellite conformance check: every line a fully-populated registry
+    /// (all three kinds, labeled and unlabeled series, hostile help text
+    /// and label values) exports must lex as Prometheus text format
+    /// 0.0.4.
+    #[test]
+    fn exposition_conformance_lint() {
+        fn valid_name(s: &str) -> bool {
+            !s.is_empty()
+                && s.chars().next().unwrap().is_ascii_alphabetic()
+                && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        }
+        // One escaped label set: `k="v"` pairs, comma-separated; the
+        // value may contain any escaped char but no raw `"` or `\`.
+        fn check_labels(s: &str) {
+            for pair in split_pairs(s) {
+                let (k, v) = pair.split_once('=').expect("label pair has =");
+                assert!(valid_name(k), "bad label name {k}");
+                assert!(v.starts_with('"') && v.ends_with('"') && v.len() >= 2);
+                let inner = &v[1..v.len() - 1];
+                let mut chars = inner.chars();
+                while let Some(c) = chars.next() {
+                    assert!(c != '"', "unescaped quote in {v}");
+                    if c == '\\' {
+                        let next = chars.next().expect("dangling backslash");
+                        assert!(matches!(next, '\\' | '"' | 'n'), "bad escape \\{next}");
+                    }
+                }
+            }
+        }
+        // Splits `a="b",c="d"` on commas outside quotes.
+        fn split_pairs(s: &str) -> Vec<String> {
+            let mut out = Vec::new();
+            let mut cur = String::new();
+            let mut in_quotes = false;
+            let mut escaped = false;
+            for c in s.chars() {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_quotes = !in_quotes;
+                } else if c == ',' && !in_quotes {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                cur.push(c);
+            }
+            assert!(!in_quotes, "unterminated quote in {s}");
+            out.push(cur);
+            out
+        }
+
+        let reg = Registry::new();
+        reg.counter("plain_total", "an ordinary counter").add(7);
+        reg.counter_with(
+            "labeled_total",
+            "help with a \\ backslash\nand a second line",
+            &[("path", "C:\\temp\n\"quoted\"")],
+        )
+        .inc();
+        reg.gauge_with("depth", "gauge \"help\"", &[("queue", "a\nb")]).set(-2.5);
+        let h = reg.histogram_with("lat_seconds", "latency\\by op", &[("op", "pl\"an")]);
+        h.observe(0.1);
+        h.observe(1e9); // overflow bucket
+        reg.histogram("plain_seconds", "unlabeled histogram").observe(0.3);
+
+        let text = reg.snapshot().to_prometheus();
+        for line in text.lines() {
+            assert!(!line.is_empty(), "no blank lines in exposition");
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (name, help) = rest.split_once(' ').expect("HELP has name and text");
+                assert!(valid_name(name), "bad metric name {name}");
+                // Help text must not contain a raw newline (it is one
+                // line by construction) or a dangling backslash.
+                let mut chars = help.chars();
+                while let Some(c) = chars.next() {
+                    if c == '\\' {
+                        let next = chars.next().expect("dangling backslash in HELP");
+                        assert!(matches!(next, '\\' | 'n'), "bad HELP escape \\{next}");
+                    }
+                }
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (name, kind) = rest.split_once(' ').expect("TYPE has name and kind");
+                assert!(valid_name(name), "bad metric name {name}");
+                assert!(matches!(kind, "counter" | "gauge" | "histogram"), "{kind}");
+            } else {
+                // Sample line: name[{labels}] value
+                let (series, value) =
+                    line.rsplit_once(' ').expect("sample line has name and value");
+                assert!(
+                    value.parse::<f64>().is_ok() || value == "+Inf" || value == "-Inf",
+                    "unparseable value {value}"
+                );
+                match series.split_once('{') {
+                    None => assert!(valid_name(series), "bad series name {series}"),
+                    Some((name, labels)) => {
+                        assert!(valid_name(name), "bad series name {name}");
+                        let labels =
+                            labels.strip_suffix('}').expect("label block closed");
+                        check_labels(labels);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

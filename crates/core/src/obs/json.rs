@@ -73,6 +73,25 @@ pub fn metrics_to_json(snap: &MetricsSnapshot) -> String {
             out.push_str("\"inf\"");
         }
     }
+    // A series' label pairs, as an object. Key order is stable: the
+    // snapshot keeps labels sorted by key. Omitted entirely for
+    // unlabeled series (the common case), which keeps old consumers
+    // working — parsers skip unknown fields and tolerate absent ones.
+    fn push_labels(out: &mut String, labels: &[(String, String)]) {
+        if labels.is_empty() {
+            return;
+        }
+        out.push_str(", \"labels\": {");
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            push_escaped(out, k);
+            out.push_str(": ");
+            push_escaped(out, v);
+        }
+        out.push('}');
+    }
     let mut out = String::new();
     out.push_str("{\"counters\": [");
     for (i, c) in snap.counters.iter().enumerate() {
@@ -83,6 +102,7 @@ pub fn metrics_to_json(snap: &MetricsSnapshot) -> String {
         push_escaped(&mut out, &c.name);
         out.push_str(", \"help\": ");
         push_escaped(&mut out, &c.help);
+        push_labels(&mut out, &c.labels);
         out.push_str(&format!(", \"value\": {}}}", c.value));
     }
     out.push_str("], \"gauges\": [");
@@ -94,6 +114,7 @@ pub fn metrics_to_json(snap: &MetricsSnapshot) -> String {
         push_escaped(&mut out, &g.name);
         out.push_str(", \"help\": ");
         push_escaped(&mut out, &g.help);
+        push_labels(&mut out, &g.labels);
         out.push_str(", \"value\": ");
         push_f64(&mut out, g.value);
         out.push('}');
@@ -107,6 +128,11 @@ pub fn metrics_to_json(snap: &MetricsSnapshot) -> String {
         push_escaped(&mut out, &h.name);
         out.push_str(", \"help\": ");
         push_escaped(&mut out, &h.help);
+        push_labels(&mut out, &h.labels);
+        if let Some(ex) = &h.exemplar {
+            out.push_str(", \"exemplar\": ");
+            push_escaped(&mut out, ex);
+        }
         out.push_str(&format!(", \"count\": {}, \"sum\": ", h.count));
         push_le(&mut out, h.sum);
         out.push_str(", \"buckets\": [");
@@ -492,11 +518,27 @@ pub fn metrics_from_json(obj: &Json) -> Result<MetricsSnapshot, TraceError> {
             .as_arr()
             .ok_or_else(|| TraceError(format!("field `{key}` must be an array")))
     };
+    // Optional `labels` object (absent ≡ unlabeled series).
+    let labels_of = |entry: &Json| -> Result<Vec<(String, String)>, TraceError> {
+        match entry.get("labels") {
+            None | Some(Json::Null) => Ok(Vec::new()),
+            Some(Json::Obj(members)) => members
+                .iter()
+                .map(|(k, v)| {
+                    v.as_str()
+                        .map(|v| (k.clone(), v.to_string()))
+                        .ok_or_else(|| TraceError("label values must be strings".into()))
+                })
+                .collect(),
+            Some(_) => Err(TraceError("field `labels` must be an object".into())),
+        }
+    };
     let mut snap = MetricsSnapshot::default();
     for c in arr("counters")? {
         snap.counters.push(CounterSnapshot {
             name: str_field(c, "name")?,
             help: str_field(c, "help")?,
+            labels: labels_of(c)?,
             value: u64_field(c, "value")?,
         });
     }
@@ -504,6 +546,7 @@ pub fn metrics_from_json(obj: &Json) -> Result<MetricsSnapshot, TraceError> {
         snap.gauges.push(GaugeSnapshot {
             name: str_field(g, "name")?,
             help: str_field(g, "help")?,
+            labels: labels_of(g)?,
             value: f64_field(g, "value")?,
         });
     }
@@ -535,12 +578,19 @@ pub fn metrics_from_json(obj: &Json) -> Result<MetricsSnapshot, TraceError> {
                 ))
             }
         };
+        let exemplar = match h.get("exemplar") {
+            None | Some(Json::Null) => None,
+            Some(Json::Str(s)) => Some(s.clone()),
+            Some(_) => return Err(TraceError("field `exemplar` must be a string".into())),
+        };
         snap.histograms.push(HistogramSnapshot {
             name: str_field(h, "name")?,
             help: str_field(h, "help")?,
+            labels: labels_of(h)?,
             count: u64_field(h, "count")?,
             sum,
             buckets,
+            exemplar,
         });
     }
     Ok(snap)
@@ -756,22 +806,26 @@ mod tests {
             counters: vec![CounterSnapshot {
                 name: "dp_cells_evaluated_total".into(),
                 help: "DP cells".into(),
+                labels: Vec::new(),
                 value: 12345,
             }],
             gauges: vec![GaugeSnapshot {
                 name: "mpi_queue_depth".into(),
                 help: "queue \"depth\"".into(),
+                labels: vec![("pool".into(), "a\\b \"q\"".into())],
                 value: 2.5, // dyadic: exact in JSON round-trip
             }],
             histograms: vec![HistogramSnapshot {
                 name: "mpi_send_seconds".into(),
                 help: "per-send".into(),
+                labels: vec![("op".into(), "plan".into())],
                 count: 3,
                 sum: 0.375,
                 buckets: vec![
                     BucketCount { le: 0.125, count: 2 },
                     BucketCount { le: f64::INFINITY, count: 1 },
                 ],
+                exemplar: Some("req-7".into()),
             }],
         });
         let text = trace_to_json(&trace);

@@ -15,7 +15,10 @@
 //! * [`TraceSummary`] — per-rank busy/idle/comm breakdowns, per-link byte
 //!   totals and the makespan, derived from any trace;
 //! * [`json`] / [`csv`] — versioned serialization (see
-//!   `docs/observability.md` for the normative schema description).
+//!   `docs/observability.md` for the normative schema description);
+//! * [`span`] — hierarchical wall/virtual-clock span tracing with
+//!   Chrome trace-event export (the *inside-one-operation* view,
+//!   orthogonal to the schedule-level trace above).
 //!
 //! The schema is versioned: [`SCHEMA_VERSION`] is embedded in every JSON
 //! export and checked on import.
@@ -37,6 +40,7 @@ use crate::distribution::Timeline;
 
 pub mod csv;
 pub mod json;
+pub mod span;
 mod summary;
 
 pub use summary::{LinkBytes, RankSummary, TraceSummary};

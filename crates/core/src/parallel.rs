@@ -46,6 +46,7 @@ use crate::dp_basic::{validate_procs, DpSolution};
 use crate::dp_kernel::{self, DpPlane, MAX_ITEMS};
 use crate::error::PlanError;
 use crate::metrics::{Counter, Histogram, Registry};
+use crate::obs::span;
 use crate::obs::PlanTiming;
 
 /// Handles on the engine's global metrics, resolved once per solve so
@@ -278,6 +279,7 @@ pub(crate) fn solve_full(
     warm: Option<&WarmStart<'_>>,
 ) -> Result<(DpSolution, PlanTiming, DpPlane), PlanError> {
     let start = Instant::now();
+    let mut solve_span = span::span("dp", "dp.solve");
     validate_procs(procs, n)?;
     if algo == Algo::Optimized {
         for (i, pr) in procs.iter().enumerate() {
@@ -295,6 +297,7 @@ pub(crate) fn solve_full(
     let misses0 = table.misses();
 
     let t_tab = Instant::now();
+    let tab_span = span::span("dp", "dp.tabulate");
     let mut monos = Vec::with_capacity(p);
     let tabs: Vec<TabPair> = procs
         .iter()
@@ -331,6 +334,7 @@ pub(crate) fn solve_full(
             }
         }
     }
+    drop(tab_span);
     let tabulate_secs = t_tab.elapsed().as_secs_f64();
 
     let t_solve = Instant::now();
@@ -339,7 +343,7 @@ pub(crate) fn solve_full(
     } else {
         None
     };
-    let engine = Engine {
+    let mut engine = Engine {
         algo: run_algo,
         tabs: &tabs,
         n,
@@ -347,6 +351,7 @@ pub(crate) fn solve_full(
         threads,
         chunk: chunk_size(n + 1, threads, opts.chunk),
         stats: DpStats::new(),
+        span_parent: 0,
     };
     let reuse = warm.map_or(0, |w| w.reuse);
     debug_assert!(reuse < p, "the top column is never reused");
@@ -354,6 +359,8 @@ pub(crate) fn solve_full(
     if let Some(w) = warm {
         copy_warm(&mut plane, w);
     }
+    let sweep_span = span::span("dp", "dp.sweep");
+    engine.span_parent = sweep_span.id();
     let (counts, makespan) = match engine.run(&mut plane, ub.map(|u| u * (1.0 + BOUND_MARGIN)), reuse)
     {
         Some(result) => result,
@@ -365,6 +372,7 @@ pub(crate) fn solve_full(
             engine.run(&mut plane, None, 0).expect("unpruned solve is always consistent")
         }
     };
+    drop(sweep_span);
     let solve_secs = t_solve.elapsed().as_secs_f64();
 
     let timing = PlanTiming {
@@ -405,6 +413,13 @@ pub(crate) fn solve_full(
         )
         .add(reuse as u64);
     }
+    solve_span.attr("kernel", &timing.strategy);
+    solve_span.attr("n", n);
+    solve_span.attr("p", p);
+    solve_span.attr("threads", threads);
+    solve_span.attr("pruned", ub.is_some());
+    solve_span.attr("fallback", run_algo != algo);
+    solve_span.attr("reuse", reuse);
     Ok((DpSolution { counts, makespan }, timing, plane))
 }
 
@@ -470,6 +485,10 @@ struct Engine<'a> {
     threads: usize,
     chunk: usize,
     stats: DpStats,
+    /// Span id of the enclosing `dp.sweep` span: `dp.chunk` spans
+    /// recorded on worker threads attach here explicitly, because the
+    /// tracer's thread-local parent stack does not cross threads.
+    span_parent: u64,
 }
 
 impl Engine<'_> {
@@ -631,7 +650,11 @@ impl Engine<'_> {
     fn compute_column(&self, ctx: &ColumnCtx<'_>, cost: &mut [f64], choice: &mut [u32]) {
         let len = cost.len();
         if self.threads <= 1 || len <= self.chunk {
+            let mut chunk_span = span::span_with_parent("dp", "dp.chunk", self.span_parent);
             let evaluated = ctx.run_chunk(0, cost, choice);
+            chunk_span.attr("start", 0);
+            chunk_span.attr("len", len);
+            chunk_span.attr("evaluated", evaluated);
             self.stats.cells.add(evaluated as u64);
             self.stats.prune_hits.add((len - evaluated) as u64);
             return;
@@ -654,7 +677,12 @@ impl Engine<'_> {
                         match job {
                             Some((start, c, ch)) => {
                                 let chunk_len = c.len();
+                                let mut chunk_span =
+                                    span::span_with_parent("dp", "dp.chunk", self.span_parent);
                                 let done = ctx.run_chunk(start, c, ch);
+                                chunk_span.attr("start", start);
+                                chunk_span.attr("len", chunk_len);
+                                chunk_span.attr("evaluated", done);
                                 evaluated += done as u64;
                                 skipped += (chunk_len - done) as u64;
                             }

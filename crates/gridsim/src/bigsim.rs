@@ -24,6 +24,7 @@
 
 use gs_scatter::cost::Processor;
 use gs_scatter::distribution::Timeline;
+use gs_scatter::obs::span;
 
 use crate::calendar::CalendarQueue;
 use crate::engine::{SimEvent, SimEventKind};
@@ -94,6 +95,9 @@ pub fn simulate_star(comm: &[f64], work: &[f64], record: bool) -> BigScatterSim 
 /// flag so the unrecorded (large-`p`) loop carries no trace branches.
 fn simulate_star_impl<const RECORD: bool>(comm: &[f64], work: &[f64]) -> BigScatterSim {
     assert_eq!(comm.len(), work.len(), "one work term per transfer");
+    // One span per *phase*, never per event: at 10⁶ ranks even a no-op
+    // per-event guard would dominate the bare-rank loop.
+    let mut star_span = span::span("sim", "sim.star");
     let p = comm.len();
     assert!(p <= u32::MAX as usize, "rank index must fit u32");
     let mut timeline = Timeline {
@@ -128,6 +132,7 @@ fn simulate_star_impl<const RECORD: bool>(comm: &[f64], work: &[f64]) -> BigScat
     // Cached q.peek(): pushes can only lower the minimum (one compare),
     // so a full locate is needed only after a pop.
     let mut qmin: Option<(f64, u64)> = None;
+    let run_span = span::span("sim", "sim.run");
     loop {
         let take_send = match (pending_send, qmin) {
             (Some((st, ss, _)), Some((qt, qs))) => st < qt || (st == qt && ss < qs),
@@ -173,8 +178,13 @@ fn simulate_star_impl<const RECORD: bool>(comm: &[f64], work: &[f64]) -> BigScat
             qmin = q.peek();
         }
     }
+    drop(run_span);
     let events_processed = 4 * p as u64;
     let stats = q.stats();
+    star_span.attr("p", p);
+    star_span.attr("events", events_processed);
+    star_span.attr("queue_peak", stats.peak_len);
+    star_span.attr("makespan", now);
     let reg = gs_scatter::metrics::Registry::global();
     reg.counter("sim_runs_total", "discrete-event scatter simulations run").inc();
     reg.counter("sim_events_total", "simulator events processed").add(events_processed);

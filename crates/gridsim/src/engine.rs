@@ -197,6 +197,8 @@ impl Engine {
     /// `(time, seq)` rides along, so pop order is unchanged.
     fn migrate_to_calendar(&mut self) {
         if let Queue::Heap(h) = &mut self.queue {
+            let mut mig_span = gs_scatter::obs::span::span("sim", "sim.migrate");
+            mig_span.attr("pending", h.len());
             let mut cal = CalendarQueue::new();
             for p in std::mem::take(h).into_vec() {
                 cal.push(p.time, p.seq, p.action);

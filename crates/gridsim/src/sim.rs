@@ -5,6 +5,7 @@ use std::rc::Rc;
 
 use gs_scatter::cost::{Platform, Processor};
 use gs_scatter::distribution::Timeline;
+use gs_scatter::obs::span;
 use gs_scatter::obs::{Event, EventKind, Trace, TraceSource};
 use gs_scatter::planner::Plan;
 
@@ -176,10 +177,17 @@ pub fn simulate_scatter_on(
         finish: vec![0.0; p],
     }));
 
+    let mut scatter_span = span::span("sim", "sim.scatter");
     if p > 0 {
         schedule_send(&mut engine, state.clone(), 0, p);
     }
+    let run_span = span::span("sim", "sim.run");
     let makespan = engine.run();
+    drop(run_span);
+    scatter_span.attr("p", p);
+    scatter_span.attr("events", engine.trace.len());
+    scatter_span.attr("makespan", makespan);
+    drop(scatter_span);
 
     let st = state.borrow();
     let reg = gs_scatter::metrics::Registry::global();

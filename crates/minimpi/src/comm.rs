@@ -5,6 +5,8 @@ use std::sync::Arc;
 
 use crossbeam::channel::{Receiver, Sender};
 
+use gs_scatter::obs::span;
+
 use crate::datum::{decode, encode, Datum};
 use crate::message::{Message, Tag};
 use crate::time::TimeModel;
@@ -109,6 +111,16 @@ impl Comm {
             let start = self.clock;
             self.clock += m.compute_time(self.rank, items);
             let (rank, end) = (self.rank, self.clock);
+            if span::enabled() {
+                span::record_virtual(
+                    "mpi",
+                    "mpi.compute",
+                    rank as u64,
+                    start,
+                    end,
+                    vec![("items", items.to_string())],
+                );
+            }
             if let Some(t) = &mut self.trace {
                 t.push(crate::trace::CommRecord {
                     op: crate::trace::CommOp::Compute,
@@ -146,6 +158,16 @@ impl Comm {
             .add(bytes as u64);
         reg.histogram("mpi_send_seconds", "per-send transfer time (virtual clock)")
             .observe(self.clock - start);
+        if span::enabled() {
+            span::record_virtual(
+                "mpi",
+                "mpi.send",
+                self.rank as u64,
+                start,
+                self.clock,
+                vec![("peer", dest.to_string()), ("bytes", bytes.to_string())],
+            );
+        }
         let msg = Message { src: self.rank, tag, timestamp: self.clock, payload };
         if let Some(t) = &mut self.trace {
             t.push(crate::trace::CommRecord {
@@ -169,6 +191,16 @@ impl Comm {
         let start = self.clock;
         let msg = self.match_message(src, tag);
         self.clock = self.clock.max(msg.timestamp);
+        if span::enabled() {
+            span::record_virtual(
+                "mpi",
+                "mpi.recv",
+                self.rank as u64,
+                start,
+                self.clock,
+                vec![("peer", src.to_string()), ("bytes", msg.payload.len().to_string())],
+            );
+        }
         if let Some(t) = &mut self.trace {
             t.push(crate::trace::CommRecord {
                 op: crate::trace::CommOp::Recv,

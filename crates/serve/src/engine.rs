@@ -30,6 +30,7 @@ use std::sync::{Arc, Condvar, Mutex, RwLock};
 use gs_scatter::cost_table::CostTable;
 use gs_scatter::metrics::Registry;
 use gs_scatter::obs::json::trace_from_json;
+use gs_scatter::obs::span;
 use gs_scatter::planner::{Plan, PlanCache, Planner, Strategy};
 use gs_scatter::platform_file::parse_platform;
 use gs_scatter::prelude::Calibration;
@@ -118,40 +119,68 @@ impl Engine {
 
     /// Handles one decoded request, start to finish. Never panics on
     /// user input: every failure becomes an [`Outcome::Error`].
+    ///
+    /// When span tracing is enabled ([`span::set_enabled`]) the request
+    /// runs under a root `request` span carrying the request id and
+    /// operation, with one child per stage — `request.decode`,
+    /// `request.cache`, `request.wait`, `request.shed`,
+    /// `request.compute`, `request.encode` — so a Chrome trace shows
+    /// exactly where each request spent its time.
     pub fn handle(&self, req: Request) -> Response {
         let reg = Registry::global();
         reg.counter("serve_requests_total", "requests handled by the serve engine").inc();
-        let timer = reg
-            .histogram("serve_request_seconds", "end-to-end request handling latency")
-            .start_timer();
+        let t0 = std::time::Instant::now();
         let Request { id, body } = req;
+        let op_label = op_label(&body);
+        let mut root = span::span("serve", "request");
+        root.attr("request_id", &id);
+        root.attr("op", op_label);
         let outcome = match body {
             RequestBody::Ping => Outcome::Pong,
             RequestBody::Metrics => {
                 Outcome::Metrics { prometheus: reg.snapshot().to_prometheus() }
             }
             RequestBody::Shutdown => Outcome::ShuttingDown,
-            RequestBody::Plan(p) => self.planned(Op::Plan, &p),
-            RequestBody::Simulate(p) => self.planned(Op::Simulate, &p),
+            RequestBody::Plan(p) => self.planned(Op::Plan, &p, root.id()),
+            RequestBody::Simulate(p) => self.planned(Op::Simulate, &p, root.id()),
             RequestBody::Calibrate { traces } => self.calibrate(&traces),
         };
+        let shed = matches!(&outcome, Outcome::Error { code: ErrorCode::Overloaded, .. });
         if matches!(outcome, Outcome::Error { .. }) {
             reg.counter("serve_errors_total", "requests answered with an error").inc();
         }
-        timer.stop();
-        Response { id, outcome }
+        let encode_span = span::span_with_parent("serve", "request.encode", root.id());
+        let response = Response { id, outcome };
+        drop(encode_span);
+        // Shed requests get their own latency label: their sub-millisecond
+        // rejections would otherwise drag the op's percentiles down
+        // exactly when the operator most needs honest numbers.
+        let latency_op = if shed { "shed" } else { op_label };
+        reg.histogram_with(
+            "serve_latency_seconds",
+            "end-to-end request handling latency by operation",
+            &[("op", latency_op)],
+        )
+        .observe_with_exemplar(t0.elapsed().as_secs_f64(), &response.id);
+        response
     }
 
     /// The `plan`/`simulate` path: cache → coalesce → admit → compute.
-    fn planned(&self, op: Op, params: &PlanParams) -> Outcome {
+    /// `parent` is the root request span (stage spans attach to it
+    /// directly, so every stage is a first-level child in the trace).
+    fn planned(&self, op: Op, params: &PlanParams, parent: u64) -> Outcome {
         let reg = Registry::global();
         let key = cache_key(op, params);
         let shard = &self.results[(key % self.results.len() as u64) as usize];
+        let mut cache_span = span::span_with_parent("serve", "request.cache", parent);
         if let Some(hit) = shard.read().expect("results lock").get(&key) {
             reg.counter("serve_cache_hits_total", "requests answered from the result cache")
                 .inc();
+            cache_span.attr("outcome", "hit");
             return outcome_of(op, hit, CacheStatus::Hit);
         }
+        cache_span.attr("outcome", "miss");
+        drop(cache_span);
 
         // Miss: coalesce onto an identical in-flight computation, or
         // become the leader (if admitted).
@@ -165,6 +194,7 @@ impl Engine {
                     "requests folded into an identical in-flight computation",
                 )
                 .inc();
+                let _wait_span = span::span_with_parent("serve", "request.wait", parent);
                 let mut done = flight.done.lock().expect("flight lock");
                 while done.is_none() {
                     done = flight.cv.wait(done).expect("flight lock");
@@ -176,6 +206,9 @@ impl Engine {
             }
             if inflight.len() >= self.cfg.max_inflight {
                 reg.counter("serve_shed_total", "requests shed by admission control").inc();
+                let mut shed_span = span::span_with_parent("serve", "request.shed", parent);
+                shed_span.attr("inflight", inflight.len());
+                shed_span.attr("limit", self.cfg.max_inflight);
                 return Outcome::Error {
                     code: ErrorCode::Overloaded,
                     message: format!(
@@ -192,7 +225,7 @@ impl Engine {
 
         // Leader: compute outside every lock, publish, wake waiters.
         reg.counter("serve_computes_total", "planning computations actually run").inc();
-        let result = self.compute(op, params);
+        let result = self.compute(op, params, parent);
         if let Ok(computed) = &result {
             shard.write().expect("results lock").insert(key, Arc::clone(computed));
         }
@@ -207,7 +240,8 @@ impl Engine {
 
     /// Runs the actual library calls for a cache-missing `plan` or
     /// `simulate` request.
-    fn compute(&self, op: Op, params: &PlanParams) -> Result<Arc<Computed>, String> {
+    fn compute(&self, op: Op, params: &PlanParams, parent: u64) -> Result<Arc<Computed>, String> {
+        let decode_span = span::span_with_parent("serve", "request.decode", parent);
         let platform = parse_platform(&params.platform).map_err(|e| e.to_string())?;
         if params.items == 0 {
             return Err("items must be positive".into());
@@ -215,6 +249,9 @@ impl Engine {
         let items =
             usize::try_from(params.items).map_err(|_| "items exceeds this build's usize".to_string())?;
         let strategy = parse_strategy(&params.strategy)?;
+        drop(decode_span);
+        let mut compute_span = span::span_with_parent("serve", "request.compute", parent);
+        compute_span.attr("items", items);
         let plan = Planner::new(platform.clone())
             .strategy(strategy)
             .threads(self.cfg.planner_threads)
@@ -268,6 +305,19 @@ impl Engine {
 enum Op {
     Plan,
     Simulate,
+}
+
+/// The `op` label a request contributes to `serve_latency_seconds` (and
+/// to its root span).
+fn op_label(body: &RequestBody) -> &'static str {
+    match body {
+        RequestBody::Ping => "ping",
+        RequestBody::Metrics => "metrics",
+        RequestBody::Shutdown => "shutdown",
+        RequestBody::Plan(_) => "plan",
+        RequestBody::Simulate(_) => "simulate",
+        RequestBody::Calibrate { .. } => "calibrate",
+    }
 }
 
 fn cache_key(op: Op, params: &PlanParams) -> u64 {

@@ -5,11 +5,13 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use gs_scatter::metrics::Registry;
+use gs_scatter::obs::span;
 
 use crate::engine::Engine;
 use crate::protocol::{
@@ -61,6 +63,27 @@ fn request_stop(stop: &AtomicBool, addr: SocketAddr) {
 /// gets its own thread; the engine's admission control bounds the
 /// planning work they can queue, not the connection count.
 pub fn serve(engine: Arc<Engine>, addr: &str) -> std::io::Result<ServerHandle> {
+    serve_with_span_log(engine, addr, None)
+}
+
+/// [`serve`] with an optional per-request span log: when `span_log`
+/// names a directory (created if missing) and span tracing is enabled
+/// ([`span::set_enabled`]), every answered request writes
+/// `req-<id>.json` there — a Chrome trace-event file of the spans the
+/// request recorded on its session thread (root `request` span plus
+/// stage children; load it at `chrome://tracing` or in Perfetto).
+/// Spans recorded by planner *worker* threads land in the global ring
+/// ([`span::drain`]) instead — per-request files capture the
+/// session-thread breakdown, which is the whole request except the
+/// inside of a multi-threaded DP column sweep.
+pub fn serve_with_span_log(
+    engine: Arc<Engine>,
+    addr: &str,
+    span_log: Option<PathBuf>,
+) -> std::io::Result<ServerHandle> {
+    if let Some(dir) = &span_log {
+        std::fs::create_dir_all(dir)?;
+    }
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
@@ -78,8 +101,9 @@ pub fn serve(engine: Arc<Engine>, addr: &str) -> std::io::Result<ServerHandle> {
                 .inc();
             let engine = Arc::clone(&engine);
             let stop = Arc::clone(&accept_stop);
+            let span_log = span_log.clone();
             std::thread::spawn(move || {
-                let _ = session(&engine, conn, &stop, addr);
+                let _ = session(&engine, conn, &stop, addr, span_log.as_deref());
             });
         }
     });
@@ -93,6 +117,7 @@ fn session(
     conn: TcpStream,
     stop: &AtomicBool,
     addr: SocketAddr,
+    span_log: Option<&Path>,
 ) -> std::io::Result<()> {
     let mut writer = conn.try_clone()?;
     let mut reader = BufReader::new(conn);
@@ -113,11 +138,37 @@ fn session(
         writer.write_all(encode_response(&response).as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
+        if let Some(dir) = span_log {
+            write_request_spans(dir, &response.id);
+        }
         if shutdown {
             request_stop(stop, addr);
             return Ok(());
         }
     }
+}
+
+/// Drains the session thread's span buffer into
+/// `dir/req-<sanitized id>.json` as a Chrome trace. Requests are
+/// answered serially per session, so everything buffered since the last
+/// drain belongs to the request just answered. Best-effort: a full disk
+/// must not take the daemon down.
+fn write_request_spans(dir: &Path, id: &str) {
+    if !span::enabled() {
+        return;
+    }
+    let spans = span::take_local();
+    if spans.is_empty() {
+        return;
+    }
+    let mut name: String = id
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .collect();
+    if name.is_empty() {
+        name.push_str("anon");
+    }
+    let _ = std::fs::write(dir.join(format!("req-{name}.json")), span::chrome_trace_json(&spans));
 }
 
 /// Decodes and handles one request line; the flag says whether it asked

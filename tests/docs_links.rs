@@ -14,8 +14,9 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use gs_cli::commands::{
-    cmd_calibrate, cmd_metrics, cmd_plan, cmd_report, cmd_report_drift, cmd_sim, cmd_simulate,
-    cmd_trace, PlanOptions, SimOptions,
+    cmd_calibrate, cmd_metrics, cmd_metrics_json, cmd_plan, cmd_report, cmd_report_drift,
+    cmd_report_spans, cmd_sim, cmd_sim_spanned, cmd_simulate, cmd_trace, cmd_trace_spanned,
+    PlanOptions, SimOptions,
 };
 use gs_cli::serve_cmd::{cmd_client, start_daemon, ClientCmd, ServeOptions};
 
@@ -126,6 +127,8 @@ fn run_gs(cmdline: &str, vfs: &mut HashMap<String, String>, daemons: &mut Daemon
     let mut ranks = 0usize;
     let mut pool: Option<usize> = None;
     let mut smoke = false;
+    let mut spans_out: Option<String> = None;
+    let mut json_flag = false;
     let mut i = 1;
     while i < words.len() {
         match words[i] {
@@ -179,6 +182,11 @@ fn run_gs(cmdline: &str, vfs: &mut HashMap<String, String>, daemons: &mut Daemon
                 pool = Some(words[i].parse().unwrap());
             }
             "--smoke" => smoke = true,
+            "--spans" => {
+                i += 1;
+                spans_out = Some(words[i].to_string());
+            }
+            "--json" => json_flag = true,
             flag if flag.starts_with("--") => panic!("walkthrough uses unknown flag {flag}"),
             word => positional.push(word),
         }
@@ -193,7 +201,19 @@ fn run_gs(cmdline: &str, vfs: &mut HashMap<String, String>, daemons: &mut Daemon
     let out = match positional[0] {
         "plan" => cmd_plan(&read(vfs, positional[1]), &opts, false).unwrap(),
         "simulate" => cmd_simulate(&read(vfs, positional[1]), &opts, width, false).unwrap(),
-        "trace" => cmd_trace(&read(vfs, positional[1]), &opts, &source, item_bytes).unwrap(),
+        "trace" => match &spans_out {
+            None => cmd_trace(&read(vfs, positional[1]), &opts, &source, item_bytes).unwrap(),
+            Some(f) => {
+                let (out, spans) =
+                    cmd_trace_spanned(&read(vfs, positional[1]), &opts, &source, item_bytes)
+                        .unwrap();
+                vfs.insert(f.clone(), spans);
+                out
+            }
+        },
+        "report" if spans_out.is_some() => {
+            cmd_report_spans(&read(vfs, spans_out.as_deref().unwrap())).unwrap()
+        }
         "report" => {
             let texts: Vec<String> =
                 positional[1..].iter().map(|f| read(vfs, f)).collect();
@@ -212,15 +232,22 @@ fn run_gs(cmdline: &str, vfs: &mut HashMap<String, String>, daemons: &mut Daemon
                 positional[1..].iter().map(|f| read(vfs, f)).collect();
             cmd_calibrate(&texts).unwrap()
         }
+        "metrics" if json_flag => {
+            cmd_metrics_json(&read(vfs, positional[1]), &opts, item_bytes).unwrap()
+        }
         "metrics" => cmd_metrics(&read(vfs, positional[1]), &opts, item_bytes).unwrap(),
-        "sim" => cmd_sim(&SimOptions {
-            ranks,
-            items: opts.items,
-            pool,
-            smoke,
-            emit_trace: false,
-        })
-        .unwrap(),
+        "sim" => {
+            let sim_opts =
+                SimOptions { ranks, items: opts.items, pool, smoke, emit_trace: false };
+            match &spans_out {
+                None => cmd_sim(&sim_opts).unwrap(),
+                Some(f) => {
+                    let (out, spans) = cmd_sim_spanned(&sim_opts).unwrap();
+                    vfs.insert(f.clone(), spans);
+                    out
+                }
+            }
+        }
         "serve" => {
             // Bind an ephemeral port, remember it under the address the
             // document shows. A backgrounded daemon prints nothing here
@@ -339,6 +366,11 @@ fn platform_fences(blocks: &[Fence]) -> Vec<String> {
 /// against the library, comparing output line by line. Returns the
 /// number of commands replayed.
 fn replay_console_blocks(blocks: &[Fence], vfs: &mut HashMap<String, String>) -> usize {
+    // Walkthroughs replay one at a time: span capture (`--spans`) is
+    // process-global, so a concurrent walkthrough's spans would leak
+    // into another's export and change its deterministic summary.
+    static REPLAY_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _serial = REPLAY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let mut daemons = Daemons::default();
     let n = replay_console_blocks_with(blocks, vfs, &mut daemons);
     assert!(daemons.handle.is_none(), "walkthrough left a daemon running");

@@ -150,6 +150,72 @@ fn metrics_are_exposed_over_the_wire_and_over_http() {
     handle.join();
 }
 
+/// The observability contract of `gs serve --span-log`
+/// (docs/observability.md): every answered request leaves a Chrome
+/// trace-event file `req-<id>.json` whose root `request` span carries
+/// the request id and at least four stage children (decode, cache,
+/// compute, encode for a cache-miss plan).
+#[test]
+fn span_log_writes_per_request_chrome_trace_with_stage_children() {
+    use gs_scatter::obs::{json, span};
+    use gs_serve::server::serve_with_span_log;
+
+    let dir = std::env::temp_dir().join(format!("gs-span-log-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    span::set_enabled(true);
+    let engine = Arc::new(Engine::new(EngineConfig::default()));
+    let handle = serve_with_span_log(engine, "127.0.0.1:0", Some(dir.clone())).expect("bind");
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let resp = client.call(&plan_request("span-e2e", ITEMS + 13)).unwrap();
+    assert!(matches!(resp.outcome, Outcome::Plan(_)), "{resp:?}");
+    handle.shutdown();
+    handle.join();
+
+    // The session thread writes the file after flushing the response:
+    // poll briefly instead of racing it.
+    let path = dir.join("req-span-e2e.json");
+    let mut text = String::new();
+    for _ in 0..200 {
+        if let Ok(t) = std::fs::read_to_string(&path) {
+            text = t;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(!text.is_empty(), "span log {path:?} was never written");
+
+    let doc = json::parse(&text).expect("span log is valid JSON");
+    let events = doc.get("traceEvents").and_then(|e| e.as_arr()).expect("traceEvents");
+    let arg = |e: &json::Json, key: &str| {
+        e.get("args").and_then(|a| a.get(key)).and_then(|v| v.as_str()).map(String::from)
+    };
+    let root = events
+        .iter()
+        .find(|e| {
+            e.get("name").and_then(|n| n.as_str()) == Some("request")
+                && arg(e, "request_id").as_deref() == Some("span-e2e")
+        })
+        .expect("root `request` span tagged with the request id");
+    let root_span_id = arg(root, "id").expect("root span id");
+    // Stage children: spans parented directly to the root.
+    let stages: std::collections::BTreeSet<String> = events
+        .iter()
+        .filter(|e| arg(e, "parent").as_deref() == Some(root_span_id.as_str()))
+        .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+        .map(String::from)
+        .collect();
+    assert!(
+        stages.len() >= 4,
+        "a cache-miss plan must record >= 4 stage spans under the root, got {stages:?}"
+    );
+    for want in ["request.decode", "request.cache", "request.compute", "request.encode"] {
+        assert!(stages.contains(want), "missing stage {want}: {stages:?}");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn shutdown_request_stops_the_daemon() {
     let engine = Arc::new(Engine::new(EngineConfig::default()));
